@@ -1,0 +1,50 @@
+"""Figure 9: CDF of CPU cores used for networking — FQ/pacing vs Carousel vs Eiffel.
+
+Paper setup: 20k paced flows at an aggregate 24 Gbps on EC2; 100 one-second
+dstat samples.  Here: the scaled default configuration of the simulated
+kernel substrate (500 flows, 2.4 Gbps, 10 ms samples) with CPU measured by
+the per-operation cost model.  The paper's headline: Eiffel uses ~14x fewer
+cores than FQ and ~3x fewer than Carousel at the median.
+"""
+
+from conftest import report
+
+from repro.analysis import Series, format_series
+from repro.kernel import ShapingExperimentConfig, run_shaping_experiment
+
+CONFIG = ShapingExperimentConfig()
+
+
+def run_experiment():
+    return run_shaping_experiment(CONFIG)
+
+
+def test_fig09_cores_cdf(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quantiles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+    series = []
+    for name in ("fq", "carousel", "eiffel"):
+        cdf = result.cores_cdf(name)
+        current = Series(name=name)
+        for q in quantiles:
+            current.add(q, round(cdf.quantile(q), 4))
+        series.append(current)
+    text = format_series(
+        "CDF of cores used for networking (x = CDF fraction)",
+        series,
+        x_label="fraction",
+        y_label="cores",
+    )
+    medians = result.median_cores()
+    text += (
+        f"\n\nmedian cores: {medians}"
+        f"\nEiffel vs FQ: {result.speedup_over('fq'):.1f}x fewer cores (paper: ~14x)"
+        f"\nEiffel vs Carousel: {result.speedup_over('carousel'):.1f}x fewer cores (paper: ~3x)"
+    )
+    report("Figure 9 — kernel shaping CPU cost", text)
+    benchmark.extra_info["median_cores"] = {k: round(v, 4) for k, v in medians.items()}
+    benchmark.extra_info["speedup_vs_fq"] = round(result.speedup_over("fq"), 2)
+    benchmark.extra_info["speedup_vs_carousel"] = round(
+        result.speedup_over("carousel"), 2
+    )
+    assert medians["eiffel"] < medians["carousel"] < medians["fq"]

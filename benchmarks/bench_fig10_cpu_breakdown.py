@@ -1,0 +1,62 @@
+"""Figure 10: CPU breakdown (system vs softirq) for Carousel vs Eiffel.
+
+The paper's point: the data-structure (system) overhead of Carousel and
+Eiffel is similar; the difference is Carousel firing its timer every wheel
+slot while Eiffel programs it for exactly the next deadline (softirq panel).
+"""
+
+from conftest import report
+
+from repro.analysis import Series, format_series
+from repro.kernel import ShapingExperimentConfig, run_shaping_experiment
+
+CONFIG = ShapingExperimentConfig()
+
+
+def run_experiment():
+    return run_shaping_experiment(
+        CONFIG, qdisc_filter=lambda name: name in ("carousel", "eiffel")
+    )
+
+
+def test_fig10_system_vs_softirq(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    quantiles = [0.1, 0.5, 0.9]
+    panels = []
+    for panel, accessor in (
+        ("system", "system_cores_cdf"),
+        ("softirq", "softirq_cores_cdf"),
+    ):
+        series = []
+        for name in ("carousel", "eiffel"):
+            cdf = getattr(result, accessor)(name)
+            current = Series(name=f"{name}")
+            for q in quantiles:
+                current.add(q, round(cdf.quantile(q), 4))
+            series.append(current)
+        panels.append(
+            format_series(
+                f"{panel} context cores (x = CDF fraction)",
+                series,
+                x_label="fraction",
+                y_label="cores",
+            )
+        )
+    text = "\n\n".join(panels)
+    carousel_softirq = result.softirq_cores_cdf("carousel").median()
+    eiffel_softirq = result.softirq_cores_cdf("eiffel").median()
+    carousel_system = result.system_cores_cdf("carousel").median()
+    eiffel_system = result.system_cores_cdf("eiffel").median()
+    text += (
+        f"\n\nsystem medians:  carousel={carousel_system:.4f}  eiffel={eiffel_system:.4f}"
+        f"\nsoftirq medians: carousel={carousel_softirq:.4f}  eiffel={eiffel_softirq:.4f}"
+        f"\nsoftirq ratio carousel/eiffel: {carousel_softirq / max(eiffel_softirq, 1e-9):.1f}x"
+    )
+    report("Figure 10 — CPU breakdown (Carousel vs Eiffel)", text)
+    benchmark.extra_info["softirq_ratio"] = round(
+        carousel_softirq / max(eiffel_softirq, 1e-9), 2
+    )
+    # The paper's observation: similar system cost, much higher softirq for
+    # Carousel.
+    assert carousel_softirq > eiffel_softirq
+    assert abs(carousel_system - eiffel_system) < 5 * max(eiffel_system, 1e-9)

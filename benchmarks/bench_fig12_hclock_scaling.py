@@ -1,0 +1,63 @@
+"""Figure 12: max aggregate rate vs number of flows for hClock implementations.
+
+Paper setup: single core, 1500 B packets, 10 Gbps NIC; top panel at line
+rate, bottom panel with a 5 Gbps aggregate limit; series are hClock (min
+heaps), Eiffel's hClock, and BESS tc.  The paper's headline: Eiffel sustains
+line rate at up to ~40x the number of flows of the heap implementation.
+"""
+
+from conftest import report
+
+from repro.analysis import format_series
+from repro.bess import BessExperimentConfig, crossover_flows, run_figure12
+
+FLOW_COUNTS = [10, 100, 1000, 5000, 10000]
+CONFIG = BessExperimentConfig()
+
+
+def run_top_panel():
+    return run_figure12(FLOW_COUNTS, config=CONFIG)
+
+
+def run_bottom_panel():
+    return run_figure12(FLOW_COUNTS, rate_limit_bps=5e9, config=CONFIG)
+
+
+def test_fig12_line_rate_panel(benchmark):
+    results = benchmark.pedantic(run_top_panel, rounds=1, iterations=1)
+    text = format_series(
+        "Max supported aggregate rate at 10 Gbps line rate",
+        list(results.values()),
+        x_label="flows",
+        y_label="Mbps",
+    )
+    eiffel_cross = crossover_flows(results["eiffel"], CONFIG.line_rate_bps)
+    hclock_cross = crossover_flows(results["hclock"], CONFIG.line_rate_bps)
+    ratio = eiffel_cross / max(1, hclock_cross or 1)
+    text += (
+        f"\n\nflows sustaining line rate: eiffel={eiffel_cross}, hclock={hclock_cross}"
+        f"\nEiffel supports ~{ratio:.0f}x more flows at line rate (paper: up to 40x)"
+    )
+    report("Figure 12 (top) — hClock scaling at line rate", text)
+    benchmark.extra_info["line_rate_flows"] = {
+        "eiffel": eiffel_cross,
+        "hclock": hclock_cross,
+    }
+    assert results["eiffel"].y[-1] > results["hclock"].y[-1]
+    assert results["eiffel"].y[-1] > results["bess_tc"].y[-1]
+    assert ratio >= 5
+
+
+def test_fig12_rate_limited_panel(benchmark):
+    results = benchmark.pedantic(run_bottom_panel, rounds=1, iterations=1)
+    text = format_series(
+        "Max supported aggregate rate with a 5 Gbps limit",
+        list(results.values()),
+        x_label="flows",
+        y_label="Mbps",
+    )
+    report("Figure 12 (bottom) — hClock scaling at a 5 Gbps limit", text)
+    # The limit caps every system at 5 Gbps; the ordering at large flow
+    # counts is unchanged.
+    assert max(results["eiffel"].y) <= 5000.01
+    assert results["eiffel"].y[-1] >= results["hclock"].y[-1]

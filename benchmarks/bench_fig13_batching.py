@@ -1,0 +1,44 @@
+"""Figure 13: effect of per-flow batching and packet size (hClock vs Eiffel, 5k flows).
+
+The paper's observations: without batching, 60 B packets cannot reach line
+rate; per-flow batching (10 KB bursts) recovers most of it; with 1500 B
+packets the schedulers are limited by their per-packet data-structure cost,
+where Eiffel holds line rate and the heap implementation does not.
+"""
+
+from conftest import report
+
+from repro.analysis import format_series
+from repro.bess import BessExperimentConfig, run_figure13
+
+NUM_FLOWS = 5000
+CONFIG = BessExperimentConfig()
+
+
+def run_experiment():
+    return run_figure13(num_flows=NUM_FLOWS, config=CONFIG)
+
+
+def test_fig13_batching_and_packet_size(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = format_series(
+        f"Max rate vs packet size, {NUM_FLOWS} flows (batching on/off)",
+        list(results.values()),
+        x_label="packet bytes",
+        y_label="Mbps",
+    )
+    report("Figure 13 — batching and packet size", text)
+
+    def rate(series_name: str, size: int) -> float:
+        series = results[series_name]
+        return series.y[series.x.index(size)]
+
+    benchmark.extra_info["rates_mbps"] = {
+        name: dict(zip(series.x, series.y)) for name, series in results.items()
+    }
+    # Small packets without batching fall far short of line rate.
+    assert rate("eiffel_no_batching", 60) < 0.8 * CONFIG.line_rate_bps / 1e6
+    # Batching recovers small-packet throughput for Eiffel.
+    assert rate("eiffel_batching", 60) > rate("eiffel_no_batching", 60)
+    # At MTU size without batching Eiffel outperforms the heap baseline.
+    assert rate("eiffel_no_batching", 1500) > rate("hclock_no_batching", 1500)

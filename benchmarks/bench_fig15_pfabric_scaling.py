@@ -1,0 +1,42 @@
+"""Figure 15: pFabric max rate vs number of flows — cFFS vs binary heap.
+
+The paper: the Eiffel (cFFS) implementation sustains line rate at ~5x the
+number of flows of the binary-heap implementation, because on-dequeue
+re-ranking is an O(1) bucket move instead of an O(n) re-heapify.
+"""
+
+from conftest import report
+
+from repro.analysis import format_series
+from repro.bess import BessExperimentConfig, crossover_flows, run_figure15
+
+FLOW_COUNTS = [100, 1000, 10_000, 100_000]
+CONFIG = BessExperimentConfig()
+
+
+def run_experiment():
+    return run_figure15(FLOW_COUNTS, config=CONFIG)
+
+
+def test_fig15_pfabric_scaling(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = format_series(
+        "pFabric max supported rate (1500 B packets, one core)",
+        list(results.values()),
+        x_label="flows",
+        y_label="Mbps",
+    )
+    eiffel_cross = crossover_flows(results["pfabric_eiffel"], CONFIG.line_rate_bps)
+    heap_cross = crossover_flows(results["pfabric_heap"], CONFIG.line_rate_bps)
+    ratio = (eiffel_cross or 0) / max(1, heap_cross or 1)
+    text += (
+        f"\n\nflows sustaining line rate: eiffel={eiffel_cross}, heap={heap_cross}"
+        f"\nEiffel supports ~{ratio:.0f}x more flows at line rate (paper: ~5x)"
+    )
+    report("Figure 15 — pFabric scaling", text)
+    benchmark.extra_info["line_rate_flows"] = {
+        "eiffel": eiffel_cross,
+        "heap": heap_cross,
+    }
+    assert results["pfabric_eiffel"].y[-1] > results["pfabric_heap"].y[-1]
+    assert ratio >= 5

@@ -1,0 +1,110 @@
+"""Figure 16: queue throughput (Mpps) vs packets per bucket, 5k and 10k buckets.
+
+Microbenchmark matching Section 5.2's methodology: "the queue is initially
+filled with elements according to ... average number of packets per bucket
+parameters.  Then, packets are dequeued from the queue."  Throughput of the
+drain is reported for the bucketed binary-heap baseline (BH), the circular
+FFS queue (cFFS) and the approximate gradient queue (Approx).
+
+Two numbers are reported per cell: the modelled throughput (per-operation CPU
+cost model at 3 GHz — the apples-to-apples comparison, since wall-clock
+Python timings are dominated by interpreter overhead and by whether a
+structure is backed by a C-implemented library) and, in parentheses, the raw
+wall-clock Mpps.
+"""
+
+import random
+import time
+
+from conftest import modelled_cycles_per_op, report
+
+from repro.analysis import Table, format_table
+from repro.core.queues import (
+    ApproximateGradientQueue,
+    BucketSpec,
+    BucketedHeapQueue,
+    CircularFFSQueue,
+)
+from repro.core.queues.gradient import fit_bucket_spec
+
+PACKETS_PER_BUCKET = [1, 2, 4, 8]
+BUCKET_COUNTS = [5000, 10000]
+
+
+def build_queue(kind: str, num_buckets: int):
+    if kind == "bh":
+        return BucketedHeapQueue(BucketSpec(num_buckets=num_buckets))
+    if kind == "cffs":
+        return CircularFFSQueue(BucketSpec(num_buckets=num_buckets))
+    if kind == "approx":
+        # Configured as the paper's guidance recommends: alpha = 16 and a
+        # coarsened granularity so the requested priority levels fit the
+        # approximate queue's capacity (~520 buckets).
+        return ApproximateGradientQueue(fit_bucket_spec(num_buckets, alpha=16), alpha=16)
+    raise ValueError(kind)
+
+
+def fill(queue, num_buckets: int, per_bucket: int) -> int:
+    for bucket in range(num_buckets):
+        for _ in range(per_bucket):
+            queue.enqueue(bucket, bucket)
+    return num_buckets * per_bucket
+
+
+def drain(queue, operations: int) -> None:
+    for _ in range(operations):
+        queue.extract_min()
+
+
+def measure(kind: str, num_buckets: int, per_bucket: int) -> tuple[float, float]:
+    """Return (wall-clock Mpps, modelled Mpps at 3 GHz) for one drain."""
+    queue = build_queue(kind, num_buckets)
+    operations = fill(queue, num_buckets, per_bucket)
+    queue.stats.reset()
+    start = time.perf_counter()
+    drain(queue, operations)
+    elapsed = time.perf_counter() - start
+    wall_mpps = operations / elapsed / 1e6
+    cycles = modelled_cycles_per_op(queue, operations)
+    return wall_mpps, 3.0e9 / cycles / 1e6
+
+
+def test_fig16_packets_per_bucket(benchmark):
+    table = Table(
+        title="Drain throughput vs packets per bucket "
+        "(modelled Mpps at 3 GHz, wall-clock Mpps in parentheses)",
+        columns=["buckets", "pkts/bucket", "BH", "cFFS", "Approx"],
+    )
+    modelled = {}
+    for num_buckets in BUCKET_COUNTS:
+        for per_bucket in PACKETS_PER_BUCKET:
+            row = []
+            for kind in ("bh", "cffs", "approx"):
+                wall, model = measure(kind, num_buckets, per_bucket)
+                modelled[(kind, num_buckets, per_bucket)] = model
+                row.append(f"{model:.1f} ({wall:.2f})")
+            table.add_row(num_buckets, per_bucket, *row)
+    report("Figure 16 — packets per bucket", format_table(table))
+    benchmark.extra_info["modelled_mpps"] = {
+        f"{kind}/{buckets}/{per_bucket}": round(value, 2)
+        for (kind, buckets, per_bucket), value in modelled.items()
+    }
+
+    # The timed fixture samples a full fill+drain of a smaller cFFS queue.
+    def fill_and_drain():
+        queue = build_queue("cffs", 1000)
+        operations = fill(queue, 1000, 2)
+        drain(queue, operations)
+
+    benchmark(fill_and_drain)
+
+    # Shape checks (modelled cycles): both Eiffel queues beat the
+    # bucketed-heap baseline at one packet per bucket, the approximate queue
+    # is at least as fast as cFFS in that regime (the paper's ~9% advantage),
+    # and the gap closes as buckets get deeper.
+    assert modelled[("cffs", 10000, 1)] > modelled[("bh", 10000, 1)]
+    assert modelled[("approx", 10000, 1)] > modelled[("bh", 10000, 1)]
+    assert modelled[("approx", 10000, 1)] >= modelled[("cffs", 10000, 1)]
+    gap_shallow = modelled[("approx", 10000, 1)] / modelled[("cffs", 10000, 1)]
+    gap_deep = modelled[("approx", 10000, 8)] / modelled[("cffs", 10000, 8)]
+    assert gap_deep <= gap_shallow + 0.05

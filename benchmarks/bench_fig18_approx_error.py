@@ -1,0 +1,67 @@
+"""Figure 18: average priority-selection error of the approximate queue.
+
+The approximate gradient queue may select a non-extremal bucket when buckets
+are empty between the estimate and the true extremum; the error grows as the
+fraction of non-empty buckets falls.  This harness measures the mean
+|selected - true| bucket distance across a drain of the queue at several
+occupancy levels, for both 5k and 10k configured buckets (bucket counts are
+fitted to the approximate queue's capacity by coarsening granularity, exactly
+as an operator would configure it).
+"""
+
+import random
+
+from conftest import report
+
+from repro.analysis import Table, format_table
+from repro.core.queues import ApproximateGradientQueue
+from repro.core.queues.gradient import fit_bucket_spec
+
+OCCUPANCY = [0.7, 0.8, 0.9, 0.99]
+BUCKET_COUNTS = [5000, 10000]
+
+
+def measure_error(num_buckets: int, occupancy: float, seed: int = 17) -> float:
+    rng = random.Random(seed)
+    spec = fit_bucket_spec(num_buckets, alpha=16)
+    queue = ApproximateGradientQueue(spec, alpha=16, track_errors=True)
+    levels = spec.num_buckets
+    occupied = rng.sample(range(levels), max(1, int(levels * occupancy)))
+    for bucket in occupied:
+        queue.enqueue(bucket * spec.granularity, bucket)
+    while not queue.empty:
+        queue.extract_min()
+    return queue.average_selection_error
+
+
+def run_sweep():
+    results = {}
+    for num_buckets in BUCKET_COUNTS:
+        for occupancy in OCCUPANCY:
+            results[(num_buckets, occupancy)] = measure_error(num_buckets, occupancy)
+    return results
+
+
+def test_fig18_selection_error(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table(
+        title="Average error (buckets) in priority selection of the approximate queue",
+        columns=["occupancy", "5k buckets", "10k buckets"],
+    )
+    for occupancy in OCCUPANCY:
+        table.add_row(
+            occupancy,
+            round(results[(5000, occupancy)], 2),
+            round(results[(10000, occupancy)], 2),
+        )
+    report("Figure 18 — approximate queue selection error", format_table(table))
+    benchmark.extra_info["avg_error"] = {
+        f"{buckets}/{occ}": round(err, 3) for (buckets, occ), err in results.items()
+    }
+    # Shape: error shrinks as occupancy approaches 1 and stays within a few
+    # tens of buckets (the paper reports 0-14 buckets for its configuration;
+    # the fitted granularity here differs, so the absolute bound is looser).
+    for buckets in BUCKET_COUNTS:
+        assert results[(buckets, 0.99)] <= results[(buckets, 0.7)]
+        assert results[(buckets, 0.7)] < 60
+        assert results[(buckets, 0.99)] < 5

@@ -1,0 +1,60 @@
+"""Figure 19: normalized FCT vs load — DCTCP vs pFabric vs pFabric-Approx.
+
+Paper setup: ns-2, 144-host leaf-spine, web-search workload, load 0.1-0.8;
+three panels (average FCT of (0,100kB] flows, their 99th percentile, and the
+average FCT of (10MB,inf) flows).  Here: the packet-level simulator on a
+scaled leaf-spine fabric with the same workload.  The claim under test is
+that replacing the exact switch priority queue with the approximate gradient
+queue leaves the FCT curves essentially unchanged, with DCTCP as the anchor.
+"""
+
+from conftest import report
+
+from repro.analysis import Series, format_series
+from repro.netsim import FabricConfig, FabricExperimentConfig, run_figure19
+
+LOADS = [0.2, 0.5, 0.8]
+CONFIG = FabricExperimentConfig(
+    fabric=FabricConfig(num_leaves=3, num_spines=3, hosts_per_leaf=3),
+    num_flows=120,
+    seed=19,
+)
+
+
+def run_experiment():
+    return run_figure19(LOADS, config=CONFIG)
+
+
+def test_fig19_normalized_fct(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    panels = {
+        "avg normalized FCT, (0, 100kB] flows": lambda r: r.small_flow_avg(),
+        "p99 normalized FCT, (0, 100kB] flows": lambda r: r.small_flow_p99(),
+        "avg normalized FCT, (10MB, inf) flows": lambda r: r.large_flow_avg(),
+    }
+    text_blocks = []
+    summary = {}
+    for title, metric in panels.items():
+        series = []
+        for scheme, runs in results.items():
+            current = Series(name=scheme)
+            for run in runs:
+                value = metric(run)
+                current.add(run.load, round(value, 2) if value == value else -1.0)
+            series.append(current)
+        summary[title] = {s.name: dict(zip(s.x, s.y)) for s in series}
+        text_blocks.append(
+            format_series(title, series, x_label="load", y_label="norm. FCT")
+        )
+    report("Figure 19 — pFabric with approximate queues", "\n\n".join(text_blocks))
+    benchmark.extra_info["panels"] = summary
+
+    # Shape checks at the highest load: pFabric keeps small flows far closer
+    # to ideal than DCTCP, and the approximate variant tracks exact pFabric.
+    dctcp = results["dctcp"][-1]
+    pfabric = results["pfabric"][-1]
+    approx = results["pfabric_approx"][-1]
+    assert pfabric.small_flow_avg() < dctcp.small_flow_avg()
+    assert abs(approx.small_flow_avg() - pfabric.small_flow_avg()) <= max(
+        0.5, 0.5 * pfabric.small_flow_avg()
+    )

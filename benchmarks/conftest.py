@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*`` module reproduces one table or figure of the paper.  The
+actual numbers are printed to stdout (run pytest with ``-s`` to see them live)
+and attached to the pytest-benchmark ``extra_info`` so they appear in
+``--benchmark-json`` output.
+"""
+
+import sys
+from pathlib import Path
+
+# Keep the in-tree sources importable when benchmarks run standalone.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def report(title: str, text: str) -> None:
+    """Print a figure/table reproduction block."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{text}\n")
+
+
+def modelled_cycles_per_op(queue, operations: int) -> float:
+    """Modelled CPU cycles per operation from a queue's operation counters.
+
+    Wall-clock Python timings are dominated by interpreter overhead (and by
+    whether a structure happens to be backed by a C-implemented library such
+    as ``heapq``), so the shape comparisons use the per-operation cost model:
+    the same accounting the kernel and BESS substrates use.  Red-black tree
+    node visits are charged as cache-missing pointer chases.
+    """
+    from repro.core.queues import RBTreeQueue
+    from repro.cpu import CostModel
+
+    model = CostModel()
+    stats = queue.stats.as_dict()
+    if isinstance(queue, RBTreeQueue):
+        visits = stats.pop("bucket_lookups", 0)
+        if visits:
+            model.charge("rb_node_visit", visits)
+    model.charge_queue_stats(stats)
+    return model.total_cycles / max(1, operations)

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+
+The environment used for this reproduction has no network access and an old
+setuptools without the ``wheel`` package, so ``pip install -e .`` cannot build
+the PEP 660 editable wheel.  Adding ``src`` to ``sys.path`` here keeps
+``pytest tests/`` and ``pytest benchmarks/`` working from a plain checkout.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Use Case 2 in miniature: hClock on a busy-polling core, heap vs Eiffel.
+
+Builds the two hClock implementations (binary min-heaps vs Eiffel's bucketed
+queues), gives three traffic classes a reservation / a limit / a plain share,
+verifies both enforce the same policy, and then compares the maximum rate a
+single simulated core can sustain as the number of classes grows.
+
+Run:  python examples/hclock_userspace.py
+"""
+
+from repro.bess import BessExperimentConfig, HClockEiffelModule, HClockHeapModule, measure_max_rate
+from repro.core.model import Packet
+from repro.core.policies import EiffelHClockScheduler, HClockClass, HeapHClockScheduler
+
+NS_PER_MS = 1_000_000
+
+
+def policy_demo() -> None:
+    print("=== Policy behaviour (identical for both implementations) ===")
+    for name, cls in (("eiffel", EiffelHClockScheduler), ("heap", HeapHClockScheduler)):
+        scheduler = cls()
+        scheduler.configure_class(1, HClockClass(reservation_bps=20e6, share=1.0))
+        scheduler.configure_class(2, HClockClass(limit_bps=10e6, share=4.0))
+        scheduler.configure_class(3, HClockClass(share=2.0))
+        served = {1: 0, 2: 0, 3: 0}
+        # Keep all three classes backlogged and serve at 100 Mbps for 50 ms.
+        for flow in served:
+            for _ in range(4):
+                scheduler.enqueue(Packet(flow_id=flow, size_bytes=1500), now_ns=0)
+        now = 0
+        packet_ns = int(1500 * 8 / 100e6 * 1e9)
+        while now < 50 * NS_PER_MS:
+            packet = scheduler.dequeue(now_ns=now)
+            if packet is not None:
+                served[packet.flow_id] += packet.size_bytes
+                scheduler.enqueue(Packet(flow_id=packet.flow_id, size_bytes=1500), now_ns=now)
+            now += packet_ns
+        rates = {flow: round(bits * 8 / 0.05 / 1e6, 1) for flow, bits in served.items()}
+        print(f"  {name:6s} achieved rates (Mbps): "
+              f"class1(res 20M)={rates[1]}, class2(lim 10M)={rates[2]}, class3={rates[3]}")
+
+
+def scaling_demo() -> None:
+    print("\n=== Single-core capacity vs number of traffic classes ===")
+    config = BessExperimentConfig()
+    print(f"{'classes':>8s} {'eiffel (Mbps)':>14s} {'heap (Mbps)':>12s}")
+    for flows in (10, 100, 1000, 4000):
+        eiffel = measure_max_rate(
+            HClockEiffelModule(flows, {}), flows, config, measure_packets=128
+        )
+        heap = measure_max_rate(
+            HClockHeapModule(flows, {}), flows, config, measure_packets=128
+        )
+        print(f"{flows:8d} {eiffel / 1e6:14.0f} {heap / 1e6:12.0f}")
+    print("\nEiffel keeps the line rate as classes grow; the heap baseline")
+    print("collapses once per-packet heap maintenance exceeds the cycle budget.")
+
+
+if __name__ == "__main__":
+    policy_demo()
+    scaling_demo()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build an Eiffel scheduler from a declarative policy.
+
+The policy gives two tenants a 70/30 weighted split of a paced 100 Mbps
+aggregate, with the video tenant additionally rate limited to 40 Mbps.  The
+compiler turns the description into cFFS-backed PIFO blocks plus one shared
+decoupled shaper; we then push a burst of packets through it and watch the
+order and timing the scheduler produces.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.model import Packet, PolicySpec, PolicyNodeSpec, Discipline
+from repro.core.model import compile_policy, describe_policy
+
+
+def build_policy() -> PolicySpec:
+    return PolicySpec(
+        name="quickstart",
+        nodes=[
+            PolicyNodeSpec(name="root", discipline=Discipline.WFQ),
+            PolicyNodeSpec(name="web", parent="root", weight=0.3),
+            PolicyNodeSpec(
+                name="video", parent="root", weight=0.7, rate_limit_bps=40e6
+            ),
+        ],
+        pacing_rate_bps=100e6,
+        flow_to_leaf={1: "web", 2: "video"},
+    )
+
+
+def main() -> None:
+    policy = build_policy()
+    print(describe_policy(policy))
+    print()
+
+    scheduler = compile_policy(policy)
+
+    # Offer 20 packets per flow at t=0.
+    for _ in range(20):
+        scheduler.enqueue(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        scheduler.enqueue(Packet(flow_id=2, size_bytes=1500), now_ns=0)
+    print(f"enqueued {scheduler.stats.enqueued} packets "
+          f"({scheduler.stats.shaped} passed through the shaper)")
+
+    # Poll the scheduler every millisecond and record what leaves the port.
+    transmissions = []
+    for ms in range(0, 12):
+        now_ns = ms * 1_000_000
+        for packet in scheduler.dequeue_all_due(now_ns):
+            transmissions.append((now_ns, packet.flow_id))
+
+    web = sum(1 for _, flow in transmissions if flow == 1)
+    video = sum(1 for _, flow in transmissions if flow == 2)
+    print(f"transmitted within 12 ms: web={web} packets, video={video} packets")
+    print("first ten transmissions (time_ms, flow):")
+    for now_ns, flow in transmissions[:10]:
+        print(f"  t={now_ns / 1e6:5.2f} ms  flow={flow}")
+    print()
+    print("The video tenant is gated by its 40 Mbps limit (about 3.3 packets/ms)")
+    print("while web packets ride the 100 Mbps aggregate pacing unimpeded.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of "Eiffel: Efficient and Flexible Software Packet
+Scheduling" (Saeed et al., USENIX NSDI 2019).
+
+Public surface:
+
+* :mod:`repro.core.queues` — integer priority queues (cFFS, gradient queues,
+  baselines) and the queue-selection guide.
+* :mod:`repro.core.model` — the extended PIFO programming model: scheduling
+  and shaping transactions, per-flow ranking, on-dequeue ranking, the
+  decoupled shaper, and the policy compiler.
+* :mod:`repro.core.policies` — ready-made policies (pFabric, hClock, pacing,
+  strict priority, fair queueing, EDF/LSTF/LQF/SRTF, ...).
+* :mod:`repro.kernel` — event-driven qdisc substrate (FQ/pacing, Carousel and
+  Eiffel qdiscs) with CPU accounting.
+* :mod:`repro.bess` — busy-polling userspace pipeline substrate (BESS-like).
+* :mod:`repro.netsim` — packet-level datacenter network simulator used for
+  the pFabric flow-completion-time experiments.
+* :mod:`repro.traffic`, :mod:`repro.cpu`, :mod:`repro.analysis` — workload
+  generation, CPU cost modelling and result formatting.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Result analysis and formatting: CDFs, percentiles, FCT statistics, tables."""
+
+from .stats import (
+    Cdf,
+    normalized_fct,
+    percentile,
+    summarize,
+)
+from .tables import Series, Table, format_series, format_table
+from .feature_matrix import FEATURE_MATRIX, feature_matrix_rows, format_feature_matrix
+
+__all__ = [
+    "Cdf",
+    "FEATURE_MATRIX",
+    "Series",
+    "Table",
+    "feature_matrix_rows",
+    "format_feature_matrix",
+    "format_series",
+    "format_table",
+    "normalized_fct",
+    "percentile",
+    "summarize",
+]

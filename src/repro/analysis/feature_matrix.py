@@ -1,0 +1,137 @@
+"""Table 1 — the qualitative comparison of schedulers, as data.
+
+The paper positions Eiffel against FQ/pacing, hClock, Carousel, OpenQueue and
+PIFO along five axes: per-packet efficiency, hardware/software placement,
+unit of scheduling, work conservation, shaping support and programmability.
+Encoding the table as data lets the Table 1 benchmark regenerate it and lets
+tests assert that the implemented schedulers actually exhibit the claimed
+properties (e.g. the Eiffel qdisc supports shaping, the timing wheel does not
+support ExtractMin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SchedulerFeatures:
+    """One row of Table 1."""
+
+    system: str
+    efficiency: str
+    placement: str
+    unit: str
+    work_conserving: bool
+    shaping: bool
+    programmable: str
+    notes: str = ""
+
+
+FEATURE_MATRIX: List[SchedulerFeatures] = [
+    SchedulerFeatures(
+        system="FQ/Pacing qdisc",
+        efficiency="O(log n)",
+        placement="SW",
+        unit="Flows",
+        work_conserving=False,
+        shaping=True,
+        programmable="No",
+        notes="Only non-work conserving FQ",
+    ),
+    SchedulerFeatures(
+        system="hClock",
+        efficiency="O(log n)",
+        placement="SW",
+        unit="Flows",
+        work_conserving=True,
+        shaping=True,
+        programmable="No",
+        notes="Only hierarchical weighted policies",
+    ),
+    SchedulerFeatures(
+        system="Carousel",
+        efficiency="O(1)",
+        placement="SW",
+        unit="Packets",
+        work_conserving=False,
+        shaping=True,
+        programmable="No",
+        notes="Only non-work conserving schedules",
+    ),
+    SchedulerFeatures(
+        system="OpenQueue",
+        efficiency="O(log n)",
+        placement="SW",
+        unit="Packets & Flows",
+        work_conserving=True,
+        shaping=False,
+        programmable="On enq/deq",
+        notes="Inefficient building blocks",
+    ),
+    SchedulerFeatures(
+        system="PIFO",
+        efficiency="O(1)",
+        placement="HW",
+        unit="Packets",
+        work_conserving=True,
+        shaping=True,
+        programmable="On enq",
+        notes="Max. # flows 2048",
+    ),
+    SchedulerFeatures(
+        system="Eiffel",
+        efficiency="O(1)",
+        placement="SW",
+        unit="Packets & Flows",
+        work_conserving=True,
+        shaping=True,
+        programmable="On enq/deq",
+        notes="",
+    ),
+]
+
+
+def feature_matrix_rows() -> List[List[str]]:
+    """Table 1 as a list of string rows (for printing and tests)."""
+    rows = []
+    for entry in FEATURE_MATRIX:
+        rows.append(
+            [
+                entry.system,
+                entry.efficiency,
+                entry.placement,
+                entry.unit,
+                "Yes" if entry.work_conserving else "No",
+                "Yes" if entry.shaping else "No",
+                entry.programmable,
+                entry.notes,
+            ]
+        )
+    return rows
+
+
+def format_feature_matrix() -> str:
+    """Render Table 1 as plain text."""
+    from .tables import Table, format_table
+
+    table = Table(
+        title="Table 1: Proposed work in the context of the state of the art",
+        columns=[
+            "System",
+            "Efficiency",
+            "HW/SW",
+            "Unit",
+            "Work-Conserving",
+            "Shaping",
+            "Programmable",
+            "Notes",
+        ],
+    )
+    for row in feature_matrix_rows():
+        table.add_row(*row)
+    return format_table(table)
+
+
+__all__ = ["FEATURE_MATRIX", "SchedulerFeatures", "feature_matrix_rows", "format_feature_matrix"]

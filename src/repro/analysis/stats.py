@@ -1,0 +1,114 @@
+"""Statistics helpers: CDFs, percentiles, flow-completion-time metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values`` by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+@dataclass
+class Cdf:
+    """Empirical CDF of a sample, with the accessors the paper's plots need."""
+
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("CDF of empty sample")
+        self.values = sorted(self.values)
+
+    def at(self, x: float) -> float:
+        """Fraction of samples ``<= x``."""
+        count = 0
+        for value in self.values:
+            if value <= x:
+                count += 1
+            else:
+                break
+        return count / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative fraction ``q`` (0-1)."""
+        return percentile(self.values, q * 100)
+
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def points(self, num: int = 50) -> List[tuple[float, float]]:
+        """``num`` evenly spaced (value, cumulative fraction) points."""
+        if num <= 1:
+            raise ValueError("num must be at least 2")
+        step = (len(self.values) - 1) / (num - 1)
+        result = []
+        for index in range(num):
+            position = int(round(index * step))
+            value = self.values[position]
+            fraction = (position + 1) / len(self.values)
+            result.append((value, fraction))
+        return result
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p99 / min / max summary of a sample."""
+    if not values:
+        raise ValueError("summary of empty sequence")
+    return {
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "min": min(values),
+        "max": max(values),
+        "count": float(len(values)),
+    }
+
+
+def ideal_fct_seconds(
+    size_bytes: int, link_bps: float, rtt_seconds: float
+) -> float:
+    """Ideal (unloaded) completion time of a flow: one RTT + serialisation.
+
+    The pFabric evaluation normalises every measured FCT by the completion
+    time the flow would achieve alone on an idle fabric: its bytes serialised
+    once at the edge-link rate (store-and-forward pipelining hides the other
+    hops) plus one base round-trip.
+    """
+    if size_bytes <= 0 or link_bps <= 0:
+        raise ValueError("size_bytes and link_bps must be positive")
+    serialisation = size_bytes * 8 / link_bps
+    return rtt_seconds + serialisation
+
+
+def normalized_fct(
+    fct_seconds: float,
+    size_bytes: int,
+    link_bps: float,
+    rtt_seconds: float,
+) -> float:
+    """Measured FCT divided by the flow's ideal FCT (>= 1 in a causal system)."""
+    ideal = ideal_fct_seconds(size_bytes, link_bps, rtt_seconds)
+    if ideal <= 0:
+        raise ValueError("ideal FCT must be positive")
+    return fct_seconds / ideal
+
+
+__all__ = ["Cdf", "ideal_fct_seconds", "normalized_fct", "percentile", "summarize"]

@@ -1,0 +1,110 @@
+"""Plain-text tables and series so benchmarks print paper-style results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One named data series: x values and y values (one figure line)."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x_value: float, y_value: float) -> None:
+        """Append one point."""
+        self.x.append(x_value)
+        self.y.append(y_value)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table."""
+
+    title: str
+    columns: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(values)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a table as aligned plain text."""
+    header = [table.columns]
+    body = [[_format_cell(value) for value in row] for row in table.rows]
+    widths = [
+        max(len(row[index]) for row in header + body) if header + body else 0
+        for index in range(len(table.columns))
+    ]
+    lines = [table.title, ""]
+    lines.append(
+        "  ".join(column.ljust(widths[i]) for i, column in enumerate(table.columns))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Sequence[Series],
+    x_label: str = "x",
+    y_label: str = "y",
+    x_format: Optional[str] = None,
+) -> str:
+    """Render several series as one table keyed by their shared x values."""
+    all_x: List[float] = []
+    for current in series:
+        for x_value in current.x:
+            if x_value not in all_x:
+                all_x.append(x_value)
+    all_x.sort()
+    columns = [x_label] + [f"{current.name} ({y_label})" for current in series]
+    table = Table(title=title, columns=columns)
+    for x_value in all_x:
+        row: List = [x_value if x_format is None else x_format.format(x_value)]
+        for current in series:
+            try:
+                index = current.x.index(x_value)
+                row.append(current.y[index])
+            except ValueError:
+                row.append("-")
+        table.add_row(*row)
+    return format_table(table)
+
+
+def speedup_summary(baseline: Series, improved: Series, name: str = "speedup") -> Dict[float, float]:
+    """Per-x ratio baseline/improved (how many times better the improved series is)."""
+    ratios: Dict[float, float] = {}
+    for x_value, baseline_y in zip(baseline.x, baseline.y):
+        if x_value in improved.x:
+            improved_y = improved.y[improved.x.index(x_value)]
+            if improved_y:
+                ratios[x_value] = baseline_y / improved_y
+    return ratios
+
+
+__all__ = ["Series", "Table", "format_series", "format_table", "speedup_summary"]

@@ -1,0 +1,42 @@
+"""Userspace (BESS-like) busy-polling substrate for Use Cases 2 and 3."""
+
+from .experiment import (
+    BessExperimentConfig,
+    crossover_flows,
+    hclock_class_config,
+    measure_max_rate,
+    run_figure12,
+    run_figure13,
+    run_figure15,
+)
+from .module import BufferModule, Module, Pipeline, PipelineReport, Sink, Source
+from .scheduler_modules import (
+    BessTcModule,
+    HClockEiffelModule,
+    HClockHeapModule,
+    PFabricEiffelModule,
+    PFabricHeapModule,
+    SchedulerModule,
+)
+
+__all__ = [
+    "BessExperimentConfig",
+    "BessTcModule",
+    "BufferModule",
+    "HClockEiffelModule",
+    "HClockHeapModule",
+    "Module",
+    "PFabricEiffelModule",
+    "PFabricHeapModule",
+    "Pipeline",
+    "PipelineReport",
+    "SchedulerModule",
+    "Sink",
+    "Source",
+    "crossover_flows",
+    "hclock_class_config",
+    "measure_max_rate",
+    "run_figure12",
+    "run_figure13",
+    "run_figure15",
+]

@@ -1,0 +1,207 @@
+"""BESS-like busy-polling pipeline: modules, tasks, and cycle accounting.
+
+BESS (the Berkeley Extensible Software Switch) represents packet processing
+as a pipeline of modules; connected modules form a *task* that a busy-polling
+core runs repeatedly, passing packet batches from module to module.  On a
+single core, the maximum sustainable rate is set by how many cycles one
+packet costs across the pipeline — which is precisely the metric of
+Figures 12, 13 and 15 ("maximum supported aggregate rate ... on a single
+core").
+
+The reproduction models that arithmetic explicitly: every module charges its
+per-batch and per-packet work to a shared :class:`~repro.cpu.CostModel`, and
+:class:`Pipeline.max_rate_bps` converts cycles/packet into the rate one core
+sustains, capped by the NIC line rate.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..core.model.packet import Packet
+from ..cpu import CostModel, CpuMeter
+
+
+class Module(abc.ABC):
+    """One BESS module: receives a batch of packets, emits a batch."""
+
+    name: str = "module"
+
+    def __init__(self) -> None:
+        self.cost: Optional[CostModel] = None
+        self.downstream: Optional["Module"] = None
+
+    def connect(self, downstream: "Module") -> "Module":
+        """Connect this module's output to ``downstream``; returns downstream."""
+        self.downstream = downstream
+        return downstream
+
+    def attach_cost_model(self, cost: CostModel) -> None:
+        """Give the module the pipeline's shared cost model."""
+        self.cost = cost
+
+    def charge(self, operation: str, count: float = 1.0) -> None:
+        """Charge an operation if a cost model is attached."""
+        if self.cost is not None:
+            self.cost.charge(operation, count)
+
+    @abc.abstractmethod
+    def process_batch(self, batch: List[Packet], now_ns: int) -> List[Packet]:
+        """Process a batch and return the packets to pass downstream."""
+
+    def push(self, batch: List[Packet], now_ns: int) -> List[Packet]:
+        """Process a batch and forward the result through the pipeline."""
+        if batch:
+            self.charge("batch_overhead")
+        output = self.process_batch(batch, now_ns)
+        if self.downstream is not None:
+            return self.downstream.push(output, now_ns)
+        return output
+
+
+class Source(Module):
+    """Head-of-pipeline module wrapping a packet generator."""
+
+    name = "source"
+
+    def __init__(self, generator) -> None:
+        super().__init__()
+        self.generator = generator
+
+    def process_batch(self, batch: List[Packet], now_ns: int) -> List[Packet]:
+        return self.generator.next_batch()
+
+
+class Sink(Module):
+    """Tail module: counts transmitted packets and bytes."""
+
+    name = "sink"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.packets = 0
+        self.bytes = 0
+
+    def process_batch(self, batch: List[Packet], now_ns: int) -> List[Packet]:
+        self.packets += len(batch)
+        self.bytes += sum(packet.size_bytes for packet in batch)
+        return batch
+
+
+class BufferModule(Module):
+    """Per-traffic-class batching buffer (the paper's ``Buffer`` modules).
+
+    Packets are staged per class and only released downstream once a class
+    has accumulated ``batch_bytes`` worth of payload, amortising the
+    downstream scheduler's per-lookup cost over the batch (Section 4,
+    userspace implementation; 10 KB is the threshold the paper borrows from
+    hClock).
+    """
+
+    name = "buffer"
+
+    def __init__(self, batch_bytes: int = 10_000) -> None:
+        super().__init__()
+        if batch_bytes <= 0:
+            raise ValueError("batch_bytes must be positive")
+        self.batch_bytes = batch_bytes
+        self._staged: dict[int, List[Packet]] = {}
+        self._staged_bytes: dict[int, int] = {}
+
+    def process_batch(self, batch: List[Packet], now_ns: int) -> List[Packet]:
+        released: List[Packet] = []
+        for packet in batch:
+            staged = self._staged.setdefault(packet.flow_id, [])
+            staged.append(packet)
+            self.charge("enqueue")
+            total = self._staged_bytes.get(packet.flow_id, 0) + packet.size_bytes
+            self._staged_bytes[packet.flow_id] = total
+            if total >= self.batch_bytes:
+                released.extend(staged)
+                self._staged[packet.flow_id] = []
+                self._staged_bytes[packet.flow_id] = 0
+        return released
+
+    def flush(self) -> List[Packet]:
+        """Release everything still staged (end of run)."""
+        released: List[Packet] = []
+        for flow_id, staged in self._staged.items():
+            released.extend(staged)
+            self._staged[flow_id] = []
+            self._staged_bytes[flow_id] = 0
+        return released
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of driving a pipeline for a number of batches."""
+
+    packets: int
+    bytes: int
+    cycles: float
+
+    @property
+    def cycles_per_packet(self) -> float:
+        """Average modelled cycles spent per transmitted packet."""
+        if self.packets == 0:
+            return float("inf")
+        return self.cycles / self.packets
+
+
+class Pipeline:
+    """A single-task pipeline run by one busy-polling core."""
+
+    def __init__(self, modules: Iterable[Module], meter: Optional[CpuMeter] = None) -> None:
+        self.modules = list(modules)
+        if not self.modules:
+            raise ValueError("pipeline needs at least one module")
+        self.cost = CostModel()
+        self.meter = meter or CpuMeter()
+        for first, second in zip(self.modules, self.modules[1:]):
+            first.connect(second)
+        for module in self.modules:
+            module.attach_cost_model(self.cost)
+
+    def run(self, batches: int, now_ns: int = 0) -> PipelineReport:
+        """Run ``batches`` iterations of the task and report cycle costs."""
+        sink = self.modules[-1]
+        if not isinstance(sink, Sink):
+            raise TypeError("the last pipeline module must be a Sink")
+        start_packets = sink.packets
+        start_bytes = sink.bytes
+        start_cycles = self.cost.total_cycles
+        for _ in range(batches):
+            self.modules[0].push([], now_ns)
+        return PipelineReport(
+            packets=sink.packets - start_packets,
+            bytes=sink.bytes - start_bytes,
+            cycles=self.cost.total_cycles - start_cycles,
+        )
+
+    def max_rate_bps(
+        self,
+        report: PipelineReport,
+        packet_bytes: int,
+        line_rate_bps: float,
+        rate_limit_bps: Optional[float] = None,
+    ) -> float:
+        """Maximum rate one core sustains, given measured cycles per packet."""
+        if report.packets == 0:
+            return 0.0
+        achievable = self.meter.max_bit_rate(report.cycles_per_packet, packet_bytes)
+        achievable = min(achievable, line_rate_bps)
+        if rate_limit_bps is not None:
+            achievable = min(achievable, rate_limit_bps)
+        return achievable
+
+
+__all__ = [
+    "BufferModule",
+    "Module",
+    "Pipeline",
+    "PipelineReport",
+    "Sink",
+    "Source",
+]

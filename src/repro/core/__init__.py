@@ -1,0 +1,2 @@
+"""Eiffel's core contribution: integer priority queues, the extended PIFO
+programming model, and ready-made scheduling policies."""

@@ -1,0 +1,53 @@
+"""Eiffel's programming model: the extended PIFO abstraction (Objective 2)."""
+
+from .compiler import compile_policy, describe_policy
+from .packet import Flow, FlowState, FlowTable, Packet
+from .pifo import PIFOBlock, default_queue_factory
+from .policy import Discipline, PolicyNodeSpec, PolicySpec, parse_policy
+from .scheduler import EiffelScheduler, SchedulerStats
+from .shaper import DecoupledShaper, ShaperChain
+from .transactions import (
+    PerFlowSchedulingTransaction,
+    RateLimit,
+    SchedulingTransaction,
+    ShapingTransaction,
+)
+from .tree import (
+    FIFORankPolicy,
+    NodeConfig,
+    NodeRankPolicy,
+    SchedulingTree,
+    StrictPriorityRankPolicy,
+    TreeNode,
+    WFQRankPolicy,
+)
+
+__all__ = [
+    "DecoupledShaper",
+    "Discipline",
+    "EiffelScheduler",
+    "FIFORankPolicy",
+    "Flow",
+    "FlowState",
+    "FlowTable",
+    "NodeConfig",
+    "NodeRankPolicy",
+    "PIFOBlock",
+    "Packet",
+    "PerFlowSchedulingTransaction",
+    "PolicyNodeSpec",
+    "PolicySpec",
+    "RateLimit",
+    "SchedulerStats",
+    "SchedulingTransaction",
+    "SchedulingTree",
+    "ShaperChain",
+    "ShapingTransaction",
+    "StrictPriorityRankPolicy",
+    "TreeNode",
+    "WFQRankPolicy",
+    "compile_policy",
+    "default_queue_factory",
+    "describe_policy",
+    "parse_policy",
+]

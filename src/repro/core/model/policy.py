@@ -1,0 +1,230 @@
+"""Declarative scheduling-policy descriptions.
+
+The PIFO toolchain describes a policy as a graph in the DOT language and
+generates C++ from it; Eiffel reuses that pipeline and tunes the output.
+This module is the equivalent declarative layer for the Python reproduction:
+a :class:`PolicySpec` lists the hierarchy's nodes — each with a scheduling
+discipline, a weight or priority, and an optional rate limit — plus the
+aggregate pacing rate and how packets map onto leaves.  The compiler
+(:mod:`repro.core.model.compiler`) turns a spec into a runnable
+:class:`~repro.core.model.scheduler.EiffelScheduler`.
+
+A tiny DOT-like text format is also supported (:func:`parse_policy`) so
+policies can live in configuration files, mirroring the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Discipline(Enum):
+    """Scheduling discipline applied by a node to order its children."""
+
+    FIFO = "fifo"
+    STRICT = "strict"
+    WFQ = "wfq"
+
+
+@dataclass
+class PolicyNodeSpec:
+    """Declarative description of one node in the policy hierarchy.
+
+    Attributes:
+        name: unique node name.
+        parent: parent node name, or ``None`` for the root.
+        discipline: how this node orders its children (ignored for leaves
+            without children other than packet FIFO order).
+        weight: WFQ weight of this node *within its parent*.
+        priority: strict-priority level of this node within its parent
+            (lower dequeues first).
+        rate_limit_bps: optional shaping rate applied to this node's
+            aggregate traffic.
+        pifo_buckets: bucket count of the node's PIFO.
+    """
+
+    name: str
+    parent: Optional[str] = None
+    discipline: Discipline = Discipline.FIFO
+    weight: float = 1.0
+    priority: int = 0
+    rate_limit_bps: Optional[float] = None
+    pifo_buckets: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"node {self.name!r}: weight must be positive")
+        if self.rate_limit_bps is not None and self.rate_limit_bps <= 0:
+            raise ValueError(f"node {self.name!r}: rate_limit_bps must be positive")
+        if self.pifo_buckets <= 0:
+            raise ValueError(f"node {self.name!r}: pifo_buckets must be positive")
+
+
+@dataclass
+class PolicySpec:
+    """A complete scheduling policy description.
+
+    Attributes:
+        name: policy label.
+        nodes: hierarchy nodes (exactly one root).
+        pacing_rate_bps: optional aggregate pacing applied at the root.
+        flow_to_leaf: static mapping of flow id to leaf name; flows not in
+            the mapping fall back to ``default_leaf``.
+        default_leaf: leaf used for unmapped flows (defaults to the first
+            leaf in ``nodes`` order).
+        shaper_horizon_ns / shaper_granularity_ns: sizing of the decoupled
+            shaper (defaults follow the paper's kernel deployment: 2 s
+            horizon over 20k buckets).
+    """
+
+    name: str
+    nodes: List[PolicyNodeSpec] = field(default_factory=list)
+    pacing_rate_bps: Optional[float] = None
+    flow_to_leaf: Dict[int, str] = field(default_factory=dict)
+    default_leaf: Optional[str] = None
+    shaper_horizon_ns: int = 2_000_000_000
+    shaper_granularity_ns: int = 100_000
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural consistency; raises ``ValueError`` on problems."""
+        if not self.nodes:
+            raise ValueError("policy has no nodes")
+        names = [node.name for node in self.nodes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate node names in policy")
+        roots = [node for node in self.nodes if node.parent is None]
+        if len(roots) != 1:
+            raise ValueError(f"policy must have exactly one root, found {len(roots)}")
+        known = set(names)
+        for node in self.nodes:
+            if node.parent is not None and node.parent not in known:
+                raise ValueError(
+                    f"node {node.name!r} references unknown parent {node.parent!r}"
+                )
+        for leaf in self.flow_to_leaf.values():
+            if leaf not in known:
+                raise ValueError(f"flow mapping references unknown leaf {leaf!r}")
+        if self.default_leaf is not None and self.default_leaf not in known:
+            raise ValueError(f"default leaf {self.default_leaf!r} is not a node")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        parents = {node.name: node.parent for node in self.nodes}
+        for name in parents:
+            seen = set()
+            current: Optional[str] = name
+            while current is not None:
+                if current in seen:
+                    raise ValueError(f"cycle detected involving node {current!r}")
+                seen.add(current)
+                current = parents.get(current)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def leaf_names(self) -> List[str]:
+        """Names of nodes that no other node claims as parent."""
+        parents = {node.parent for node in self.nodes if node.parent}
+        return [node.name for node in self.nodes if node.name not in parents]
+
+    def children_of(self, name: str) -> List[PolicyNodeSpec]:
+        """Child specs of node ``name`` in declaration order."""
+        return [node for node in self.nodes if node.parent == name]
+
+    def node(self, name: str) -> PolicyNodeSpec:
+        """Look up a node spec by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"unknown node {name!r}")
+
+    def leaf_for_flow(self, flow_id: int) -> str:
+        """Leaf assigned to ``flow_id`` (mapping, then default, then first leaf)."""
+        leaf = self.flow_to_leaf.get(flow_id)
+        if leaf is not None:
+            return leaf
+        if self.default_leaf is not None:
+            return self.default_leaf
+        leaves = self.leaf_names()
+        if not leaves:
+            raise ValueError("policy has no leaves")
+        return leaves[0]
+
+
+def parse_policy(text: str, name: str = "policy") -> PolicySpec:
+    """Parse a small DOT-like policy description into a :class:`PolicySpec`.
+
+    Grammar (one statement per line, ``#`` comments allowed)::
+
+        root [wfq] [rate=24e9]
+        root -> video  [weight=0.7] [rate=10e6] [strict|wfq|fifo]
+        root -> web    [weight=0.3]
+        video -> live  [weight=0.5] [rate=7e6]
+        pacing 20e9
+
+    The left-hand side of ``->`` must already have been declared (the root is
+    declared by the first bare-name line).
+    """
+    spec = PolicySpec(name=name)
+    declared: Dict[str, PolicyNodeSpec] = {}
+
+    def parse_attributes(tokens: List[str]) -> dict:
+        attributes: dict = {}
+        for token in tokens:
+            token = token.strip("[]")
+            if not token:
+                continue
+            if "=" in token:
+                key, value = token.split("=", 1)
+                attributes[key] = value
+            else:
+                attributes.setdefault("discipline", token)
+        return attributes
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.replace("[", " [").split()
+        if tokens[0] == "pacing":
+            spec.pacing_rate_bps = float(tokens[1])
+            continue
+        if "->" in tokens:
+            arrow = tokens.index("->")
+            parent_name = tokens[arrow - 1]
+            child_name = tokens[arrow + 1]
+            if parent_name not in declared:
+                raise ValueError(f"unknown parent {parent_name!r} in line: {raw_line}")
+            attributes = parse_attributes(tokens[arrow + 2 :])
+            node = PolicyNodeSpec(
+                name=child_name,
+                parent=parent_name,
+                discipline=Discipline(attributes.get("discipline", "fifo")),
+                weight=float(attributes.get("weight", 1.0)),
+                priority=int(attributes.get("priority", 0)),
+                rate_limit_bps=(
+                    float(attributes["rate"]) if "rate" in attributes else None
+                ),
+            )
+            declared[child_name] = node
+            spec.nodes.append(node)
+            continue
+        # Bare declaration: the root node.
+        attributes = parse_attributes(tokens[1:])
+        node = PolicyNodeSpec(
+            name=tokens[0],
+            parent=None,
+            discipline=Discipline(attributes.get("discipline", "fifo")),
+            rate_limit_bps=float(attributes["rate"]) if "rate" in attributes else None,
+        )
+        declared[node.name] = node
+        spec.nodes.append(node)
+
+    spec.validate()
+    return spec
+
+
+__all__ = ["Discipline", "PolicyNodeSpec", "PolicySpec", "parse_policy"]

@@ -1,0 +1,251 @@
+"""Scheduling and shaping transactions — the PIFO model plus Eiffel's extensions.
+
+The PIFO programming model expresses a policy as:
+
+* **scheduling transactions** — a ranking function plus one priority queue;
+* **scheduling trees** — transactions arranged in a hierarchy;
+* **shaping transactions** — rate limits attached to tree nodes.
+
+Eiffel adds two primitives (Section 3.2.1):
+
+* **per-flow ranking** (:class:`PerFlowSchedulingTransaction`) — a single
+  PIFO orders *flows* rather than packets; an incoming packet may change the
+  rank of every packet already enqueued for its flow (e.g. Longest Queue
+  First, Figure 6).
+* **on-dequeue ranking** — the rank of a flow may also be recomputed when a
+  packet *leaves* (e.g. pFabric, Figure 14), which requires relocating the
+  flow inside the PIFO; bucketed queues make that O(1).
+
+Ranking functions receive the mutable :class:`~repro.core.model.packet.FlowState`
+so policy code reads exactly like the paper's snippets
+(``f.rank = f.len`` and friends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .packet import Flow, FlowTable, Packet
+from .pifo import PIFOBlock, QueueFactory, default_queue_factory
+from ..queues import BucketSpec
+
+#: A per-packet ranking function: ``rank = fn(packet, context)``.
+PacketRankFunction = Callable[[Packet, dict], int]
+
+#: A per-flow ranking function: called as ``fn(flow, packet, context)`` and
+#: expected to update ``flow.rank`` (and any other flow state) in place.
+FlowRankFunction = Callable[[Flow, Optional[Packet], dict], None]
+
+
+class SchedulingTransaction:
+    """A per-packet scheduling transaction: rank function + one PIFO.
+
+    This is the unmodified PIFO primitive: the rank of a packet is computed
+    once, on enqueue, and packets already enqueued are never reordered.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rank_function: PacketRankFunction,
+        spec: BucketSpec,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        self.name = name
+        self.rank_function = rank_function
+        self.pifo = PIFOBlock(spec, queue_factory, name=f"{name}.pifo")
+        self.context: dict[str, Any] = {}
+
+    def enqueue(self, packet: Packet) -> int:
+        """Rank ``packet`` and push it; returns the assigned rank."""
+        rank = self.rank_function(packet, self.context)
+        packet.rank = rank
+        self.pifo.push(rank, packet)
+        return rank
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the minimum-rank packet, or ``None`` when empty."""
+        if self.pifo.empty:
+            return None
+        _rank, packet = self.pifo.pop()
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        """The minimum-rank packet without removal, or ``None`` when empty."""
+        if self.pifo.empty:
+            return None
+        _rank, packet = self.pifo.peek()
+        return packet
+
+    def __len__(self) -> int:
+        return len(self.pifo)
+
+    @property
+    def empty(self) -> bool:
+        """True when no packets are enqueued."""
+        return self.pifo.empty
+
+
+class PerFlowSchedulingTransaction:
+    """Eiffel's per-flow primitive with optional on-dequeue re-ranking.
+
+    A single PIFO orders *flow handles* by ``flow.rank``; each flow keeps its
+    packets in FIFO order.  ``on_enqueue`` runs for every arriving packet and
+    ``on_dequeue`` (when provided) for every departing packet; both may update
+    ``flow.rank``, in which case the flow handle is relocated inside the PIFO.
+
+    Args:
+        name: transaction label.
+        on_enqueue: flow ranking function run when a packet arrives.
+        on_dequeue: optional flow ranking function run when a packet departs.
+        spec: bucket layout of the flow-ordering PIFO.
+        queue_factory: backing queue factory (cFFS by default).
+        flow_weight: default weight assigned to newly observed flows.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        on_enqueue: FlowRankFunction,
+        spec: BucketSpec,
+        on_dequeue: Optional[FlowRankFunction] = None,
+        queue_factory: QueueFactory = default_queue_factory,
+        flow_weight: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.on_enqueue = on_enqueue
+        self.on_dequeue = on_dequeue
+        self.flow_weight = flow_weight
+        self.pifo = PIFOBlock(spec, queue_factory, name=f"{name}.flows")
+        self.flows = FlowTable()
+        self.context: dict[str, Any] = {}
+        self._packets = 0
+
+    # -- enqueue ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> Flow:
+        """Add ``packet`` to its flow, re-rank the flow, return the flow."""
+        flow = self.flows.get(packet.flow_id, weight=self.flow_weight)
+        flow.push(packet)
+        self._packets += 1
+        self.on_enqueue(flow, packet, self.context)
+        self.pifo.reinsert(flow, flow.rank)
+        return flow
+
+    # -- dequeue ------------------------------------------------------------------
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the next packet of the minimum-rank flow.
+
+        After the packet leaves, ``on_dequeue`` (if any) re-ranks the flow and
+        the flow handle is either relocated (still backlogged) or removed
+        from the PIFO (drained).
+        """
+        if self.pifo.empty:
+            return None
+        _rank, flow = self.pifo.pop()
+        packet = flow.pop()
+        self._packets -= 1
+        if self.on_dequeue is not None:
+            self.on_dequeue(flow, packet, self.context)
+        if not flow.empty:
+            self.pifo.push(flow.rank, flow)
+        return packet
+
+    def peek_flow(self) -> Optional[Flow]:
+        """The minimum-rank flow, or ``None`` when idle."""
+        if self.pifo.empty:
+            return None
+        _rank, flow = self.pifo.peek()
+        return flow
+
+    def __len__(self) -> int:
+        return self._packets
+
+    @property
+    def empty(self) -> bool:
+        """True when no packets are enqueued across all flows."""
+        return self._packets == 0
+
+    @property
+    def active_flow_count(self) -> int:
+        """Number of flows currently holding packets."""
+        return len(self.pifo)
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """A shaping constraint: a rate in bits/second applied to a policy node.
+
+    ``burst_bytes`` allows an initial credit (token-bucket-like) so the first
+    packet of an idle flow is not delayed.
+    """
+
+    rate_bps: float
+    burst_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.burst_bytes < 0:
+            raise ValueError("burst_bytes must be non-negative")
+
+    def transmission_delay_ns(self, size_bytes: int) -> int:
+        """Nanoseconds needed to serialise ``size_bytes`` at this rate."""
+        return int(size_bytes * 8 / self.rate_bps * 1e9)
+
+
+class ShapingTransaction:
+    """Per-node shaping state: turns a rate limit into packet timestamps.
+
+    The key result Eiffel borrows from Carousel is that *any* rate limit can
+    be expressed as a per-packet transmission timestamp; the transaction
+    therefore only tracks the "next free transmission time" for its node and
+    stamps packets accordingly.  The timestamps from every shaping
+    transaction in a hierarchy feed one shared
+    :class:`~repro.core.model.shaper.DecoupledShaper`.
+    """
+
+    def __init__(self, name: str, limit: RateLimit) -> None:
+        self.name = name
+        self.limit = limit
+        self._next_free_ns = 0
+        self._credit_bytes = limit.burst_bytes
+
+    def stamp(self, packet: Packet, now_ns: int) -> int:
+        """Return the transmission timestamp for ``packet`` at time ``now_ns``.
+
+        Consecutive packets are spaced by their serialisation delay at the
+        configured rate; idle periods reset the spacing to "now".
+        """
+        if self._credit_bytes >= packet.size_bytes:
+            self._credit_bytes -= packet.size_bytes
+            send_at = max(now_ns, self._next_free_ns)
+            self._next_free_ns = send_at
+            return send_at
+        send_at = max(now_ns, self._next_free_ns)
+        self._next_free_ns = send_at + self.limit.transmission_delay_ns(
+            packet.size_bytes
+        )
+        return send_at
+
+    def reset(self, now_ns: int = 0) -> None:
+        """Forget pacing state (used when a node is reconfigured)."""
+        self._next_free_ns = now_ns
+        self._credit_bytes = self.limit.burst_bytes
+
+    @property
+    def next_free_ns(self) -> int:
+        """Earliest time the node can transmit its next packet."""
+        return self._next_free_ns
+
+
+__all__ = [
+    "FlowRankFunction",
+    "PacketRankFunction",
+    "PerFlowSchedulingTransaction",
+    "RateLimit",
+    "SchedulingTransaction",
+    "ShapingTransaction",
+]

@@ -1,0 +1,41 @@
+"""Ready-made scheduling policies built on Eiffel's model primitives."""
+
+from .base import PacketScheduler
+from .fair_queueing import (
+    DeficitRoundRobinScheduler,
+    LongestQueueFirstScheduler,
+    StartTimeFairQueueingScheduler,
+)
+from .hclock import EiffelHClockScheduler, HClockClass, HeapHClockScheduler
+from .pacing import TimestampPacingScheduler
+from .pfabric import (
+    DEFAULT_MAX_REMAINING,
+    EiffelPFabricScheduler,
+    HeapPFabricScheduler,
+)
+from .simple import (
+    EarliestDeadlineFirstScheduler,
+    FIFOScheduler,
+    LeastSlackTimeFirstScheduler,
+    ShortestRemainingTimeFirstScheduler,
+    StrictPriorityScheduler,
+)
+
+__all__ = [
+    "DEFAULT_MAX_REMAINING",
+    "DeficitRoundRobinScheduler",
+    "EarliestDeadlineFirstScheduler",
+    "EiffelHClockScheduler",
+    "EiffelPFabricScheduler",
+    "FIFOScheduler",
+    "HClockClass",
+    "HeapHClockScheduler",
+    "HeapPFabricScheduler",
+    "LeastSlackTimeFirstScheduler",
+    "LongestQueueFirstScheduler",
+    "PacketScheduler",
+    "ShortestRemainingTimeFirstScheduler",
+    "StartTimeFairQueueingScheduler",
+    "StrictPriorityScheduler",
+    "TimestampPacingScheduler",
+]

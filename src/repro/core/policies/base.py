@@ -1,0 +1,66 @@
+"""Common interface for the ready-made scheduling policies.
+
+Every policy exposes the same minimal surface so substrates (kernel qdisc,
+BESS module, network simulator) and benchmarks can drive any of them
+interchangeably:
+
+* ``enqueue(packet, now_ns)`` — admit a packet;
+* ``dequeue(now_ns)`` — return the next packet to transmit, or ``None`` when
+  nothing is eligible (either empty or gated by shaping);
+* ``next_event_ns()`` — earliest time at which a currently gated packet
+  becomes eligible (``None`` when nothing is pending), used to program
+  timers;
+* ``pending`` / ``empty`` — backlog introspection.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..model.packet import Packet
+
+
+class PacketScheduler(abc.ABC):
+    """Abstract base class for packet scheduling policies."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        """Admit ``packet`` at time ``now_ns``."""
+
+    @abc.abstractmethod
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        """Return the next eligible packet, or ``None``."""
+
+    @property
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of packets currently held."""
+
+    @property
+    def empty(self) -> bool:
+        """True when no packets are held."""
+        return self.pending == 0
+
+    def next_event_ns(self) -> Optional[int]:
+        """Earliest future time at which a gated packet becomes eligible.
+
+        Work-conserving policies return ``None``: whatever is queued is
+        already eligible.
+        """
+        return None
+
+    def dequeue_due(self, now_ns: int = 0, limit: Optional[int] = None) -> List[Packet]:
+        """Drain every currently eligible packet (up to ``limit``)."""
+        drained: List[Packet] = []
+        while limit is None or len(drained) < limit:
+            packet = self.dequeue(now_ns)
+            if packet is None:
+                break
+            drained.append(packet)
+        return drained
+
+
+__all__ = ["PacketScheduler"]

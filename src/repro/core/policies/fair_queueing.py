@@ -1,0 +1,203 @@
+"""Per-flow fair-queueing policies: SFQ/WFQ, DRR and Longest Queue First.
+
+These exercise Eiffel's per-flow primitive: a single flow-ordering PIFO plus
+per-flow FIFOs, with ranks updated on enqueue (and, for LQF, on dequeue too —
+the paper's Figure 6 example).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from .base import PacketScheduler
+from ..model.packet import Flow, FlowTable, Packet
+from ..model.pifo import QueueFactory, default_queue_factory
+from ..model.transactions import PerFlowSchedulingTransaction
+from ..queues import BucketSpec
+
+
+class StartTimeFairQueueingScheduler(PacketScheduler):
+    """Start-time fair queueing (the practical WFQ approximation).
+
+    Every flow tracks a virtual finish time advanced by
+    ``packet_bytes / weight``; the flow's rank is its next packet's virtual
+    start time.  Weights default to 1.0 and may be set per flow with
+    :meth:`set_weight`.
+    """
+
+    name = "sfq"
+
+    def __init__(
+        self,
+        buckets: int = 16_384,
+        quantum_bytes: int = 100,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        if quantum_bytes <= 0:
+            raise ValueError("quantum_bytes must be positive")
+        self.quantum_bytes = quantum_bytes
+        self._weights: Dict[int, float] = {}
+        self._virtual_time = 0
+
+        def on_enqueue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            weight = self._weights.get(flow.flow_id, flow.state.weight)
+            finish = flow.state.extra.get("finish_vt", 0)
+            start = max(self._virtual_time, finish)
+            assert packet is not None
+            increment = max(1, int(packet.size_bytes / weight / self.quantum_bytes))
+            flow.state.extra["finish_vt"] = start + increment
+            if flow.state.backlog_packets == 1:
+                # Newly backlogged flow: its rank is its start tag.
+                flow.rank = start
+
+        def on_dequeue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            self._virtual_time = max(
+                self._virtual_time, flow.rank
+            )
+            head = flow.front()
+            if head is not None:
+                weight = self._weights.get(flow.flow_id, flow.state.weight)
+                increment = max(1, int(head.size_bytes / weight / self.quantum_bytes))
+                flow.rank = flow.state.extra.get("finish_vt", 0) - increment
+
+        self._transaction = PerFlowSchedulingTransaction(
+            "sfq",
+            on_enqueue,
+            BucketSpec(num_buckets=buckets),
+            on_dequeue=on_dequeue,
+            queue_factory=queue_factory,
+        )
+
+    def set_weight(self, flow_id: int, weight: float) -> None:
+        """Configure the fair-share weight of ``flow_id``."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[flow_id] = weight
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+    @property
+    def active_flows(self) -> int:
+        """Flows with at least one queued packet."""
+        return self._transaction.active_flow_count
+
+
+class LongestQueueFirstScheduler(PacketScheduler):
+    """Longest Queue First — the paper's Figure 6 example, verbatim.
+
+    The flow rank is (the negation of) its backlog so the most backlogged
+    flow dequeues first; both enqueue and dequeue re-rank the flow, which is
+    exactly the pair of primitives Eiffel adds to the PIFO model.
+    """
+
+    name = "lqf"
+
+    def __init__(
+        self,
+        max_backlog: int = 65_536,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        self.max_backlog = max_backlog
+
+        def rank_from_length(flow: Flow) -> int:
+            # Longer queues must dequeue first; integer ranks are
+            # min-ordered, so invert the backlog against the maximum.
+            return max(0, self.max_backlog - flow.state.backlog_packets)
+
+        def on_enqueue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            flow.rank = rank_from_length(flow)
+
+        def on_dequeue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            flow.rank = rank_from_length(flow)
+
+        self._transaction = PerFlowSchedulingTransaction(
+            "lqf",
+            on_enqueue,
+            BucketSpec(num_buckets=max_backlog),
+            on_dequeue=on_dequeue,
+            queue_factory=queue_factory,
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+class DeficitRoundRobinScheduler(PacketScheduler):
+    """Deficit Round Robin over active flows.
+
+    DRR is not rank-based (it is a list-walking algorithm), so it does not
+    use a PIFO; it is included as a classical fair-queueing baseline for the
+    policy test-suite and the ablation benchmarks.
+    """
+
+    name = "drr"
+
+    def __init__(self, quantum_bytes: int = 1500) -> None:
+        if quantum_bytes <= 0:
+            raise ValueError("quantum_bytes must be positive")
+        self.quantum_bytes = quantum_bytes
+        self._flows = FlowTable()
+        self._active: Deque[int] = deque()
+        self._deficits: Dict[int, int] = {}
+        self._pending = 0
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        flow = self._flows.get(packet.flow_id)
+        was_empty = flow.empty
+        flow.push(packet)
+        self._pending += 1
+        if was_empty:
+            self._active.append(packet.flow_id)
+            self._deficits.setdefault(packet.flow_id, 0)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        if self._pending == 0:
+            return None
+        # Walk the active list, topping up deficits, until some flow's deficit
+        # covers its head packet.  Each full pass adds one quantum to every
+        # visited flow, so the loop terminates for any finite packet size.
+        while True:
+            flow_id = self._active[0]
+            flow = self._flows.get(flow_id)
+            head = flow.front()
+            if head is None:
+                self._active.popleft()
+                continue
+            if self._deficits[flow_id] < head.size_bytes:
+                self._deficits[flow_id] += self.quantum_bytes
+                self._active.rotate(-1)
+                continue
+            self._deficits[flow_id] -= head.size_bytes
+            packet = flow.pop()
+            self._pending -= 1
+            if flow.empty:
+                self._active.popleft()
+                self._deficits[flow_id] = 0
+            return packet
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+
+__all__ = [
+    "DeficitRoundRobinScheduler",
+    "LongestQueueFirstScheduler",
+    "StartTimeFairQueueingScheduler",
+]

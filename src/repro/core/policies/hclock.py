@@ -1,0 +1,358 @@
+"""hClock — hierarchical QoS with reservations, limits and shares (Use Case 2).
+
+hClock (Billaud & Gulati, EuroSys'13) gives every flow (traffic class) three
+controls:
+
+* **reservation** — a guaranteed minimum rate;
+* **limit** — a hard maximum rate;
+* **share** (weight) — how spare capacity is divided.
+
+The Eiffel formulation (Figure 11) keeps three per-flow tags advanced by
+``packet_size / parameter``:
+
+* ``r_rank`` — reservation tag (a timestamp: while it lags behind real time
+  the flow has not yet received its reserved rate and is served first);
+* ``l_rank`` — limit tag (a timestamp: while it is in the future the flow has
+  exceeded its limit and is ineligible);
+* ``s_rank`` — share tag (a virtual time used to divide spare capacity in
+  proportion to weights).
+
+The paper's pseudo-code advances the tags on enqueue; this implementation
+advances them when a packet is *served* (the service-time formulation of the
+original hClock), which yields the same per-packet number of queue
+relocations while making the enforced rates exact — what the behavioural
+tests check.  Dequeue at time ``now``: first any flow whose ``r_rank <= now``
+(reservation not yet met), otherwise the smallest ``s_rank`` among flows with
+``l_rank <= now``.  If every backlogged flow is limit-bound the scheduler
+returns nothing (non-work-conserving), as hClock requires.
+
+Two implementations share this logic:
+
+* :class:`EiffelHClockScheduler` — flows indexed by bucketed integer queues
+  (cFFS), every tag update is an O(1) relocation (the Figure 12 "Eiffel"
+  series).
+* :class:`HeapHClockScheduler` — flows kept in binary min-heaps re-heapified
+  on every tag change (the Figure 12 "hClock" baseline).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import PacketScheduler
+from ..model.packet import Flow, FlowTable, Packet
+from ..model.pifo import PIFOBlock, QueueFactory, default_queue_factory
+from ..queues import BucketSpec
+
+
+@dataclass
+class HClockClass:
+    """Static configuration of one hClock traffic class (flow).
+
+    Attributes:
+        reservation_bps: guaranteed rate (0 disables the reservation).
+        limit_bps: maximum rate (``None`` means unlimited).
+        share: relative weight for spare capacity.
+    """
+
+    reservation_bps: float = 0.0
+    limit_bps: Optional[float] = None
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reservation_bps < 0:
+            raise ValueError("reservation_bps must be non-negative")
+        if self.limit_bps is not None and self.limit_bps <= 0:
+            raise ValueError("limit_bps must be positive when set")
+        if self.share <= 0:
+            raise ValueError("share must be positive")
+
+
+class _HClockBase(PacketScheduler):
+    """Shared tag arithmetic for both hClock implementations."""
+
+    #: Virtual-time scale of the share tag (ns of virtual service per bit
+    #: at share 1.0); keeps share ranks in an integer range a bucketed queue
+    #: can index.
+    SHARE_SCALE_BPS = 1e9
+
+    def __init__(self, default_class: Optional[HClockClass] = None) -> None:
+        self.classes: Dict[int, HClockClass] = {}
+        self.default_class = default_class or HClockClass()
+        self._flows = FlowTable()
+        self._pending = 0
+
+    # -- class configuration --------------------------------------------------------
+
+    def configure_class(self, flow_id: int, config: HClockClass) -> None:
+        """Set the reservation/limit/share parameters of a traffic class."""
+        self.classes[flow_id] = config
+
+    def class_of(self, flow_id: int) -> HClockClass:
+        """Parameters of ``flow_id`` (the default class when unconfigured)."""
+        return self.classes.get(flow_id, self.default_class)
+
+    # -- tag maintenance ---------------------------------------------------------------
+
+    def _init_tags(self, flow: Flow, now_ns: int) -> None:
+        """Initialise tags when a flow becomes backlogged."""
+        config = self.class_of(flow.flow_id)
+        extra = flow.state.extra
+        if config.reservation_bps > 0:
+            extra.setdefault("r_rank", now_ns)
+            extra["r_rank"] = max(extra["r_rank"], now_ns)
+        else:
+            extra["r_rank"] = None
+        extra.setdefault("l_rank", now_ns)
+        extra["l_rank"] = max(extra["l_rank"], now_ns) if config.limit_bps else 0
+        extra.setdefault("s_rank", 0)
+
+    def _advance_tags_on_service(
+        self, flow: Flow, packet: Packet, now_ns: int
+    ) -> None:
+        """Advance the three tags after ``packet`` was served (Figure 11)."""
+        config = self.class_of(flow.flow_id)
+        extra = flow.state.extra
+        bits = packet.size_bits
+        if config.reservation_bps > 0 and extra.get("r_rank") is not None:
+            extra["r_rank"] = max(extra["r_rank"], now_ns) + int(
+                bits / config.reservation_bps * 1e9
+            )
+        if config.limit_bps is not None:
+            extra["l_rank"] = max(extra["l_rank"], now_ns) + int(
+                bits / config.limit_bps * 1e9
+            )
+        extra["s_rank"] = extra.get("s_rank", 0) + int(
+            bits / (config.share * self.SHARE_SCALE_BPS) * 1e9
+        )
+
+    def _flow_eligible_by_limit(self, flow: Flow, now_ns: int) -> bool:
+        limit_tag = flow.state.extra.get("l_rank", 0)
+        return limit_tag <= now_ns
+
+    def _flow_reservation_due(self, flow: Flow, now_ns: int) -> bool:
+        reservation_tag = flow.state.extra.get("r_rank")
+        return reservation_tag is not None and reservation_tag <= now_ns
+
+    # -- shared introspection --------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def active_flows(self) -> int:
+        """Flows with queued packets."""
+        return len(self._flows.active_flows())
+
+    def next_event_ns(self) -> Optional[int]:
+        """Earliest limit tag among backlogged flows (None when idle)."""
+        candidates = [
+            flow.state.extra.get("l_rank", 0) for flow in self._flows.active_flows()
+        ]
+        if not candidates:
+            return None
+        return min(candidates)
+
+
+class EiffelHClockScheduler(_HClockBase):
+    """hClock on Eiffel's bucketed queues (the Figure 12 "Eiffel" series).
+
+    Two PIFOs are maintained: one ordering flows by reservation tag and one
+    by share tag.  Both are backed by cFFS queues, so tag updates relocate a
+    flow in O(1) and dequeue is an O(1) extract-min plus eligibility checks.
+    """
+
+    name = "hclock_eiffel"
+
+    def __init__(
+        self,
+        default_class: Optional[HClockClass] = None,
+        buckets: int = 32_768,
+        tag_granularity_ns: int = 10_000,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        super().__init__(default_class)
+        reservation_spec = BucketSpec(
+            num_buckets=buckets, granularity=tag_granularity_ns
+        )
+        share_spec = BucketSpec(num_buckets=buckets, granularity=tag_granularity_ns)
+        self._reservation_pifo = PIFOBlock(
+            reservation_spec, queue_factory, name="hclock.reservation"
+        )
+        self._share_pifo = PIFOBlock(share_spec, queue_factory, name="hclock.shares")
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        flow = self._flows.get(packet.flow_id)
+        newly_backlogged = flow.empty
+        flow.push(packet)
+        self._pending += 1
+        if newly_backlogged:
+            self._init_tags(flow, now_ns)
+            extra = flow.state.extra
+            if extra.get("r_rank") is not None:
+                self._reservation_pifo.reinsert(flow, extra["r_rank"])
+            self._share_pifo.reinsert(flow, extra["s_rank"])
+
+    def _serve(self, flow: Flow, now_ns: int) -> Packet:
+        packet = flow.pop()
+        self._pending -= 1
+        self._advance_tags_on_service(flow, packet, now_ns)
+        extra = flow.state.extra
+        if flow.empty:
+            self._reservation_pifo.remove(flow)
+            self._share_pifo.remove(flow)
+        else:
+            if extra.get("r_rank") is not None:
+                self._reservation_pifo.reinsert(flow, extra["r_rank"])
+            self._share_pifo.reinsert(flow, extra["s_rank"])
+        return packet
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        if self._pending == 0:
+            return None
+        # 1) Reservations first: serve a flow whose reservation tag is due.
+        while not self._reservation_pifo.empty:
+            tag = self._reservation_pifo.min_rank()
+            if tag is None or tag > now_ns:
+                break
+            _rank, flow = self._reservation_pifo.peek()
+            if flow.empty:
+                self._reservation_pifo.pop()
+                continue
+            return self._serve(flow, now_ns)
+        # 2) Spare capacity by shares, respecting limits: scan flows in share
+        #    order, skipping (and restoring) limit-bound flows.
+        skipped: List[tuple[int, Flow]] = []
+        selected: Optional[Flow] = None
+        while not self._share_pifo.empty:
+            rank, flow = self._share_pifo.pop()
+            if flow.empty:
+                continue
+            if self._flow_eligible_by_limit(flow, now_ns):
+                selected = flow
+                break
+            skipped.append((rank, flow))
+        for rank, flow in skipped:
+            self._share_pifo.push(rank, flow)
+        if selected is None:
+            return None
+        # _serve reinserts the selected flow at its advanced share tag.
+        return self._serve(selected, now_ns)
+
+
+class HeapHClockScheduler(_HClockBase):
+    """hClock baseline with binary min-heaps (the Figure 12 "hClock" series).
+
+    Tag updates append/update heap entries and re-heapify, matching the
+    original min-heap implementation's per-packet heap maintenance cost.
+    ``heap_operations`` counts element moves for the CPU cost model.
+    """
+
+    name = "hclock_heap"
+
+    def __init__(self, default_class: Optional[HClockClass] = None) -> None:
+        super().__init__(default_class)
+        self._reservation_heap: List[List] = []
+        self._share_heap: List[List] = []
+        self._reservation_entries: Dict[int, List] = {}
+        self._share_entries: Dict[int, List] = {}
+        self.heap_operations = 0
+
+    # -- heap maintenance -------------------------------------------------------------
+
+    def _update_heap(
+        self, heap: List[List], entries: Dict[int, List], flow: Flow, tag: int
+    ) -> None:
+        entry = entries.get(flow.flow_id)
+        if entry is None:
+            # New flow: a plain O(log n) push.
+            entry = [tag, flow.flow_id, flow]
+            entries[flow.flow_id] = entry
+            heapq.heappush(heap, entry)
+            self.heap_operations += max(1, len(heap).bit_length())
+        else:
+            # Updating an arbitrary element's tag needs a heap rebuild.
+            entry[0] = tag
+            heapq.heapify(heap)
+            self.heap_operations += max(1, len(heap))
+
+    def _drop_from_heap(
+        self, heap: List[List], entries: Dict[int, List], flow_id: int
+    ) -> None:
+        entry = entries.pop(flow_id, None)
+        if entry is None:
+            return
+        heap.remove(entry)
+        heapq.heapify(heap)
+        self.heap_operations += max(1, len(heap))
+
+    # -- scheduler interface ---------------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        flow = self._flows.get(packet.flow_id)
+        newly_backlogged = flow.empty
+        flow.push(packet)
+        self._pending += 1
+        if newly_backlogged:
+            self._init_tags(flow, now_ns)
+            extra = flow.state.extra
+            if extra.get("r_rank") is not None:
+                self._update_heap(
+                    self._reservation_heap,
+                    self._reservation_entries,
+                    flow,
+                    extra["r_rank"],
+                )
+            self._update_heap(
+                self._share_heap, self._share_entries, flow, extra["s_rank"]
+            )
+
+    def _serve(self, flow: Flow, now_ns: int) -> Packet:
+        packet = flow.pop()
+        self._pending -= 1
+        self._advance_tags_on_service(flow, packet, now_ns)
+        extra = flow.state.extra
+        if flow.empty:
+            self._drop_from_heap(
+                self._reservation_heap, self._reservation_entries, flow.flow_id
+            )
+            self._drop_from_heap(self._share_heap, self._share_entries, flow.flow_id)
+        else:
+            if extra.get("r_rank") is not None:
+                self._update_heap(
+                    self._reservation_heap,
+                    self._reservation_entries,
+                    flow,
+                    extra["r_rank"],
+                )
+            self._update_heap(
+                self._share_heap, self._share_entries, flow, extra["s_rank"]
+            )
+        return packet
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        if self._pending == 0:
+            return None
+        if self._reservation_heap:
+            tag, _flow_id, flow = self._reservation_heap[0]
+            if tag <= now_ns and not flow.empty:
+                return self._serve(flow, now_ns)
+        # Fast path: the share-heap minimum is usually eligible.
+        if self._share_heap:
+            _tag, _flow_id, flow = self._share_heap[0]
+            if not flow.empty and self._flow_eligible_by_limit(flow, now_ns):
+                return self._serve(flow, now_ns)
+        # Slow path: scan the share heap in tag order for an eligible flow.
+        for tag, _flow_id, flow in sorted(self._share_heap):
+            self.heap_operations += 1
+            if flow.empty:
+                continue
+            if self._flow_eligible_by_limit(flow, now_ns):
+                return self._serve(flow, now_ns)
+        return None
+
+
+__all__ = ["EiffelHClockScheduler", "HClockClass", "HeapHClockScheduler"]

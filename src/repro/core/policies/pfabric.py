@@ -1,0 +1,191 @@
+"""pFabric host scheduling — Use Case 3 (Section 5.1.3, Figures 14 and 15).
+
+pFabric orders *flows* by their remaining size: the flow with the fewest
+remaining packets transmits first (an SRTF approximation shown to be
+near-optimal for flow completion times).  Every arriving and departing packet
+changes the flow's remaining size, so the flow's position must be updated on
+both enqueue and dequeue — exactly the pair of primitives Eiffel adds to the
+PIFO model (Figure 14)::
+
+    # On enqueue of packet p of flow f:
+    f.rank = min(p.rank, f.rank)
+    # On dequeue of packet p of flow f:
+    f.rank = min(p.rank, f.front().rank)
+
+Two implementations are provided:
+
+* :class:`EiffelPFabricScheduler` — a per-flow transaction over a bucketed
+  integer queue (cFFS by default); moving a flow between buckets is O(1).
+* :class:`HeapPFabricScheduler` — the Figure 15 baseline: flows live in a
+  binary heap keyed by rank, and every rank change re-heapifies the whole
+  heap (the O(n) cost the paper attributes to the baseline).
+
+Packets carry their rank in ``metadata['remaining_packets']`` (set by the
+traffic generator or transport); when absent, the scheduler falls back to
+counting the flow's own backlog, which yields SRPT-of-backlog behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from .base import PacketScheduler
+from ..model.packet import Flow, FlowTable, Packet
+from ..model.pifo import QueueFactory, default_queue_factory
+from ..model.transactions import PerFlowSchedulingTransaction
+from ..queues import BucketSpec
+
+#: Default cap on the rank range (remaining packets per flow).
+DEFAULT_MAX_REMAINING = 1 << 20
+
+
+def _packet_rank(packet: Packet, flow: Flow, max_remaining: int) -> int:
+    """Rank carried by ``packet``: remaining packets of its flow."""
+    remaining = packet.metadata.get("remaining_packets")
+    if remaining is None:
+        remaining = flow.state.backlog_packets
+    return min(int(remaining), max_remaining - 1)
+
+
+class EiffelPFabricScheduler(PacketScheduler):
+    """pFabric using Eiffel's per-flow + on-dequeue primitives (Figure 14)."""
+
+    name = "pfabric_eiffel"
+
+    def __init__(
+        self,
+        max_remaining: int = DEFAULT_MAX_REMAINING,
+        queue_factory: QueueFactory = default_queue_factory,
+        buckets: Optional[int] = None,
+    ) -> None:
+        self.max_remaining = max_remaining
+        num_buckets = buckets if buckets is not None else min(max_remaining, 1 << 17)
+
+        def on_enqueue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            assert packet is not None
+            rank = _packet_rank(packet, flow, self.max_remaining)
+            if flow.state.backlog_packets == 1:
+                flow.rank = rank
+            else:
+                flow.rank = min(rank, flow.rank)
+
+        def on_dequeue(flow: Flow, packet: Optional[Packet], context: dict) -> None:
+            head = flow.front()
+            if head is None:
+                return
+            assert packet is not None
+            head_rank = _packet_rank(head, flow, self.max_remaining)
+            packet_rank = _packet_rank(packet, flow, self.max_remaining)
+            flow.rank = min(packet_rank, head_rank)
+
+        self._transaction = PerFlowSchedulingTransaction(
+            "pfabric",
+            on_enqueue,
+            BucketSpec(num_buckets=num_buckets, granularity=max(1, max_remaining // num_buckets)),
+            on_dequeue=on_dequeue,
+            queue_factory=queue_factory,
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently holding packets."""
+        return self._transaction.active_flow_count
+
+
+class HeapPFabricScheduler(PacketScheduler):
+    """pFabric baseline: flows kept in a binary heap, re-heapified on change.
+
+    The heap holds ``(rank, flow_id)`` pairs.  Because a binary heap cannot
+    relocate an arbitrary element, any rank change rebuilds the heap —
+    an O(n) cost per packet that grows with the number of active flows, which
+    is what makes the baseline fall off in Figure 15.
+    """
+
+    name = "pfabric_heap"
+
+    def __init__(self, max_remaining: int = DEFAULT_MAX_REMAINING) -> None:
+        self.max_remaining = max_remaining
+        self._flows = FlowTable()
+        self._heap: List[List] = []  # entries are [rank, flow_id]
+        self._entries: Dict[int, List] = {}
+        self._pending = 0
+        #: Number of heap element moves performed (for cost accounting).
+        self.heap_operations = 0
+
+    # -- heap maintenance ---------------------------------------------------------
+
+    def _set_flow_rank(self, flow: Flow, rank: int) -> None:
+        entry = self._entries.get(flow.flow_id)
+        if entry is None:
+            # A new flow is a plain O(log n) heap push.
+            entry = [rank, flow.flow_id]
+            self._entries[flow.flow_id] = entry
+            heapq.heappush(self._heap, entry)
+            self.heap_operations += max(1, len(self._heap).bit_length())
+        else:
+            # Changing the rank of an arbitrary element requires rebuilding
+            # the heap — the O(n) cost the paper attributes to the baseline.
+            entry[0] = rank
+            heapq.heapify(self._heap)
+            self.heap_operations += max(1, len(self._heap))
+
+    def _remove_flow(self, flow_id: int) -> None:
+        entry = self._entries.pop(flow_id, None)
+        if entry is None:
+            return
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        self.heap_operations += max(1, len(self._heap))
+
+    # -- scheduler interface ---------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        flow = self._flows.get(packet.flow_id)
+        flow.push(packet)
+        self._pending += 1
+        rank = _packet_rank(packet, flow, self.max_remaining)
+        if flow.state.backlog_packets == 1:
+            flow.rank = rank
+        else:
+            flow.rank = min(rank, flow.rank)
+        self._set_flow_rank(flow, flow.rank)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        if self._pending == 0:
+            return None
+        rank, flow_id = self._heap[0]
+        flow = self._flows.get(flow_id)
+        packet = flow.pop()
+        self._pending -= 1
+        head = flow.front()
+        if head is None:
+            self._remove_flow(flow_id)
+        else:
+            head_rank = _packet_rank(head, flow, self.max_remaining)
+            packet_rank = _packet_rank(packet, flow, self.max_remaining)
+            flow.rank = min(packet_rank, head_rank)
+            self._set_flow_rank(flow, flow.rank)
+        return packet
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def active_flows(self) -> int:
+        """Flows currently holding packets."""
+        return len(self._entries)
+
+
+__all__ = ["EiffelPFabricScheduler", "HeapPFabricScheduler", "DEFAULT_MAX_REMAINING"]

@@ -1,0 +1,226 @@
+"""Simple per-packet policies: FIFO, strict priority, EDF, LSTF, SRTF.
+
+These policies rank each packet individually on enqueue (the original PIFO
+feature set).  They are included both as usable schedulers and as the
+vocabulary the paper uses when discussing rank ranges: strict priority has a
+handful of levels, EDF/LSTF ranks are timestamps over a moving range, SRTF
+ranks are flow sizes over a fixed range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import PacketScheduler
+from ..model.packet import Packet
+from ..model.pifo import QueueFactory, default_queue_factory
+from ..model.transactions import SchedulingTransaction
+from ..queues import BucketSpec
+
+
+class FIFOScheduler(PacketScheduler):
+    """Plain first-in-first-out (rank = arrival sequence)."""
+
+    name = "fifo"
+
+    def __init__(
+        self,
+        buckets: int = 4096,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        self._sequence = 0
+
+        def rank(packet: Packet, context: dict) -> int:
+            self._sequence += 1
+            return self._sequence
+
+        self._transaction = SchedulingTransaction(
+            "fifo", rank, BucketSpec(num_buckets=buckets), queue_factory
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+class StrictPriorityScheduler(PacketScheduler):
+    """Strict priority over ``levels`` classes (lower class dequeues first).
+
+    The packet's class is read from ``packet.priority_class``; ties within a
+    class keep FIFO order.
+    """
+
+    name = "strict_priority"
+
+    def __init__(
+        self,
+        levels: int = 8,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        self.levels = levels
+
+        def rank(packet: Packet, context: dict) -> int:
+            if not 0 <= packet.priority_class < self.levels:
+                raise ValueError(
+                    f"priority_class {packet.priority_class} outside [0, {self.levels})"
+                )
+            return packet.priority_class
+
+        self._transaction = SchedulingTransaction(
+            "strict", rank, BucketSpec(num_buckets=levels), queue_factory
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+class EarliestDeadlineFirstScheduler(PacketScheduler):
+    """Earliest Deadline First: rank = absolute deadline (ns).
+
+    Deadlines are read from ``packet.metadata['deadline_ns']``; packets
+    without a deadline rank last within the horizon.
+    """
+
+    name = "edf"
+
+    def __init__(
+        self,
+        horizon_ns: int = 1_000_000_000,
+        granularity_ns: int = 1_000,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        self.horizon_ns = horizon_ns
+        buckets = max(1, horizon_ns // granularity_ns)
+
+        def rank(packet: Packet, context: dict) -> int:
+            deadline = packet.metadata.get("deadline_ns")
+            if deadline is None:
+                deadline = context.get("now_ns", 0) + horizon_ns
+            return int(deadline)
+
+        self._transaction = SchedulingTransaction(
+            "edf",
+            rank,
+            BucketSpec(num_buckets=buckets, granularity=granularity_ns),
+            queue_factory,
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.context["now_ns"] = now_ns
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+class LeastSlackTimeFirstScheduler(PacketScheduler):
+    """Least Slack Time First (the universal packet scheduler of Mittal et al.).
+
+    Slack = deadline − now − remaining processing time.  The rank is the
+    packet's slack at enqueue time, quantised to the queue granularity;
+    smaller slack is served first.
+    """
+
+    name = "lstf"
+
+    def __init__(
+        self,
+        max_slack_ns: int = 1_000_000_000,
+        granularity_ns: int = 1_000,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        self.max_slack_ns = max_slack_ns
+        buckets = max(1, max_slack_ns // granularity_ns)
+
+        def rank(packet: Packet, context: dict) -> int:
+            slack = packet.metadata.get("slack_ns")
+            if slack is None:
+                deadline = packet.metadata.get("deadline_ns", 0)
+                slack = max(0, deadline - context.get("now_ns", 0))
+            return min(int(slack), max_slack_ns - 1)
+
+        self._transaction = SchedulingTransaction(
+            "lstf",
+            rank,
+            BucketSpec(num_buckets=buckets, granularity=granularity_ns),
+            queue_factory,
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.context["now_ns"] = now_ns
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+class ShortestRemainingTimeFirstScheduler(PacketScheduler):
+    """SRTF on a per-packet basis: rank = remaining flow bytes at enqueue.
+
+    This is the per-packet flavour used inside pFabric switches: each packet
+    carries its flow's remaining size and switches serve the smallest first.
+    """
+
+    name = "srtf"
+
+    def __init__(
+        self,
+        max_flow_bytes: int = 10_000_000,
+        granularity_bytes: int = 1500,
+        queue_factory: QueueFactory = default_queue_factory,
+    ) -> None:
+        buckets = max(1, max_flow_bytes // granularity_bytes)
+        self.max_flow_bytes = max_flow_bytes
+
+        def rank(packet: Packet, context: dict) -> int:
+            remaining = packet.metadata.get("remaining_bytes", max_flow_bytes - 1)
+            return min(int(remaining), max_flow_bytes - 1)
+
+        self._transaction = SchedulingTransaction(
+            "srtf",
+            rank,
+            BucketSpec(num_buckets=buckets, granularity=granularity_bytes),
+            queue_factory,
+        )
+
+    def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
+        self._transaction.enqueue(packet)
+
+    def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
+        return self._transaction.dequeue()
+
+    @property
+    def pending(self) -> int:
+        return len(self._transaction)
+
+
+__all__ = [
+    "EarliestDeadlineFirstScheduler",
+    "FIFOScheduler",
+    "LeastSlackTimeFirstScheduler",
+    "ShortestRemainingTimeFirstScheduler",
+    "StrictPriorityScheduler",
+]

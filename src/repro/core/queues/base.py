@@ -1,0 +1,202 @@
+"""Common interfaces for Eiffel's bucketed integer priority queues.
+
+The paper's central observation (Section 2) is that packet ranks are
+integers that, at any point in time, fall within a limited range of values.
+All queues in this package therefore share the same contract:
+
+* elements are enqueued with an integer *priority* (rank),
+* elements with the same priority are kept in FIFO order inside a bucket,
+* ``extract_min`` / ``peek_min`` return the element with the smallest rank,
+* a queue may optionally support a *moving range* of priorities (circular
+  queues), in which case priorities ahead of the current window are accepted
+  and buffered rather than rejected.
+
+Every queue also records an :class:`~repro.cpu.cost_model.CycleAccount`-style
+operation trace through lightweight counters in :class:`QueueStats`, so the
+benchmark harness can compare both wall-clock time and modelled CPU cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class QueueError(Exception):
+    """Base class for queue-related errors."""
+
+
+class EmptyQueueError(QueueError):
+    """Raised when extracting from an empty queue."""
+
+
+class PriorityOutOfRangeError(QueueError):
+    """Raised when a priority cannot be represented by the queue."""
+
+
+@dataclass
+class QueueStats:
+    """Operation counters shared by all queue implementations.
+
+    The counters are intentionally cheap (plain integer increments) and map
+    one-to-one onto the abstract operations charged by the CPU cost model:
+
+    * ``enqueues`` / ``dequeues`` — element-level operations.
+    * ``bucket_lookups`` — direct bucket index computations (the O(1) part).
+    * ``word_scans`` — FFS word reads (bitmap words examined).
+    * ``divisions`` — algebraic critical-point computations (gradient queue).
+    * ``linear_scans`` — buckets touched during linear fallback search.
+    * ``heap_operations`` — sift-up/down steps in comparison baselines.
+    * ``rotations`` — primary/secondary swaps in circular queues.
+    """
+
+    enqueues: int = 0
+    dequeues: int = 0
+    bucket_lookups: int = 0
+    word_scans: int = 0
+    divisions: int = 0
+    linear_scans: int = 0
+    heap_operations: int = 0
+    rotations: int = 0
+    overflow_enqueues: int = 0
+    selection_errors: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain-dict snapshot of the counters."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def merge(self, other: "QueueStats") -> None:
+        """Accumulate the counters of ``other`` into this instance."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """Describes the bucket layout of an integer priority queue.
+
+    Attributes:
+        num_buckets: number of buckets (``N`` in the paper).
+        granularity: priority units covered by one bucket (``C/N``).
+        base_priority: smallest priority covered by bucket 0.
+    """
+
+    num_buckets: int
+    granularity: int = 1
+    base_priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+
+    @property
+    def horizon(self) -> int:
+        """Total priority range covered by the bucket array."""
+        return self.num_buckets * self.granularity
+
+    def bucket_for(self, priority: int) -> int:
+        """Map an absolute priority to a bucket index (may be out of range)."""
+        return (priority - self.base_priority) // self.granularity
+
+    def priority_floor(self, bucket: int) -> int:
+        """Smallest absolute priority represented by ``bucket``."""
+        return self.base_priority + bucket * self.granularity
+
+    def contains(self, priority: int) -> bool:
+        """True when ``priority`` falls inside the covered range."""
+        offset = priority - self.base_priority
+        return 0 <= offset < self.horizon
+
+
+class IntegerPriorityQueue(abc.ABC):
+    """Abstract bucketed integer priority queue.
+
+    Concrete implementations differ only in how they locate the minimum
+    non-empty bucket; bucket storage (FIFO lists) and range checking are
+    shared here.
+    """
+
+    def __init__(self, spec: BucketSpec) -> None:
+        self.spec = spec
+        self.stats = QueueStats()
+        self._size = 0
+
+    # -- abstract surface -------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue(self, priority: int, item: Any) -> None:
+        """Insert ``item`` with the given integer ``priority``."""
+
+    @abc.abstractmethod
+    def extract_min(self) -> tuple[int, Any]:
+        """Remove and return ``(priority, item)`` for the smallest priority.
+
+        Raises:
+            EmptyQueueError: when the queue holds no elements.
+        """
+
+    @abc.abstractmethod
+    def peek_min(self) -> tuple[int, Any]:
+        """Return ``(priority, item)`` of the minimum element without removal."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def empty(self) -> bool:
+        """True when no elements are enqueued."""
+        return self._size == 0
+
+    def extract_all(self) -> Iterator[tuple[int, Any]]:
+        """Drain the queue in priority order."""
+        while not self.empty:
+            yield self.extract_min()
+
+    def min_priority(self) -> Optional[int]:
+        """Priority of the minimum element, or ``None`` when empty.
+
+        This is the paper's ``SoonestDeadline()`` helper used by the kernel
+        qdisc to program its wake-up timer (Section 4).
+        """
+        if self.empty:
+            return None
+        priority, _item = self.peek_min()
+        return priority
+
+
+def validate_priority(priority: int) -> int:
+    """Validate that a rank is a (coercible) integer and return it as int.
+
+    Packet ranks are integers by construction (deadlines, transmission times,
+    flow sizes); floats are rejected rather than silently truncated so that
+    policy bugs surface early.
+    """
+    if isinstance(priority, bool):
+        raise TypeError("priority must be an integer, not bool")
+    if isinstance(priority, int):
+        return priority
+    raise TypeError(f"priority must be an integer, got {type(priority).__name__}")
+
+
+__all__ = [
+    "BucketSpec",
+    "EmptyQueueError",
+    "IntegerPriorityQueue",
+    "PriorityOutOfRangeError",
+    "QueueError",
+    "QueueStats",
+    "validate_priority",
+]

@@ -1,0 +1,88 @@
+"""Bucketed priority queue indexed by a binary heap — the paper's "BH" baseline.
+
+Section 5.2's microbenchmarks compare cFFS and the approximate gradient queue
+against "a basic bucketed priority queue implementation [that keeps] track of
+non-empty buckets in a binary heap".  Buckets still give O(1) enqueue and
+grouping of equal ranks; only the search for the minimum non-empty bucket
+costs O(log B) heap operations, where B is the number of *non-empty* buckets.
+
+The heap holds bucket indices; a lazy-deletion scheme avoids O(n) removals:
+a bucket index may appear in the heap while the bucket is already empty, and
+such stale entries are popped and discarded during extraction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque
+
+from .base import (
+    BucketSpec,
+    EmptyQueueError,
+    IntegerPriorityQueue,
+    PriorityOutOfRangeError,
+    validate_priority,
+)
+
+
+class BucketedHeapQueue(IntegerPriorityQueue):
+    """Bucketed integer priority queue whose occupancy index is a binary heap."""
+
+    def __init__(self, spec: BucketSpec) -> None:
+        super().__init__(spec)
+        self._buckets: list[Deque[tuple[int, Any]]] = [
+            deque() for _ in range(spec.num_buckets)
+        ]
+        self._heap: list[int] = []
+        self._in_heap = [False] * spec.num_buckets
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        if not self.spec.contains(priority):
+            raise PriorityOutOfRangeError(
+                f"priority {priority} outside fixed range of BucketedHeapQueue"
+            )
+        bucket = self.spec.bucket_for(priority)
+        self.stats.enqueues += 1
+        self.stats.bucket_lookups += 1
+        self._buckets[bucket].append((priority, item))
+        if not self._in_heap[bucket]:
+            heapq.heappush(self._heap, bucket)
+            self._in_heap[bucket] = True
+            # Rough accounting: a push costs log2(len(heap)) sift steps.
+            self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        self._size += 1
+
+    def _min_bucket(self) -> int:
+        while self._heap:
+            bucket = self._heap[0]
+            if self._buckets[bucket]:
+                return bucket
+            # Stale entry: the bucket drained since it was pushed.
+            heapq.heappop(self._heap)
+            self._in_heap[bucket] = False
+            self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        raise EmptyQueueError("no non-empty bucket")
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty BucketedHeapQueue")
+        bucket = self._min_bucket()
+        entry = self._buckets[bucket].popleft()
+        if not self._buckets[bucket]:
+            heapq.heappop(self._heap)
+            self._in_heap[bucket] = False
+            self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        self.stats.dequeues += 1
+        self._size -= 1
+        return entry
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty BucketedHeapQueue")
+        bucket = self._min_bucket()
+        return self._buckets[bucket][0]
+
+
+__all__ = ["BucketedHeapQueue"]

@@ -1,0 +1,223 @@
+"""Circular Hierarchical FFS-based queue — the paper's cFFS (Figure 4).
+
+Packet ranks (deadlines, transmission timestamps) span a *moving* range: the
+window of valid ranks slides forward as time advances.  A plain hierarchical
+FFS queue covers a fixed range only, and naive modulo indexing corrupts the
+bitmap ordering, so the cFFS composes **two** hierarchical FFS queues:
+
+* the *primary* queue covers ``[h_index, h_index + q_size * granularity)``;
+* the *secondary* queue covers the range immediately after the primary.
+
+Elements beyond even the secondary range are enqueued into the secondary
+queue's **last bucket** (losing exact ordering, which the paper accepts
+because ranges are easy to size per policy).  When the primary queue drains
+and the minimum now lives in the secondary queue, the two queues *rotate*:
+pointers (bucket arrays + bitmaps) are swapped and ``h_index`` advances by
+one window — an O(1) operation, no per-element copying.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .base import (
+    BucketSpec,
+    EmptyQueueError,
+    IntegerPriorityQueue,
+    validate_priority,
+)
+from .ffs import DEFAULT_WORD_WIDTH
+from .hierarchical_ffs import FFSBitmapTree
+
+
+class _Window:
+    """One of the two rotating halves of a cFFS: buckets + bitmap tree."""
+
+    __slots__ = ("buckets", "tree", "size")
+
+    def __init__(self, num_buckets: int, word_width: int) -> None:
+        self.buckets: list[Deque[tuple[int, Any]]] = [
+            deque() for _ in range(num_buckets)
+        ]
+        self.tree = FFSBitmapTree(num_buckets, word_width)
+        self.size = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.size == 0
+
+
+class CircularFFSQueue(IntegerPriorityQueue):
+    """cFFS: a hierarchical FFS queue over a moving range of priorities.
+
+    Args:
+        spec: bucket layout. ``spec.base_priority`` seeds the initial
+            ``h_index`` (minimum priority covered by the primary window).
+        word_width: FFS word width (64 matches x86-64 BSF).
+        allow_stale: when True (default), priorities smaller than ``h_index``
+            are clamped into the first bucket of the primary window instead
+            of raising.  This mirrors how a shaper treats packets whose
+            transmission time is already in the past: send as soon as
+            possible.
+    """
+
+    def __init__(
+        self,
+        spec: BucketSpec,
+        word_width: int = DEFAULT_WORD_WIDTH,
+        allow_stale: bool = True,
+    ) -> None:
+        super().__init__(spec)
+        self.word_width = word_width
+        self.allow_stale = allow_stale
+        self.h_index = spec.base_priority
+        self._primary = _Window(spec.num_buckets, word_width)
+        self._secondary = _Window(spec.num_buckets, word_width)
+
+    # -- range bookkeeping -------------------------------------------------
+
+    @property
+    def window_span(self) -> int:
+        """Priority units covered by one window."""
+        return self.spec.num_buckets * self.spec.granularity
+
+    @property
+    def primary_range(self) -> tuple[int, int]:
+        """Half-open priority range ``[lo, hi)`` covered by the primary window."""
+        return self.h_index, self.h_index + self.window_span
+
+    @property
+    def secondary_range(self) -> tuple[int, int]:
+        """Half-open priority range covered by the secondary window."""
+        lo = self.h_index + self.window_span
+        return lo, lo + self.window_span
+
+    def _bucket_in_primary(self, priority: int) -> int:
+        return (priority - self.h_index) // self.spec.granularity
+
+    def _bucket_in_secondary(self, priority: int) -> int:
+        lo = self.h_index + self.window_span
+        return (priority - lo) // self.spec.granularity
+
+    # -- core operations ----------------------------------------------------
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        self.stats.enqueues += 1
+        self.stats.bucket_lookups += 1
+        lo, hi = self.primary_range
+        if priority < lo:
+            if not self.allow_stale:
+                raise ValueError(
+                    f"priority {priority} precedes queue head index {lo}"
+                )
+            # Stale rank: treat as due immediately.
+            self._enqueue_window(self._primary, 0, priority, item)
+            return
+        if priority < hi:
+            self._enqueue_window(
+                self._primary, self._bucket_in_primary(priority), priority, item
+            )
+            return
+        slo, shi = self.secondary_range
+        if priority < shi:
+            self._enqueue_window(
+                self._secondary, self._bucket_in_secondary(priority), priority, item
+            )
+            return
+        # Beyond both windows: last bucket of the secondary queue, unsorted.
+        self.stats.overflow_enqueues += 1
+        self._enqueue_window(
+            self._secondary, self.spec.num_buckets - 1, priority, item
+        )
+
+    def _enqueue_window(
+        self, window: _Window, bucket: int, priority: int, item: Any
+    ) -> None:
+        was_empty = not window.buckets[bucket]
+        window.buckets[bucket].append((priority, item))
+        if was_empty:
+            self.stats.word_scans += window.tree.set(bucket)
+        window.size += 1
+        self._size += 1
+
+    def _rotate(self) -> None:
+        """Swap primary and secondary windows and advance ``h_index``."""
+        self._primary, self._secondary = self._secondary, self._primary
+        self.h_index += self.window_span
+        self.stats.rotations += 1
+
+    def _advance_to_nonempty(self) -> _Window:
+        """Rotate until the primary window holds the minimum element."""
+        while self._primary.empty and not self._secondary.empty:
+            self._rotate()
+        if self._primary.empty:
+            raise EmptyQueueError("circular FFS queue is empty")
+        return self._primary
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty CircularFFSQueue")
+        window = self._advance_to_nonempty()
+        bucket, scanned = window.tree.first_set()
+        self.stats.word_scans += scanned
+        entry = window.buckets[bucket].popleft()
+        window.size -= 1
+        if not window.buckets[bucket]:
+            self.stats.word_scans += window.tree.clear(bucket)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return entry
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty CircularFFSQueue")
+        window = self._advance_to_nonempty()
+        bucket, scanned = window.tree.first_set()
+        self.stats.word_scans += scanned
+        return window.buckets[bucket][0]
+
+    def extract_due(self, now: int) -> list[tuple[int, Any]]:
+        """Drain every element whose priority is ``<= now``.
+
+        This is the operation a shaping qdisc performs when its timer fires:
+        release every packet whose transmission timestamp has passed.
+        """
+        released: list[tuple[int, Any]] = []
+        while not self.empty:
+            priority, _item = self.peek_min()
+            if priority > now:
+                break
+            released.append(self.extract_min())
+        return released
+
+    def remove(self, priority: int, item: Any) -> bool:
+        """Remove a specific ``(priority, item)`` pair; True when found."""
+        priority = validate_priority(priority)
+        for window, bucket in self._candidate_buckets(priority):
+            queue = window.buckets[bucket]
+            for index, entry in enumerate(queue):
+                if entry[0] == priority and entry[1] is item:
+                    del queue[index]
+                    window.size -= 1
+                    self._size -= 1
+                    if not queue:
+                        self.stats.word_scans += window.tree.clear(bucket)
+                    return True
+        return False
+
+    def _candidate_buckets(self, priority: int):
+        lo, hi = self.primary_range
+        slo, shi = self.secondary_range
+        if priority < lo:
+            yield self._primary, 0
+        elif priority < hi:
+            yield self._primary, self._bucket_in_primary(priority)
+        elif priority < shi:
+            yield self._secondary, self._bucket_in_secondary(priority)
+        else:
+            yield self._secondary, self.spec.num_buckets - 1
+
+
+__all__ = ["CircularFFSQueue"]

@@ -1,0 +1,191 @@
+"""Moving-range (circular) wrappers for fixed-range integer queues.
+
+Section 3.1.2 notes that "for cases of a moving range, a circular approximate
+queue can be implemented as with cFFS".  Rather than re-implementing the
+primary/secondary rotation for every queue type, this module provides a
+generic :class:`CircularQueueAdapter` that wraps *any* fixed-range
+:class:`~repro.core.queues.base.IntegerPriorityQueue` factory, plus the
+concrete :class:`CircularApproximateGradientQueue` and
+:class:`CircularGradientQueue` built on top of it.
+
+The rotation protocol is identical to the cFFS (Figure 4):
+
+* the primary window covers ``[h_index, h_index + span)``,
+* the secondary window covers the next ``span`` priorities,
+* ranks beyond both land (unsorted) in the last bucket of the secondary
+  window,
+* when the primary window drains, the windows swap and ``h_index`` advances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .base import (
+    BucketSpec,
+    EmptyQueueError,
+    IntegerPriorityQueue,
+    validate_priority,
+)
+from .gradient import ApproximateGradientQueue, GradientQueue
+
+QueueFactory = Callable[[BucketSpec], IntegerPriorityQueue]
+
+
+class CircularQueueAdapter(IntegerPriorityQueue):
+    """Turn a fixed-range queue implementation into a moving-range queue.
+
+    Args:
+        spec: bucket layout of *one* window; the adapter covers twice that
+            range at any instant (primary + secondary).
+        factory: callable building a fixed-range queue for a window.  It is
+            called with a window-local :class:`BucketSpec` whose
+            ``base_priority`` is zero; the adapter translates absolute
+            priorities into window-local offsets before delegating.
+        allow_stale: clamp priorities that precede the current window into
+            the head of the primary window instead of raising.
+    """
+
+    def __init__(
+        self,
+        spec: BucketSpec,
+        factory: QueueFactory,
+        allow_stale: bool = True,
+    ) -> None:
+        super().__init__(spec)
+        self.allow_stale = allow_stale
+        self.h_index = spec.base_priority
+        window_spec = BucketSpec(
+            num_buckets=spec.num_buckets,
+            granularity=spec.granularity,
+            base_priority=0,
+        )
+        self._window_spec = window_spec
+        self._primary = factory(window_spec)
+        self._secondary = factory(window_spec)
+        self._factory = factory
+
+    # -- range bookkeeping ----------------------------------------------------
+
+    @property
+    def window_span(self) -> int:
+        """Priority units covered by one window."""
+        return self.spec.num_buckets * self.spec.granularity
+
+    @property
+    def primary_range(self) -> tuple[int, int]:
+        """Absolute half-open range covered by the primary window."""
+        return self.h_index, self.h_index + self.window_span
+
+    @property
+    def secondary_range(self) -> tuple[int, int]:
+        """Absolute half-open range covered by the secondary window."""
+        lo = self.h_index + self.window_span
+        return lo, lo + self.window_span
+
+    # -- operations --------------------------------------------------------------
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        self.stats.enqueues += 1
+        lo, hi = self.primary_range
+        slo, shi = self.secondary_range
+        if priority < lo:
+            if not self.allow_stale:
+                raise ValueError(
+                    f"priority {priority} precedes queue head index {lo}"
+                )
+            self._primary.enqueue(0, (priority, item))
+        elif priority < hi:
+            self._primary.enqueue(priority - lo, (priority, item))
+        elif priority < shi:
+            self._secondary.enqueue(priority - slo, (priority, item))
+        else:
+            self.stats.overflow_enqueues += 1
+            overflow_offset = (self.spec.num_buckets - 1) * self.spec.granularity
+            self._secondary.enqueue(overflow_offset, (priority, item))
+        self._size += 1
+
+    def _rotate(self) -> None:
+        self._primary, self._secondary = self._secondary, self._primary
+        self.h_index += self.window_span
+        self.stats.rotations += 1
+
+    def _advance(self) -> IntegerPriorityQueue:
+        while self._primary.empty and not self._secondary.empty:
+            self._rotate()
+        if self._primary.empty:
+            raise EmptyQueueError("circular queue is empty")
+        return self._primary
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty circular queue")
+        window = self._advance()
+        _local, payload = window.extract_min()
+        self.stats.dequeues += 1
+        self._size -= 1
+        return payload
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty circular queue")
+        window = self._advance()
+        _local, payload = window.peek_min()
+        return payload
+
+    def extract_due(self, now: int) -> list[tuple[int, Any]]:
+        """Drain every element whose (absolute) priority is ``<= now``."""
+        released: list[tuple[int, Any]] = []
+        while not self.empty:
+            priority, _item = self.peek_min()
+            if priority > now:
+                break
+            released.append(self.extract_min())
+        return released
+
+    def merged_stats(self) -> dict[str, int]:
+        """Adapter counters plus both windows' counters, for cost accounting."""
+        merged = self.stats.as_dict()
+        for window in (self._primary, self._secondary):
+            for key, value in window.stats.as_dict().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+class CircularGradientQueue(CircularQueueAdapter):
+    """Exact gradient queue over a moving priority range."""
+
+    def __init__(self, spec: BucketSpec, allow_stale: bool = True) -> None:
+        super().__init__(spec, GradientQueue, allow_stale=allow_stale)
+
+
+class CircularApproximateGradientQueue(CircularQueueAdapter):
+    """Approximate gradient queue over a moving priority range.
+
+    The per-window approximate queues share the same ``alpha`` and word
+    configuration; see :class:`~repro.core.queues.gradient.ApproximateGradientQueue`.
+    """
+
+    def __init__(
+        self,
+        spec: BucketSpec,
+        alpha: int = 16,
+        word_bits: int = 64,
+        allow_stale: bool = True,
+    ) -> None:
+        def factory(window_spec: BucketSpec) -> ApproximateGradientQueue:
+            return ApproximateGradientQueue(
+                window_spec, alpha=alpha, word_bits=word_bits
+            )
+
+        super().__init__(spec, factory, allow_stale=allow_stale)
+        self.alpha = alpha
+        self.word_bits = word_bits
+
+
+__all__ = [
+    "CircularApproximateGradientQueue",
+    "CircularGradientQueue",
+    "CircularQueueAdapter",
+]

@@ -1,0 +1,412 @@
+"""Comparison-based priority queue baselines.
+
+The systems Eiffel is compared against use classic O(log n) comparison
+structures: the FQ/pacing qdisc keeps flows in a red-black tree, hClock and
+the pFabric baseline use binary min-heaps.  These baselines are implemented
+here with the same ``(priority, item)`` interface as the bucketed queues so
+every benchmark can swap implementations freely.
+
+All three structures order ties by insertion sequence, preserving the FIFO
+behaviour within a rank that the bucketed queues give for free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, Optional
+
+from .base import BucketSpec, EmptyQueueError, IntegerPriorityQueue, validate_priority
+
+
+class BinaryHeapQueue(IntegerPriorityQueue):
+    """Classic binary min-heap (the C++ ``std::priority_queue`` stand-in)."""
+
+    def __init__(self, spec: Optional[BucketSpec] = None) -> None:
+        super().__init__(spec or BucketSpec(num_buckets=1))
+        self._heap: list[tuple[int, int, Any]] = []
+        self._counter = itertools.count()
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        self.stats.enqueues += 1
+        heapq.heappush(self._heap, (priority, next(self._counter), item))
+        self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        self._size += 1
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty BinaryHeapQueue")
+        priority, _seq, item = heapq.heappop(self._heap)
+        self.stats.heap_operations += max(1, (len(self._heap) + 1).bit_length())
+        self.stats.dequeues += 1
+        self._size -= 1
+        return priority, item
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty BinaryHeapQueue")
+        priority, _seq, item = self._heap[0]
+        return priority, item
+
+    def reheapify(self) -> None:
+        """Rebuild the heap from scratch (O(n)).
+
+        The pFabric baseline needs this whenever a flow's rank changes, since
+        a plain binary heap cannot relocate an arbitrary element cheaply; the
+        cost of these calls is what Figure 15 measures.
+        """
+        heapq.heapify(self._heap)
+        self.stats.heap_operations += max(1, len(self._heap))
+
+
+class _RBNode:
+    """A red-black tree node keyed by priority, holding a FIFO of items."""
+
+    __slots__ = ("key", "items", "color", "left", "right", "parent")
+
+    RED = 0
+    BLACK = 1
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.items: list[Any] = []
+        self.color = _RBNode.RED
+        self.left: Optional["_RBNode"] = None
+        self.right: Optional["_RBNode"] = None
+        self.parent: Optional["_RBNode"] = None
+
+
+class RBTreeQueue(IntegerPriorityQueue):
+    """Red-black tree priority queue (the Linux qdisc data structure).
+
+    Each tree node corresponds to one distinct priority and stores its items
+    in FIFO order, mirroring how the FQ qdisc keys its flow tree by next
+    transmission time.  Insertion, minimum lookup and deletion are O(log n)
+    with the usual rebalancing; the number of rotations and node visits is
+    tracked so the CPU cost model can charge them.
+    """
+
+    def __init__(self, spec: Optional[BucketSpec] = None) -> None:
+        super().__init__(spec or BucketSpec(num_buckets=1))
+        self._root: Optional[_RBNode] = None
+        self._node_count = 0
+
+    # -- rotations -------------------------------------------------------------
+
+    def _rotate_left(self, node: _RBNode) -> None:
+        self.stats.heap_operations += 1
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: _RBNode) -> None:
+        self.stats.heap_operations += 1
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    # -- insertion ----------------------------------------------------------------
+
+    def _find_or_insert_node(self, key: int) -> _RBNode:
+        parent = None
+        current = self._root
+        while current is not None:
+            self.stats.bucket_lookups += 1
+            parent = current
+            if key == current.key:
+                return current
+            current = current.left if key < current.key else current.right
+        node = _RBNode(key)
+        node.parent = parent
+        if parent is None:
+            self._root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._node_count += 1
+        self._insert_fixup(node)
+        return node
+
+    def _insert_fixup(self, node: _RBNode) -> None:
+        while (
+            node.parent is not None
+            and node.parent.color == _RBNode.RED
+            and node.parent.parent is not None
+        ):
+            grandparent = node.parent.parent
+            if node.parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle is not None and uncle.color == _RBNode.RED:
+                    node.parent.color = _RBNode.BLACK
+                    uncle.color = _RBNode.BLACK
+                    grandparent.color = _RBNode.RED
+                    node = grandparent
+                else:
+                    if node is node.parent.right:
+                        node = node.parent
+                        self._rotate_left(node)
+                    node.parent.color = _RBNode.BLACK
+                    grandparent.color = _RBNode.RED
+                    self._rotate_right(grandparent)
+            else:
+                uncle = grandparent.left
+                if uncle is not None and uncle.color == _RBNode.RED:
+                    node.parent.color = _RBNode.BLACK
+                    uncle.color = _RBNode.BLACK
+                    grandparent.color = _RBNode.RED
+                    node = grandparent
+                else:
+                    if node is node.parent.left:
+                        node = node.parent
+                        self._rotate_right(node)
+                    node.parent.color = _RBNode.BLACK
+                    grandparent.color = _RBNode.RED
+                    self._rotate_left(grandparent)
+        assert self._root is not None
+        self._root.color = _RBNode.BLACK
+
+    # -- minimum + deletion ---------------------------------------------------------
+
+    def _minimum_node(self) -> _RBNode:
+        if self._root is None:
+            raise EmptyQueueError("RBTreeQueue is empty")
+        node = self._root
+        while node.left is not None:
+            self.stats.bucket_lookups += 1
+            node = node.left
+        return node
+
+    def _transplant(self, old: _RBNode, new: Optional[_RBNode]) -> None:
+        if old.parent is None:
+            self._root = new
+        elif old is old.parent.left:
+            old.parent.left = new
+        else:
+            old.parent.right = new
+        if new is not None:
+            new.parent = old.parent
+
+    def _delete_node(self, node: _RBNode) -> None:
+        # Since we only ever delete the minimum node (no left child), the
+        # full CLRS delete collapses to a transplant plus a fixup walk.
+        self.stats.heap_operations += 1
+        original_color = node.color
+        child = node.right
+        child_parent = node.parent
+        self._transplant(node, node.right)
+        self._node_count -= 1
+        if original_color == _RBNode.BLACK:
+            self._delete_fixup(child, child_parent)
+
+    def _delete_fixup(
+        self, node: Optional[_RBNode], parent: Optional[_RBNode]
+    ) -> None:
+        while (node is not self._root) and (
+            node is None or node.color == _RBNode.BLACK
+        ):
+            if parent is None:
+                break
+            if node is parent.left:
+                sibling = parent.right
+                if sibling is not None and sibling.color == _RBNode.RED:
+                    sibling.color = _RBNode.BLACK
+                    parent.color = _RBNode.RED
+                    self._rotate_left(parent)
+                    sibling = parent.right
+                if sibling is None:
+                    node = parent
+                    parent = node.parent
+                    continue
+                left_black = sibling.left is None or sibling.left.color == _RBNode.BLACK
+                right_black = (
+                    sibling.right is None or sibling.right.color == _RBNode.BLACK
+                )
+                if left_black and right_black:
+                    sibling.color = _RBNode.RED
+                    node = parent
+                    parent = node.parent
+                else:
+                    if right_black:
+                        if sibling.left is not None:
+                            sibling.left.color = _RBNode.BLACK
+                        sibling.color = _RBNode.RED
+                        self._rotate_right(sibling)
+                        sibling = parent.right
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = _RBNode.BLACK
+                    if sibling.right is not None:
+                        sibling.right.color = _RBNode.BLACK
+                    self._rotate_left(parent)
+                    node = self._root
+                    parent = None
+            else:
+                sibling = parent.left
+                if sibling is not None and sibling.color == _RBNode.RED:
+                    sibling.color = _RBNode.BLACK
+                    parent.color = _RBNode.RED
+                    self._rotate_right(parent)
+                    sibling = parent.left
+                if sibling is None:
+                    node = parent
+                    parent = node.parent
+                    continue
+                left_black = sibling.left is None or sibling.left.color == _RBNode.BLACK
+                right_black = (
+                    sibling.right is None or sibling.right.color == _RBNode.BLACK
+                )
+                if left_black and right_black:
+                    sibling.color = _RBNode.RED
+                    node = parent
+                    parent = node.parent
+                else:
+                    if left_black:
+                        if sibling.right is not None:
+                            sibling.right.color = _RBNode.BLACK
+                        sibling.color = _RBNode.RED
+                        self._rotate_left(sibling)
+                        sibling = parent.left
+                    assert sibling is not None
+                    sibling.color = parent.color
+                    parent.color = _RBNode.BLACK
+                    if sibling.left is not None:
+                        sibling.left.color = _RBNode.BLACK
+                    self._rotate_right(parent)
+                    node = self._root
+                    parent = None
+        if node is not None:
+            node.color = _RBNode.BLACK
+
+    # -- queue interface ---------------------------------------------------------------
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        self.stats.enqueues += 1
+        node = self._find_or_insert_node(priority)
+        node.items.append(item)
+        self._size += 1
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty RBTreeQueue")
+        node = self._minimum_node()
+        item = node.items.pop(0)
+        priority = node.key
+        if not node.items:
+            self._delete_node(node)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return priority, item
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty RBTreeQueue")
+        node = self._minimum_node()
+        return node.key, node.items[0]
+
+    # -- invariants (used by property-based tests) -----------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of distinct priorities currently in the tree."""
+        return self._node_count
+
+    def check_invariants(self) -> None:
+        """Verify the red-black invariants; raises AssertionError on violation."""
+        if self._root is None:
+            return
+        assert self._root.color == _RBNode.BLACK, "root must be black"
+        self._check_subtree(self._root)
+
+    def _check_subtree(self, node: Optional[_RBNode]) -> int:
+        if node is None:
+            return 1
+        if node.color == _RBNode.RED:
+            for child in (node.left, node.right):
+                assert child is None or child.color == _RBNode.BLACK, (
+                    "red node with red child"
+                )
+        if node.left is not None:
+            assert node.left.key < node.key, "BST order violated (left)"
+            assert node.left.parent is node, "broken parent pointer (left)"
+        if node.right is not None:
+            assert node.right.key > node.key, "BST order violated (right)"
+            assert node.right.parent is node, "broken parent pointer (right)"
+        left_height = self._check_subtree(node.left)
+        right_height = self._check_subtree(node.right)
+        assert left_height == right_height, "black-height mismatch"
+        return left_height + (1 if node.color == _RBNode.BLACK else 0)
+
+    def keys_in_order(self) -> Iterator[int]:
+        """Yield the distinct priorities in ascending order."""
+
+        def walk(node: Optional[_RBNode]) -> Iterator[int]:
+            if node is None:
+                return
+            yield from walk(node.left)
+            yield node.key
+            yield from walk(node.right)
+
+        yield from walk(self._root)
+
+
+class SortedListQueue(IntegerPriorityQueue):
+    """Insertion-sorted list baseline (the "linear search" queue in ns-2 pFabric)."""
+
+    def __init__(self, spec: Optional[BucketSpec] = None) -> None:
+        super().__init__(spec or BucketSpec(num_buckets=1))
+        self._entries: list[tuple[int, int, Any]] = []
+        self._counter = itertools.count()
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        self.stats.enqueues += 1
+        entry = (priority, next(self._counter), item)
+        # Linear scan from the tail (new packets usually have late ranks).
+        index = len(self._entries)
+        while index > 0 and self._entries[index - 1][:2] > entry[:2]:
+            index -= 1
+            self.stats.linear_scans += 1
+        self._entries.insert(index, entry)
+        self._size += 1
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty SortedListQueue")
+        priority, _seq, item = self._entries.pop(0)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return priority, item
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty SortedListQueue")
+        priority, _seq, item = self._entries[0]
+        return priority, item
+
+
+__all__ = ["BinaryHeapQueue", "RBTreeQueue", "SortedListQueue"]

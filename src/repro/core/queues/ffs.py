@@ -1,0 +1,273 @@
+"""Find-First-Set primitives and the single-word FFS queue.
+
+The paper builds its efficient queues on the Find First Set (FFS) CPU
+instruction (Bit-Scan-Forward/Reverse), which returns the index of the first
+set bit of a machine word in a handful of cycles.  In Python we emulate the
+instruction with integer bit tricks; the CPU cost model (``repro.cpu``)
+charges each emulated FFS the instruction cost the paper cites so that
+modelled-cycle comparisons stay meaningful.
+
+Two conventions are used throughout:
+
+* bit ``i`` of a word corresponds to bucket ``i`` (bit 0 = lowest priority
+  bucket in the word), and
+* ``find_first_set`` returns the index of the **least significant** set bit,
+  i.e. the highest-priority (minimum-rank) non-empty bucket.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .base import (
+    BucketSpec,
+    EmptyQueueError,
+    IntegerPriorityQueue,
+    PriorityOutOfRangeError,
+    validate_priority,
+)
+
+#: Default machine word width, matching 64-bit x86 BSF/BSR operands.
+DEFAULT_WORD_WIDTH = 64
+
+
+def find_first_set(word: int) -> int:
+    """Index of the least-significant set bit of ``word``.
+
+    Equivalent to the x86 ``BSF`` instruction (and to ``__builtin_ffs() - 1``).
+
+    Raises:
+        ValueError: if ``word`` is zero (no bit set).
+    """
+    if word == 0:
+        raise ValueError("find_first_set of zero word")
+    return (word & -word).bit_length() - 1
+
+
+def find_last_set(word: int) -> int:
+    """Index of the most-significant set bit of ``word`` (x86 ``BSR``)."""
+    if word == 0:
+        raise ValueError("find_last_set of zero word")
+    return word.bit_length() - 1
+
+
+def set_bit(word: int, index: int) -> int:
+    """Return ``word`` with bit ``index`` set."""
+    return word | (1 << index)
+
+
+def clear_bit(word: int, index: int) -> int:
+    """Return ``word`` with bit ``index`` cleared."""
+    return word & ~(1 << index)
+
+
+def test_bit(word: int, index: int) -> bool:
+    """True when bit ``index`` of ``word`` is set."""
+    return bool((word >> index) & 1)
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in ``word``."""
+    return bin(word).count("1")
+
+
+class Bitmap:
+    """A fixed-width occupancy bitmap with FFS lookup.
+
+    This is the "Bitmap Meta Data" row of Figure 2: one bit per bucket,
+    one means non-empty.
+    """
+
+    __slots__ = ("width", "_word")
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("bitmap width must be positive")
+        self.width = width
+        self._word = 0
+
+    def set(self, index: int) -> None:
+        """Mark bucket ``index`` as non-empty."""
+        self._check(index)
+        self._word |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Mark bucket ``index`` as empty."""
+        self._check(index)
+        self._word &= ~(1 << index)
+
+    def test(self, index: int) -> bool:
+        """True when bucket ``index`` is marked non-empty."""
+        self._check(index)
+        return bool((self._word >> index) & 1)
+
+    def first_set(self) -> int:
+        """Index of the lowest marked bucket.
+
+        Raises:
+            ValueError: when no bucket is marked.
+        """
+        return find_first_set(self._word)
+
+    def last_set(self) -> int:
+        """Index of the highest marked bucket."""
+        return find_last_set(self._word)
+
+    @property
+    def any(self) -> bool:
+        """True when at least one bucket is marked."""
+        return self._word != 0
+
+    @property
+    def word(self) -> int:
+        """Raw integer value of the bitmap."""
+        return self._word
+
+    def clear_all(self) -> None:
+        """Mark every bucket empty."""
+        self._word = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} outside bitmap of width {self.width}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitmap(width={self.width}, word={self._word:#x})"
+
+
+class FFSQueue(IntegerPriorityQueue):
+    """Single-word FFS-based bucketed priority queue (Figure 2).
+
+    Supports up to ``word_width`` buckets over a *fixed* priority range
+    ``[base_priority, base_priority + num_buckets * granularity)``.  The
+    minimum non-empty bucket is found with a single FFS over the occupancy
+    bitmap, giving O(1) extract-min.
+
+    This queue is the right choice when the number of priority levels is
+    small and fixed (e.g. eight 802.1Q priorities, or the ~100 levels of the
+    kernel realtime scheduler class the paper mentions).
+    """
+
+    def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
+        super().__init__(spec)
+        if spec.num_buckets > word_width:
+            raise ValueError(
+                f"FFSQueue supports at most {word_width} buckets; "
+                f"got {spec.num_buckets}. Use HierarchicalFFSQueue instead."
+            )
+        self.word_width = word_width
+        self._bitmap = Bitmap(spec.num_buckets)
+        self._buckets: list[Deque[tuple[int, Any]]] = [
+            deque() for _ in range(spec.num_buckets)
+        ]
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        if not self.spec.contains(priority):
+            raise PriorityOutOfRangeError(
+                f"priority {priority} outside fixed range "
+                f"[{self.spec.base_priority}, {self.spec.base_priority + self.spec.horizon})"
+            )
+        bucket = self.spec.bucket_for(priority)
+        self.stats.enqueues += 1
+        self.stats.bucket_lookups += 1
+        self._buckets[bucket].append((priority, item))
+        self._bitmap.set(bucket)
+        self._size += 1
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty FFSQueue")
+        self.stats.word_scans += 1
+        bucket = self._bitmap.first_set()
+        entry = self._buckets[bucket].popleft()
+        if not self._buckets[bucket]:
+            self._bitmap.clear(bucket)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return entry
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty FFSQueue")
+        self.stats.word_scans += 1
+        bucket = self._bitmap.first_set()
+        return self._buckets[bucket][0]
+
+    def occupancy_word(self) -> int:
+        """The raw occupancy bitmap word (for tests and inspection)."""
+        return self._bitmap.word
+
+
+class MultiWordFFSQueue(IntegerPriorityQueue):
+    """Sequentially-scanned multi-word FFS queue.
+
+    The paper describes this as the scheme used by the Linux realtime
+    scheduling class: the bucket occupancy bitmap spans ``M`` machine words
+    that are scanned in order until a non-zero word is found.  Efficient for
+    very small ``M``; included both as a usable queue and as the stepping
+    stone to the hierarchical variant.
+    """
+
+    def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
+        super().__init__(spec)
+        self.word_width = word_width
+        self.num_words = (spec.num_buckets + word_width - 1) // word_width
+        self._words = [0] * self.num_words
+        self._buckets: list[Deque[tuple[int, Any]]] = [
+            deque() for _ in range(spec.num_buckets)
+        ]
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        if not self.spec.contains(priority):
+            raise PriorityOutOfRangeError(
+                f"priority {priority} outside fixed range of MultiWordFFSQueue"
+            )
+        bucket = self.spec.bucket_for(priority)
+        self.stats.enqueues += 1
+        self.stats.bucket_lookups += 1
+        self._buckets[bucket].append((priority, item))
+        word_index, bit = divmod(bucket, self.word_width)
+        self._words[word_index] = set_bit(self._words[word_index], bit)
+        self._size += 1
+
+    def _min_bucket(self) -> int:
+        for word_index, word in enumerate(self._words):
+            self.stats.word_scans += 1
+            if word:
+                return word_index * self.word_width + find_first_set(word)
+        raise EmptyQueueError("no non-empty bucket")
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty MultiWordFFSQueue")
+        bucket = self._min_bucket()
+        entry = self._buckets[bucket].popleft()
+        if not self._buckets[bucket]:
+            word_index, bit = divmod(bucket, self.word_width)
+            self._words[word_index] = clear_bit(self._words[word_index], bit)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return entry
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty MultiWordFFSQueue")
+        bucket = self._min_bucket()
+        return self._buckets[bucket][0]
+
+
+__all__ = [
+    "Bitmap",
+    "DEFAULT_WORD_WIDTH",
+    "FFSQueue",
+    "MultiWordFFSQueue",
+    "clear_bit",
+    "find_first_set",
+    "find_last_set",
+    "popcount",
+    "set_bit",
+    "test_bit",
+]

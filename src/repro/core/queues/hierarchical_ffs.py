@@ -1,0 +1,206 @@
+"""Hierarchical FFS-based queue (Figure 3 / the PIQ structure).
+
+When the number of buckets exceeds the width of one machine word, the
+occupancy bitmap becomes a tree: each bit of a node summarises the occupancy
+of one child node, and the children of leaf nodes are the buckets themselves.
+Finding the minimum non-empty bucket walks the tree root-to-leaf applying FFS
+at each level — O(log_w N) word operations, which is a small constant once
+the queue is configured (six FFS operations cover a billion buckets with
+64-bit words).
+
+The tree is stored as a flat list of levels; level 0 is the root word(s) and
+the last level has one bit per bucket.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from .base import (
+    BucketSpec,
+    EmptyQueueError,
+    IntegerPriorityQueue,
+    PriorityOutOfRangeError,
+    validate_priority,
+)
+from .ffs import DEFAULT_WORD_WIDTH, clear_bit, find_first_set, set_bit
+
+
+class FFSBitmapTree:
+    """A hierarchical occupancy bitmap over ``num_buckets`` slots.
+
+    The structure only stores per-level word arrays; it knows nothing about
+    the elements themselves, which keeps it reusable by both the hierarchical
+    queue and the circular queue (which swaps two trees).
+    """
+
+    def __init__(self, num_buckets: int, word_width: int = DEFAULT_WORD_WIDTH) -> None:
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if word_width < 2:
+            raise ValueError("word_width must be at least 2")
+        self.num_buckets = num_buckets
+        self.word_width = word_width
+        self.levels: list[list[int]] = []
+        size = num_buckets
+        # Build levels bottom-up: the last entry of ``levels`` is the leaf level.
+        level_sizes = []
+        while True:
+            words = (size + word_width - 1) // word_width
+            level_sizes.append(words)
+            if words == 1:
+                break
+            size = words
+        for words in reversed(level_sizes):
+            self.levels.append([0] * words)
+        self.depth = len(self.levels)
+        self._count = 0
+
+    def set(self, bucket: int) -> int:
+        """Mark ``bucket`` occupied; returns the number of words touched."""
+        self._check(bucket)
+        touched = 0
+        index = bucket
+        for level in reversed(self.levels):
+            word_index, bit = divmod(index, self.word_width)
+            touched += 1
+            if (level[word_index] >> bit) & 1:
+                break
+            level[word_index] = set_bit(level[word_index], bit)
+            index = word_index
+        return touched
+
+    def clear(self, bucket: int) -> int:
+        """Mark ``bucket`` empty, propagating up; returns words touched."""
+        self._check(bucket)
+        touched = 0
+        index = bucket
+        for level in reversed(self.levels):
+            word_index, bit = divmod(index, self.word_width)
+            touched += 1
+            level[word_index] = clear_bit(level[word_index], bit)
+            if level[word_index] != 0:
+                break
+            index = word_index
+        return touched
+
+    def first_set(self) -> tuple[int, int]:
+        """Return ``(bucket, words_scanned)`` for the minimum occupied bucket.
+
+        Raises:
+            EmptyQueueError: when no bucket is occupied.
+        """
+        if self.levels[0][0] == 0:
+            raise EmptyQueueError("bitmap tree is empty")
+        index = 0
+        scanned = 0
+        for level in self.levels:
+            word = level[index]
+            scanned += 1
+            index = index * self.word_width + find_first_set(word)
+        return index, scanned
+
+    def test(self, bucket: int) -> bool:
+        """True when ``bucket`` is marked occupied."""
+        self._check(bucket)
+        word_index, bit = divmod(bucket, self.word_width)
+        return bool((self.levels[-1][word_index] >> bit) & 1)
+
+    @property
+    def any(self) -> bool:
+        """True when at least one bucket is occupied."""
+        return self.levels[0][0] != 0
+
+    def clear_all(self) -> None:
+        """Reset every level to all-zero."""
+        for level in self.levels:
+            for i in range(len(level)):
+                level[i] = 0
+
+    def _check(self, bucket: int) -> None:
+        if not 0 <= bucket < self.num_buckets:
+            raise IndexError(
+                f"bucket {bucket} outside bitmap tree of {self.num_buckets} buckets"
+            )
+
+
+class HierarchicalFFSQueue(IntegerPriorityQueue):
+    """Bucketed integer priority queue indexed by an FFS bitmap tree.
+
+    Operates over a *fixed* priority range.  The circular variant
+    (:class:`repro.core.queues.circular_ffs.CircularFFSQueue`) reuses this
+    structure for a moving range.
+    """
+
+    def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
+        super().__init__(spec)
+        self.word_width = word_width
+        self._tree = FFSBitmapTree(spec.num_buckets, word_width)
+        self._buckets: list[Deque[tuple[int, Any]]] = [
+            deque() for _ in range(spec.num_buckets)
+        ]
+
+    @property
+    def depth(self) -> int:
+        """Number of bitmap levels (the constant in O(log_w N))."""
+        return self._tree.depth
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        priority = validate_priority(priority)
+        if not self.spec.contains(priority):
+            raise PriorityOutOfRangeError(
+                f"priority {priority} outside fixed range of HierarchicalFFSQueue"
+            )
+        bucket = self.spec.bucket_for(priority)
+        self.stats.enqueues += 1
+        self.stats.bucket_lookups += 1
+        was_empty = not self._buckets[bucket]
+        self._buckets[bucket].append((priority, item))
+        if was_empty:
+            self.stats.word_scans += self._tree.set(bucket)
+        self._size += 1
+
+    def extract_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("extract_min from empty HierarchicalFFSQueue")
+        bucket, scanned = self._tree.first_set()
+        self.stats.word_scans += scanned
+        entry = self._buckets[bucket].popleft()
+        if not self._buckets[bucket]:
+            self.stats.word_scans += self._tree.clear(bucket)
+        self.stats.dequeues += 1
+        self._size -= 1
+        return entry
+
+    def peek_min(self) -> tuple[int, Any]:
+        if self.empty:
+            raise EmptyQueueError("peek_min from empty HierarchicalFFSQueue")
+        bucket, scanned = self._tree.first_set()
+        self.stats.word_scans += scanned
+        return self._buckets[bucket][0]
+
+    def remove(self, priority: int, item: Any) -> bool:
+        """Remove a specific ``(priority, item)`` pair in O(bucket length).
+
+        Bucketed queues support cheap removal, which pFabric and hClock use
+        heavily when a flow's rank changes (Section 2).  Returns True when
+        the element was found and removed.
+        """
+        priority = validate_priority(priority)
+        if not self.spec.contains(priority):
+            return False
+        bucket = self.spec.bucket_for(priority)
+        queue = self._buckets[bucket]
+        self.stats.bucket_lookups += 1
+        for index, entry in enumerate(queue):
+            if entry[0] == priority and entry[1] is item:
+                del queue[index]
+                self._size -= 1
+                if not queue:
+                    self.stats.word_scans += self._tree.clear(bucket)
+                return True
+        return False
+
+
+__all__ = ["FFSBitmapTree", "HierarchicalFFSQueue"]

@@ -1,0 +1,204 @@
+"""Queue-selection guide — a programmatic version of Figure 20.
+
+The paper closes its evaluation with a decision tree telling an operator
+which priority queue to use for a given scheduling policy:
+
+1. Few priority levels (below a threshold of ~1k)?  Any queue will do.
+2. Many levels over a *fixed* range?  Use a (hierarchical) FFS queue.
+3. Many levels over a *moving* range, not uniformly occupied?  Use cFFS.
+4. Many levels over a moving range with highly occupied levels?  Use the
+   approximate gradient queue.
+
+:func:`recommend_queue` encodes that tree and returns both the decision and
+the reasoning path, and :func:`build_recommended_queue` instantiates the
+selected implementation, so policies can be wired up from a workload
+description alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from .base import BucketSpec, IntegerPriorityQueue
+from .bucket_heap import BucketedHeapQueue
+from .circular_ffs import CircularFFSQueue
+from .circular_gradient import CircularApproximateGradientQueue
+from .comparison import BinaryHeapQueue
+from .gradient import ApproximateGradientQueue, fit_bucket_spec
+from .hierarchical_ffs import HierarchicalFFSQueue
+
+#: The paper's empirically-determined threshold: below ~1k priority levels the
+#: choice of queue "has little impact".
+PRIORITY_LEVEL_THRESHOLD = 1000
+
+
+class QueueKind(Enum):
+    """The queue families the decision tree can recommend."""
+
+    ANY = "any"
+    FFS = "ffs"
+    CIRCULAR_FFS = "cffs"
+    APPROXIMATE = "approximate"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Characteristics of a scheduling policy relevant to queue selection.
+
+    Attributes:
+        priority_levels: number of distinct rank values (buckets) needed.
+        moving_range: True when ranks advance over time (deadlines,
+            transmission timestamps) rather than spanning a fixed set.
+        uniform_occupancy: True when all priority levels are expected to
+            serve a similar number of packets (e.g. timestamp shaping, LSTF,
+            EDF); False for skewed policies such as strict priority.
+        description: optional free-form label used in reports.
+    """
+
+    priority_levels: int
+    moving_range: bool
+    uniform_occupancy: bool
+    description: str = ""
+
+
+@dataclass
+class Recommendation:
+    """Result of walking the Figure 20 decision tree."""
+
+    kind: QueueKind
+    reasons: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        path = " -> ".join(self.reasons)
+        return f"{self.kind.value} ({path})"
+
+
+def recommend_queue(
+    profile: WorkloadProfile, threshold: int = PRIORITY_LEVEL_THRESHOLD
+) -> Recommendation:
+    """Walk the Figure 20 decision tree for ``profile``."""
+    if profile.priority_levels <= 0:
+        raise ValueError("priority_levels must be positive")
+    reasons: list[str] = []
+    if profile.priority_levels <= threshold:
+        reasons.append(
+            f"{profile.priority_levels} priority levels <= threshold {threshold}"
+        )
+        return Recommendation(QueueKind.ANY, reasons)
+    reasons.append(
+        f"{profile.priority_levels} priority levels > threshold {threshold}"
+    )
+    if not profile.moving_range:
+        reasons.append("fixed priority range")
+        return Recommendation(QueueKind.FFS, reasons)
+    reasons.append("moving priority range")
+    if profile.uniform_occupancy:
+        reasons.append("priority levels similarly occupied")
+        return Recommendation(QueueKind.APPROXIMATE, reasons)
+    reasons.append("priority levels unevenly occupied")
+    return Recommendation(QueueKind.CIRCULAR_FFS, reasons)
+
+
+def build_recommended_queue(
+    profile: WorkloadProfile,
+    granularity: int = 1,
+    base_priority: int = 0,
+    threshold: int = PRIORITY_LEVEL_THRESHOLD,
+    alpha: int = 16,
+) -> IntegerPriorityQueue:
+    """Instantiate the queue implementation recommended for ``profile``.
+
+    For the ``ANY`` recommendation a plain binary heap is returned (the
+    cheapest structure memory-wise for small level counts); the other
+    branches return the corresponding bucketed queue sized to the profile.
+    """
+    recommendation = recommend_queue(profile, threshold)
+    spec = BucketSpec(
+        num_buckets=profile.priority_levels,
+        granularity=granularity,
+        base_priority=base_priority,
+    )
+    if recommendation.kind is QueueKind.ANY:
+        return BinaryHeapQueue(spec)
+    if recommendation.kind is QueueKind.FFS:
+        return HierarchicalFFSQueue(spec)
+    if recommendation.kind is QueueKind.CIRCULAR_FFS:
+        return CircularFFSQueue(spec)
+    # Approximate branch: the approximate queue covers a bounded number of
+    # buckets, so coarsen the granularity to fit (the paper's granularity /
+    # accuracy trade-off).
+    approx_spec = fit_bucket_spec(
+        profile.priority_levels,
+        granularity=granularity,
+        base_priority=base_priority,
+        alpha=alpha,
+    )
+    if profile.moving_range:
+        return CircularApproximateGradientQueue(approx_spec, alpha=alpha)
+    return ApproximateGradientQueue(approx_spec, alpha=alpha)
+
+
+#: Canonical workload profiles used in the paper's discussion, exposed so the
+#: examples and the Figure 20 benchmark can exercise realistic inputs.
+CANONICAL_PROFILES: dict[str, WorkloadProfile] = {
+    "ieee_802_1q": WorkloadProfile(
+        priority_levels=8,
+        moving_range=False,
+        uniform_occupancy=False,
+        description="Eight 802.1Q strict-priority levels",
+    ),
+    "pfabric_remaining_size": WorkloadProfile(
+        priority_levels=100_000,
+        moving_range=False,
+        uniform_occupancy=False,
+        description="pFabric remaining flow size (fixed range of sizes)",
+    ),
+    "per_flow_pacing": WorkloadProfile(
+        priority_levels=20_000,
+        moving_range=True,
+        uniform_occupancy=False,
+        description="Carousel-style per-flow rate limiting with a wide range of rates",
+    ),
+    "lstf": WorkloadProfile(
+        priority_levels=50_000,
+        moving_range=True,
+        uniform_occupancy=True,
+        description="Least Slack Time First over a moving deadline range",
+    ),
+    "hclock_hierarchy": WorkloadProfile(
+        priority_levels=10_000,
+        moving_range=True,
+        uniform_occupancy=True,
+        description="hClock hierarchical shares (virtual-time tags)",
+    ),
+    "fallback_bucketed": WorkloadProfile(
+        priority_levels=5_000,
+        moving_range=False,
+        uniform_occupancy=True,
+        description="Fixed-range uniformly occupied ranks (approx also viable)",
+    ),
+}
+
+#: Mapping used when an explicit (non-recommended) choice is needed, e.g. by
+#: ablation benchmarks comparing all families on the same workload.
+QUEUE_FAMILIES = {
+    "bh": BucketedHeapQueue,
+    "cffs": CircularFFSQueue,
+    "ffs": HierarchicalFFSQueue,
+    "approx": ApproximateGradientQueue,
+    "heap": BinaryHeapQueue,
+}
+
+
+__all__ = [
+    "CANONICAL_PROFILES",
+    "PRIORITY_LEVEL_THRESHOLD",
+    "QUEUE_FAMILIES",
+    "QueueKind",
+    "Recommendation",
+    "WorkloadProfile",
+    "build_recommended_queue",
+    "recommend_queue",
+]

@@ -1,0 +1,212 @@
+"""Timing Wheel — the data structure underlying Carousel (the shaping baseline).
+
+Carousel [SIGCOMM'17] stores every packet in a timing wheel indexed by its
+transmission timestamp: a circular array of time slots, each holding a FIFO
+of packets, advanced by a clock.  The wheel supports O(1) insertion and O(1)
+"release everything whose slot has passed", but — as the Eiffel paper points
+out (Section 2) — it does *not* support ``ExtractMin``: the earliest enqueued
+packet cannot be found without scanning slots, so the wheel only fits
+non-work-conserving, time-indexed schedules, and its driver must poll (fire a
+timer) every slot interval whether or not packets are due.
+
+``HierarchicalTimingWheel`` extends the horizon with coarser outer wheels
+(the classic hashed/hierarchical design of Varghese & Lauck) and is used by
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, Optional
+
+
+class TimingWheel:
+    """A single-level timing wheel over ``num_slots`` slots of ``granularity`` ticks.
+
+    Timestamps are absolute integers (e.g. nanoseconds).  The wheel maintains
+    ``current_time``; packets with timestamps in the past are placed in the
+    current slot (sent as soon as possible) and packets beyond the horizon are
+    placed in the last future slot, mirroring Carousel's behaviour.
+    """
+
+    def __init__(
+        self, num_slots: int, granularity: int = 1, start_time: int = 0
+    ) -> None:
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.num_slots = num_slots
+        self.granularity = granularity
+        self.current_time = start_time
+        self._slots: list[Deque[tuple[int, Any]]] = [deque() for _ in range(num_slots)]
+        self._size = 0
+        # Operation counters for the CPU cost model.
+        self.insertions = 0
+        self.slot_advances = 0
+        self.overflow_insertions = 0
+        self.stale_insertions = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Ticks covered by the wheel from ``current_time``."""
+        return self.num_slots * self.granularity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def empty(self) -> bool:
+        """True when no packets are stored."""
+        return self._size == 0
+
+    def _effective_timestamp(self, timestamp: int) -> int:
+        """Clamp ``timestamp`` into the wheel's current horizon.
+
+        Past timestamps collapse to "now" (send as soon as possible) and
+        timestamps beyond the horizon collapse to the last future slot, which
+        is exactly Carousel's behaviour for out-of-range transmission times.
+        """
+        if timestamp <= self.current_time:
+            self.stale_insertions += 1
+            return self.current_time
+        if timestamp >= self.current_time + self.horizon:
+            self.overflow_insertions += 1
+            return self.current_time + self.horizon - self.granularity
+        return timestamp
+
+    def _slot_index(self, timestamp: int) -> int:
+        return (timestamp // self.granularity) % self.num_slots
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, timestamp: int, item: Any) -> None:
+        """Insert ``item`` to be released at ``timestamp``."""
+        self.insertions += 1
+        effective = self._effective_timestamp(timestamp)
+        slot = self._slot_index(effective)
+        self._slots[slot].append((effective, item))
+        self._size += 1
+
+    def advance_to(self, now: int) -> list[tuple[int, Any]]:
+        """Advance the wheel clock to ``now`` and release every due packet.
+
+        Every slot between the previous clock value and ``now`` is visited
+        (that per-slot visit is exactly the polling overhead Carousel pays,
+        and what Figure 10's softirq panel shows); packets in visited slots
+        are returned in slot order.
+        """
+        released: list[tuple[int, Any]] = []
+        if now < self.current_time:
+            return released
+        current_slot = (self.current_time // self.granularity) % self.num_slots
+        slots_to_advance = (now // self.granularity) - (
+            self.current_time // self.granularity
+        )
+        slots_to_advance = min(slots_to_advance, self.num_slots)
+        for step in range(slots_to_advance + 1):
+            slot = (current_slot + step) % self.num_slots
+            self.slot_advances += 1
+            while self._slots[slot]:
+                timestamp, item = self._slots[slot][0]
+                if timestamp > now:
+                    break
+                self._slots[slot].popleft()
+                self._size -= 1
+                released.append((timestamp, item))
+        self.current_time = now
+        return released
+
+    def peek_slots(self) -> Iterable[int]:
+        """Yield the indices of non-empty slots (for inspection/tests)."""
+        for index, slot in enumerate(self._slots):
+            if slot:
+                yield index
+
+    def next_due_time(self) -> Optional[int]:
+        """Timestamp of the earliest stored packet, found by scanning slots.
+
+        This is an O(num_slots) operation — the whole point of the paper's
+        comparison: a timing wheel cannot answer ExtractMin/SoonestDeadline
+        cheaply, so Carousel's driver polls instead.
+        """
+        best: Optional[int] = None
+        for slot in self._slots:
+            for timestamp, _item in slot:
+                if best is None or timestamp < best:
+                    best = timestamp
+        return best
+
+
+class HierarchicalTimingWheel:
+    """Multi-level timing wheel with geometrically coarser outer levels.
+
+    Packets whose timestamps exceed the innermost horizon are parked in an
+    outer wheel and cascaded inward as the clock advances.  Used by ablation
+    benchmarks to show that extending Carousel's horizon does not remove the
+    per-slot polling cost.
+    """
+
+    def __init__(
+        self,
+        slots_per_level: int,
+        granularity: int = 1,
+        levels: int = 2,
+        start_time: int = 0,
+    ) -> None:
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        self.levels = [
+            TimingWheel(
+                slots_per_level,
+                granularity * (slots_per_level**level),
+                start_time=start_time,
+            )
+            for level in range(levels)
+        ]
+        self.current_time = start_time
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def empty(self) -> bool:
+        """True when no packets are stored at any level."""
+        return self._size == 0
+
+    @property
+    def horizon(self) -> int:
+        """Total ticks covered across all levels."""
+        return self.levels[-1].horizon
+
+    def insert(self, timestamp: int, item: Any) -> None:
+        """Insert into the finest level whose horizon covers ``timestamp``."""
+        for wheel in self.levels:
+            if timestamp < self.current_time + wheel.horizon:
+                wheel.insert(timestamp, item)
+                break
+        else:
+            self.levels[-1].insert(timestamp, item)
+        self._size += 1
+
+    def advance_to(self, now: int) -> list[tuple[int, Any]]:
+        """Advance all levels to ``now``; cascade and return due packets."""
+        due: list[tuple[int, Any]] = []
+        released_inner = self.levels[0].advance_to(now)
+        due.extend(released_inner)
+        for wheel in self.levels[1:]:
+            for timestamp, item in wheel.advance_to(now):
+                if timestamp <= now:
+                    due.append((timestamp, item))
+                else:  # pragma: no cover - defensive; outer slots are coarse
+                    self.levels[0].insert(timestamp, item)
+                    self._size += 1
+        self.current_time = now
+        self._size -= len(due)
+        return due
+
+
+__all__ = ["HierarchicalTimingWheel", "TimingWheel"]

@@ -1,0 +1,17 @@
+"""CPU cost modelling for the simulated kernel and userspace substrates."""
+
+from .cost_model import (
+    CostModel,
+    CpuMeter,
+    CycleAccount,
+    DEFAULT_COSTS,
+    OperationCost,
+)
+
+__all__ = [
+    "CostModel",
+    "CpuMeter",
+    "CycleAccount",
+    "DEFAULT_COSTS",
+    "OperationCost",
+]

@@ -1,0 +1,28 @@
+"""Kernel substrate: event-driven qdisc simulation with CPU accounting."""
+
+from .carousel import CarouselQdisc
+from .eiffel_qdisc import EiffelQdisc
+from .experiment import (
+    ShapingExperimentConfig,
+    ShapingExperimentResult,
+    build_qdiscs,
+    run_shaping_experiment,
+)
+from .fq_pacing import FQPacingQdisc
+from .qdisc import IntervalSample, KernelSimulation, Qdisc, QdiscStats
+from .timer import HrTimer
+
+__all__ = [
+    "CarouselQdisc",
+    "EiffelQdisc",
+    "FQPacingQdisc",
+    "HrTimer",
+    "IntervalSample",
+    "KernelSimulation",
+    "Qdisc",
+    "QdiscStats",
+    "ShapingExperimentConfig",
+    "ShapingExperimentResult",
+    "build_qdiscs",
+    "run_shaping_experiment",
+]

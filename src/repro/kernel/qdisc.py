@@ -1,0 +1,311 @@
+"""Qdisc framework: the event-driven kernel substrate for Use Case 1.
+
+A queueing discipline (qdisc) sits between the TCP stack and the NIC driver.
+The simulation models the parts of that environment that dominate the CPU
+comparison in Figures 9 and 10:
+
+* every enqueue and every dequeue happens under the **global qdisc lock**;
+* shaping qdiscs program an **hrtimer** for the next transmission time and do
+  their dequeue work in softirq context when it fires;
+* the TCP stack limits the number of in-flight packets per socket (**TSQ**),
+  so the qdisc backlog stays bounded;
+* every packet also pays a fixed "rest of the networking stack" overhead.
+
+Concrete qdiscs (:mod:`repro.kernel.fq_pacing`, :mod:`repro.kernel.carousel`,
+:mod:`repro.kernel.eiffel_qdisc`) implement ``enqueue_packet``,
+``dequeue_due`` and ``soonest_deadline_ns``; the :class:`KernelSimulation`
+drives arrivals and timers and charges every operation to a per-qdisc
+:class:`~repro.cpu.cost_model.CostModel` split into "system" (enqueue path)
+and "softirq" (timer path) accounts, which is exactly the breakdown of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .timer import HrTimer
+from ..core.model.packet import Packet
+from ..cpu import CostModel, CpuMeter
+
+
+@dataclass
+class QdiscStats:
+    """Packet-level counters of one qdisc."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    timer_fires: int = 0
+    timer_programs: int = 0
+    backlog_peak: int = 0
+
+
+class Qdisc(abc.ABC):
+    """Base class for simulated queueing disciplines."""
+
+    name: str = "qdisc"
+
+    def __init__(self, timer_granularity_ns: int = 1) -> None:
+        self.timer = HrTimer(granularity_ns=timer_granularity_ns)
+        self.stats = QdiscStats()
+        #: Separate cost accounts for the enqueue path ("system") and the
+        #: timer path ("softirq"), merged for the Figure 9 total.
+        self.system_cost = CostModel()
+        self.softirq_cost = CostModel()
+
+    # -- abstract surface -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue_packet(self, packet: Packet, now_ns: int) -> None:
+        """Admit one packet (called in process/system context)."""
+
+    @abc.abstractmethod
+    def dequeue_due(self, now_ns: int, budget: int = 1 << 30) -> List[Packet]:
+        """Release every packet whose transmission time has passed."""
+
+    @abc.abstractmethod
+    def soonest_deadline_ns(self, now_ns: int) -> Optional[int]:
+        """Next time the qdisc needs to run (``None`` when idle)."""
+
+    # -- shared accounting helpers -----------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Packets currently queued (subclasses keep ``_backlog`` updated)."""
+        return getattr(self, "_backlog", 0)
+
+    def total_cycles(self) -> float:
+        """Cycles charged across both contexts."""
+        return self.system_cost.total_cycles + self.softirq_cost.total_cycles
+
+    def reset_costs(self) -> None:
+        """Zero both cost accounts (used between measurement intervals)."""
+        self.system_cost.reset()
+        self.softirq_cost.reset()
+
+
+@dataclass
+class IntervalSample:
+    """CPU usage measured over one sampling interval (one dstat line)."""
+
+    start_ns: int
+    duration_ns: int
+    packets: int
+    system_cycles: float
+    softirq_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Cycles across both contexts."""
+        return self.system_cycles + self.softirq_cycles
+
+    def cores_used(self, meter: CpuMeter) -> float:
+        """Total cores used during the interval."""
+        return meter.cores_used(self.total_cycles, self.duration_ns / 1e9)
+
+    def system_cores(self, meter: CpuMeter) -> float:
+        """Cores spent in system (enqueue-path) context."""
+        return meter.cores_used(self.system_cycles, self.duration_ns / 1e9)
+
+    def softirq_cores(self, meter: CpuMeter) -> float:
+        """Cores spent servicing timers (softirq context)."""
+        return meter.cores_used(self.softirq_cycles, self.duration_ns / 1e9)
+
+
+class KernelSimulation:
+    """Drives a qdisc with arrival events and timers, collecting CPU samples.
+
+    Args:
+        qdisc: the queueing discipline under test.
+        tsq_limit: maximum packets a single flow may have queued (TCP Small
+            Queues); arrivals beyond the limit are deferred by the stack and
+            re-offered after the flow drains, modelled here as a drop +
+            re-enqueue charge on the sender.
+        link_rate_bps: NIC line rate; released packets are serialised at this
+            rate but the NIC itself costs no scheduler CPU.
+        meter: converts cycles to cores for reporting.
+    """
+
+    def __init__(
+        self,
+        qdisc: Qdisc,
+        tsq_limit: int = 2,
+        link_rate_bps: float = 25e9,
+        meter: Optional[CpuMeter] = None,
+    ) -> None:
+        if tsq_limit <= 0:
+            raise ValueError("tsq_limit must be positive")
+        self.qdisc = qdisc
+        self.tsq_limit = tsq_limit
+        self.link_rate_bps = link_rate_bps
+        self.meter = meter or CpuMeter()
+        self._per_flow_backlog: Dict[int, int] = {}
+        self.transmitted: int = 0
+        self.deferred: int = 0
+
+    # -- core event processing -------------------------------------------------------
+
+    def _charge_enqueue(self, now_ns: int) -> None:
+        cost = self.qdisc.system_cost
+        cost.charge("lock")
+        cost.charge("packet_overhead")
+
+    def _run_timer(self, now_ns: int) -> List[Packet]:
+        """Fire the qdisc timer and dequeue due packets in softirq context."""
+        cost = self.qdisc.softirq_cost
+        cost.charge("timer_fire")
+        cost.charge("lock")
+        self.qdisc.stats.timer_fires += 1
+        released = self.qdisc.dequeue_due(now_ns)
+        for packet in released:
+            packet.departure_ns = now_ns
+            self._per_flow_backlog[packet.flow_id] = max(
+                0, self._per_flow_backlog.get(packet.flow_id, 1) - 1
+            )
+        self.transmitted += len(released)
+        self._reprogram_timer(now_ns)
+        return released
+
+    def _reprogram_timer(self, now_ns: int) -> None:
+        deadline = self.qdisc.soonest_deadline_ns(now_ns)
+        if deadline is None:
+            self.qdisc.timer.cancel()
+            return
+        self.qdisc.softirq_cost.charge("timer_program")
+        self.qdisc.stats.timer_programs += 1
+        self.qdisc.timer.program(max(deadline, now_ns + 1))
+
+    def run_interval(
+        self,
+        arrivals: List[tuple[int, Packet]],
+        start_ns: int,
+        duration_ns: int,
+    ) -> IntervalSample:
+        """Process one measurement interval and return its CPU sample.
+
+        ``arrivals`` must be sorted by arrival time and fall within the
+        interval.  Between arrivals the timer is fired whenever it is due.
+        """
+        self.qdisc.reset_costs()
+        end_ns = start_ns + duration_ns
+        index = 0
+        now = start_ns
+        packets_processed = 0
+        while now < end_ns:
+            next_arrival = arrivals[index][0] if index < len(arrivals) else end_ns
+            timer_expiry = (
+                self.qdisc.timer.expiry_ns if self.qdisc.timer.armed else None
+            )
+            if timer_expiry is not None and timer_expiry <= min(next_arrival, end_ns):
+                now = timer_expiry
+                self.qdisc.timer.fire()
+                self._run_timer(now)
+                continue
+            if index >= len(arrivals):
+                break
+            now, packet = arrivals[index]
+            index += 1
+            if now >= end_ns:
+                break
+            backlog = self._per_flow_backlog.get(packet.flow_id, 0)
+            if backlog >= self.tsq_limit:
+                # TSQ defers the packet inside the TCP stack; it will be
+                # offered again later and costs the stack (not the qdisc).
+                self.deferred += 1
+                continue
+            self._charge_enqueue(now)
+            self.qdisc.enqueue_packet(packet, now)
+            self._per_flow_backlog[packet.flow_id] = backlog + 1
+            self.qdisc.stats.enqueued += 1
+            self.qdisc.stats.backlog_peak = max(
+                self.qdisc.stats.backlog_peak, self.qdisc.backlog
+            )
+            packets_processed += 1
+            # The qdisc watchdog is re-armed when the new packet's deadline
+            # precedes the currently programmed expiry (or nothing is armed).
+            deadline = self.qdisc.soonest_deadline_ns(now)
+            if deadline is not None and (
+                not self.qdisc.timer.armed or deadline < self.qdisc.timer.expiry_ns
+            ):
+                self._reprogram_timer(now)
+        # Drain any timer work still due before the interval closes.
+        while self.qdisc.timer.armed and self.qdisc.timer.expiry_ns <= end_ns:
+            now = self.qdisc.timer.fire()
+            self._run_timer(now)
+        return IntervalSample(
+            start_ns=start_ns,
+            duration_ns=duration_ns,
+            packets=packets_processed,
+            system_cycles=self.qdisc.system_cost.total_cycles,
+            softirq_cycles=self.qdisc.softirq_cost.total_cycles,
+        )
+
+    # -- closed-loop (saturated senders) mode ----------------------------------------
+
+    def _offer_packet(self, flow_id: int, size_bytes: int, now_ns: int) -> None:
+        """Enqueue one packet for ``flow_id`` (the TCP stack handing over skb)."""
+        packet = Packet(flow_id=flow_id, size_bytes=size_bytes, arrival_ns=now_ns)
+        self._charge_enqueue(now_ns)
+        self.qdisc.enqueue_packet(packet, now_ns)
+        self._per_flow_backlog[flow_id] = self._per_flow_backlog.get(flow_id, 0) + 1
+        self.qdisc.stats.enqueued += 1
+        deadline = self.qdisc.soonest_deadline_ns(now_ns)
+        if deadline is not None and (
+            not self.qdisc.timer.armed or deadline < self.qdisc.timer.expiry_ns
+        ):
+            self._reprogram_timer(now_ns)
+
+    def run_closed_loop_interval(
+        self,
+        flow_ids: List[int],
+        start_ns: int,
+        duration_ns: int,
+        packet_bytes: int = 1500,
+    ) -> IntervalSample:
+        """One measurement interval with saturated senders (the paper's setup).
+
+        Every flow always has ``tsq_limit`` packets inside the qdisc: whenever
+        one of its packets is transmitted, the TCP stack immediately offers
+        the next one (this is how 20k ``neper`` flows behind TSQ behave).
+        All transmissions are therefore timer-driven, and the achieved
+        aggregate rate equals the sum of the per-flow pacing rates.
+        """
+        self.qdisc.reset_costs()
+        end_ns = start_ns + duration_ns
+        packets_processed = 0
+        # Top up every flow to its TSQ allowance.
+        for flow_id in flow_ids:
+            while self._per_flow_backlog.get(flow_id, 0) < self.tsq_limit:
+                self._offer_packet(flow_id, packet_bytes, start_ns)
+                packets_processed += 1
+        if not self.qdisc.timer.armed:
+            self._reprogram_timer(start_ns)
+        while self.qdisc.timer.armed and self.qdisc.timer.expiry_ns <= end_ns:
+            now = self.qdisc.timer.fire()
+            cost = self.qdisc.softirq_cost
+            cost.charge("timer_fire")
+            cost.charge("lock")
+            self.qdisc.stats.timer_fires += 1
+            released = self.qdisc.dequeue_due(now)
+            self.transmitted += len(released)
+            for packet in released:
+                packet.departure_ns = now
+                self._per_flow_backlog[packet.flow_id] = max(
+                    0, self._per_flow_backlog.get(packet.flow_id, 1) - 1
+                )
+                self._offer_packet(packet.flow_id, packet_bytes, now)
+                packets_processed += 1
+            self._reprogram_timer(now)
+        return IntervalSample(
+            start_ns=start_ns,
+            duration_ns=duration_ns,
+            packets=packets_processed,
+            system_cycles=self.qdisc.system_cost.total_cycles,
+            softirq_cycles=self.qdisc.softirq_cost.total_cycles,
+        )
+
+
+__all__ = ["IntervalSample", "KernelSimulation", "Qdisc", "QdiscStats"]

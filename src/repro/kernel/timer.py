@@ -1,0 +1,75 @@
+"""A minimal hrtimer-like timer subsystem for the qdisc simulation.
+
+Qdiscs that shape traffic cannot rely on incoming packets to trigger
+transmission: they must program a timer for the next packet's release time
+(or, in Carousel's case, fire periodically every timing-wheel slot).  The
+timer subsystem here mirrors that interface: a qdisc programs an absolute
+expiry time, the simulation loop fires the timer when the clock reaches it,
+and both the programming and the firing are charged to the CPU cost model —
+the difference in *how often* each qdisc needs its timer is exactly what
+Figure 10's softirq panel measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HrTimer:
+    """One programmable one-shot timer (absolute expiry, nanoseconds)."""
+
+    def __init__(self, granularity_ns: int = 1) -> None:
+        if granularity_ns <= 0:
+            raise ValueError("granularity_ns must be positive")
+        self.granularity_ns = granularity_ns
+        self._expiry_ns: Optional[int] = None
+        #: Counters consumed by the CPU cost model.
+        self.programs = 0
+        self.fires = 0
+        self.cancellations = 0
+
+    @property
+    def armed(self) -> bool:
+        """True when an expiry is programmed."""
+        return self._expiry_ns is not None
+
+    @property
+    def expiry_ns(self) -> Optional[int]:
+        """Programmed expiry, or ``None`` when disarmed."""
+        return self._expiry_ns
+
+    def program(self, expiry_ns: int) -> None:
+        """Arm (or re-arm) the timer for ``expiry_ns``.
+
+        Expiries are rounded up to the timer granularity, mirroring hrtimer
+        slack: a 1 ns granularity is effectively exact, a coarse granularity
+        models a periodic tick.
+        """
+        remainder = expiry_ns % self.granularity_ns
+        if remainder:
+            expiry_ns += self.granularity_ns - remainder
+        if self._expiry_ns != expiry_ns:
+            self.programs += 1
+        self._expiry_ns = expiry_ns
+
+    def cancel(self) -> None:
+        """Disarm the timer."""
+        if self._expiry_ns is not None:
+            self.cancellations += 1
+        self._expiry_ns = None
+
+    def due(self, now_ns: int) -> bool:
+        """True when the timer is armed and its expiry has passed."""
+        return self._expiry_ns is not None and self._expiry_ns <= now_ns
+
+    def fire(self) -> int:
+        """Consume the expiry (the simulation calls the qdisc's handler)."""
+        if self._expiry_ns is None:
+            raise RuntimeError("firing a disarmed timer")
+        expiry = self._expiry_ns
+        self._expiry_ns = None
+        self.fires += 1
+        return expiry
+
+
+__all__ = ["HrTimer"]

@@ -1,0 +1,42 @@
+"""Packet-level datacenter network simulator (the ns-2 stand-in for Figure 19)."""
+
+from .elements import (
+    DropTailEcnQueue,
+    Host,
+    Link,
+    PFabricPortQueue,
+    PortQueue,
+    Switch,
+    approx_pfabric_queue_factory,
+)
+from .experiment import (
+    FabricExperimentConfig,
+    FabricRunResult,
+    SCHEMES,
+    run_fabric_experiment,
+    run_figure19,
+)
+from .simulator import Simulator
+from .topology import FabricConfig, LeafSpineFabric
+from .transport import DctcpTransport, FlowRecord, PFabricTransport
+
+__all__ = [
+    "DctcpTransport",
+    "DropTailEcnQueue",
+    "FabricConfig",
+    "FabricExperimentConfig",
+    "FabricRunResult",
+    "FlowRecord",
+    "Host",
+    "LeafSpineFabric",
+    "Link",
+    "PFabricPortQueue",
+    "PFabricTransport",
+    "PortQueue",
+    "SCHEMES",
+    "Simulator",
+    "Switch",
+    "approx_pfabric_queue_factory",
+    "run_fabric_experiment",
+    "run_figure19",
+]

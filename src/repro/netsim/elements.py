@@ -1,0 +1,297 @@
+"""Network elements: port queues, links, switches and hosts.
+
+The Figure 19 experiment compares three fabrics that differ only in what the
+switch output ports do:
+
+* **DCTCP** — drop-tail queues with ECN marking above a threshold;
+* **pFabric** — small priority queues that serve the packet with the lowest
+  remaining-flow-size first and, when full, drop the packet with the highest
+  remaining size (priority dropping);
+* **pFabric-Approx** — the same, but the priority index is the approximate
+  gradient queue instead of an exact priority queue.
+
+Every port queue exposes the same three operations (``enqueue``, ``dequeue``,
+``__len__``) so switches are agnostic of the variant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from .simulator import Simulator
+from ..core.model.packet import Packet
+from ..core.queues import (
+    ApproximateGradientQueue,
+    BucketSpec,
+    EmptyQueueError,
+    SortedListQueue,
+)
+
+
+class PortQueue:
+    """Base class for switch output-port queues."""
+
+    def __init__(self, capacity_packets: int) -> None:
+        if capacity_packets <= 0:
+            raise ValueError("capacity_packets must be positive")
+        self.capacity_packets = capacity_packets
+        self.drops = 0
+        self.enqueued = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Admit a packet; returns False when it was dropped."""
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        """Next packet to transmit, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class DropTailEcnQueue(PortQueue):
+    """FIFO queue with tail drop and DCTCP-style ECN marking."""
+
+    def __init__(self, capacity_packets: int = 250, ecn_threshold: int = 65) -> None:
+        super().__init__(capacity_packets)
+        self.ecn_threshold = ecn_threshold
+        self._queue: Deque[Packet] = deque()
+
+    def enqueue(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity_packets:
+            self.drops += 1
+            return False
+        if len(self._queue) >= self.ecn_threshold:
+            packet.metadata["ecn"] = True
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PFabricPortQueue(PortQueue):
+    """pFabric port: serve lowest remaining size, drop highest when full.
+
+    The port admits at most ``capacity_packets`` resident packets.  Dequeue
+    order is decided by a pluggable priority index — an exact priority queue
+    by default, or the approximate gradient queue for the Figure 19 "Approx"
+    variant.  When the port is full, the resident packet with the *largest*
+    remaining size is evicted in favour of an arriving packet with a smaller
+    one (pFabric's priority dropping); eviction uses lazy deletion so it
+    works with any index implementation.
+
+    Args:
+        capacity_packets: pFabric uses shallow buffers (~2 BDP).
+        queue_factory: builds the priority index from a
+            :class:`~repro.core.queues.base.BucketSpec`.
+        max_priority: remaining-size priority levels (one per MTU).
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int = 36,
+        queue_factory: Optional[Callable[[BucketSpec], object]] = None,
+        max_priority: int = 100_000,
+    ) -> None:
+        super().__init__(capacity_packets)
+        self.max_priority = max_priority
+        spec = BucketSpec(num_buckets=max_priority)
+        factory = queue_factory or (lambda s: SortedListQueue(s))
+        self._queue = factory(spec)
+        # The backing index may cover fewer priority levels than requested
+        # (the approximate gradient queue has a bounded bucket count); clamp
+        # priorities into whatever range it actually supports.
+        backing_spec = getattr(self._queue, "spec", spec)
+        self._priority_levels = min(max_priority, backing_spec.num_buckets)
+        self._resident: List[Packet] = []
+
+    def _priority(self, packet: Packet) -> int:
+        remaining = packet.metadata.get("remaining_bytes", self.max_priority - 1)
+        # Priority granularity of one MTU keeps the bucket count bounded.
+        return min(self._priority_levels - 1, int(remaining) // 1500)
+
+    def enqueue(self, packet: Packet) -> bool:
+        priority = self._priority(packet)
+        if len(self._resident) >= self.capacity_packets:
+            # Priority dropping: evict the worst resident packet if the
+            # arriving one outranks it, otherwise drop the arrival.
+            worst = max(self._resident, key=self._priority)
+            if self._priority(worst) <= priority:
+                self.drops += 1
+                return False
+            self._resident.remove(worst)
+            worst.metadata["pfabric_evicted"] = True
+            self.drops += 1
+        self._resident.append(packet)
+        self._queue.enqueue(priority, packet)
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        while len(self._queue):
+            try:
+                _priority, packet = self._queue.extract_min()
+            except EmptyQueueError:  # pragma: no cover - defensive
+                return None
+            if packet.metadata.pop("pfabric_evicted", None):
+                continue  # lazily discard evicted packets
+            self._resident.remove(packet)
+            return packet
+        return None
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+
+def approx_pfabric_queue_factory(spec: BucketSpec):
+    """Factory for the pFabric-Approx port index (Figure 19)."""
+    bounded = BucketSpec(num_buckets=min(spec.num_buckets, 480), granularity=1)
+    return ApproximateGradientQueue(bounded, alpha=16)
+
+
+class Link:
+    """A unidirectional link: serialisation at ``rate_bps`` plus propagation."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        rate_bps: float,
+        propagation_ns: int,
+        deliver: Callable[[Packet], None],
+        queue: PortQueue,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.simulator = simulator
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.deliver = deliver
+        self.queue = queue
+        self._busy = False
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission over this link."""
+        if not self.queue.enqueue(packet):
+            return
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        serialisation_ns = int(packet.size_bytes * 8 / self.rate_bps * 1e9)
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size_bytes
+
+        def delivered(packet=packet) -> None:
+            self.deliver(packet)
+
+        self.simulator.schedule(serialisation_ns + self.propagation_ns, delivered)
+        self.simulator.schedule(serialisation_ns, self._transmit_next)
+
+    @property
+    def utilization_bytes(self) -> int:
+        """Total bytes pushed onto the wire."""
+        return self.transmitted_bytes
+
+
+class Node:
+    """Base class for switches and hosts: receives packets, forwards them."""
+
+    def __init__(self, name: str, simulator: Simulator) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.links: Dict[str, Link] = {}
+
+    def attach_link(self, destination: str, link: Link) -> None:
+        """Register the outgoing link towards ``destination``."""
+        self.links[destination] = link
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an incoming packet."""
+        raise NotImplementedError
+
+
+class Switch(Node):
+    """A switch forwarding packets according to a static routing function."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        route: Callable[["Switch", Packet], str],
+    ) -> None:
+        super().__init__(name, simulator)
+        self.route = route
+        self.forwarded = 0
+
+    def receive(self, packet: Packet) -> None:
+        next_hop = self.route(self, packet)
+        link = self.links.get(next_hop)
+        if link is None:
+            raise KeyError(f"{self.name}: no link towards {next_hop!r}")
+        self.forwarded += 1
+        link.send(packet)
+
+
+class Host(Node):
+    """An end host: delivers packets to its transport endpoints.
+
+    Delivery is dispatched by flow id so that fabrics with thousands of flows
+    do not pay a linear scan over every registered endpoint per packet;
+    ``register_receiver`` remains available for taps that want every packet.
+    """
+
+    def __init__(self, name: str, simulator: Simulator, host_id: int) -> None:
+        super().__init__(name, simulator)
+        self.host_id = host_id
+        self._receivers: List[Callable[[Packet], None]] = []
+        self._flow_receivers: Dict[int, List[Callable[[Packet], None]]] = {}
+
+    def register_receiver(self, receiver: Callable[[Packet], None]) -> None:
+        """Add a callback invoked for every packet delivered to this host."""
+        self._receivers.append(receiver)
+
+    def register_flow_receiver(
+        self, flow_id: int, receiver: Callable[[Packet], None]
+    ) -> None:
+        """Add a callback invoked only for packets of ``flow_id``."""
+        self._flow_receivers.setdefault(flow_id, []).append(receiver)
+
+    def receive(self, packet: Packet) -> None:
+        for receiver in self._flow_receivers.get(packet.flow_id, ()):
+            receiver(packet)
+        for receiver in self._receivers:
+            receiver(packet)
+
+    def uplink(self) -> Link:
+        """The host's single outgoing link (to its leaf switch)."""
+        if len(self.links) != 1:
+            raise RuntimeError(f"host {self.name} must have exactly one uplink")
+        return next(iter(self.links.values()))
+
+
+__all__ = [
+    "DropTailEcnQueue",
+    "Host",
+    "Link",
+    "Node",
+    "PFabricPortQueue",
+    "PortQueue",
+    "Switch",
+    "approx_pfabric_queue_factory",
+]

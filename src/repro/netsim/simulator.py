@@ -1,0 +1,65 @@
+"""Discrete-event simulation core for the datacenter fabric experiments."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """A minimal discrete-event simulator (nanosecond clock).
+
+    Events are ``(time, sequence, callback)`` triples in a binary heap; the
+    sequence number keeps same-time events in scheduling order, which keeps
+    packet orderings deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now_ns = 0
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise ValueError("delay_ns must be non-negative")
+        self.schedule_at(self.now_ns + delay_ns, callback)
+
+    def schedule_at(self, time_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time_ns`` (>= now)."""
+        if time_ns < self.now_ns:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._events, (time_ns, next(self._sequence), callback))
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the horizon / event budget / queue exhaustion.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._events:
+            if until_ns is not None and self._events[0][0] > until_ns:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time_ns, _seq, callback = heapq.heappop(self._events)
+            self.now_ns = time_ns
+            callback()
+            processed += 1
+        self._processed += processed
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued."""
+        return len(self._events)
+
+    @property
+    def processed_events(self) -> int:
+        """Total events processed so far."""
+        return self._processed
+
+
+__all__ = ["Simulator"]

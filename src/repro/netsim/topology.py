@@ -1,0 +1,144 @@
+"""Leaf-spine fabric construction for the Figure 19 experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .elements import Host, Link, PortQueue, Switch
+from .simulator import Simulator
+from ..core.model.packet import Packet
+
+#: Builds a fresh port queue for every link in the fabric.
+QueueFactory = Callable[[], PortQueue]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Dimensions and speeds of the simulated leaf-spine fabric.
+
+    The paper simulates a 144-host leaf-spine; the defaults here are a scaled
+    fabric with the same 4:1 host:leaf ratio and the same edge/core speed
+    ratio so queueing dynamics (where contention happens) are preserved.
+    """
+
+    num_leaves: int = 4
+    num_spines: int = 4
+    hosts_per_leaf: int = 4
+    edge_rate_bps: float = 10e9
+    core_rate_bps: float = 40e9
+    link_propagation_ns: int = 200
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of hosts in the fabric."""
+        return self.num_leaves * self.hosts_per_leaf
+
+    def leaf_of(self, host_id: int) -> int:
+        """Index of the leaf switch a host attaches to."""
+        return host_id // self.hosts_per_leaf
+
+    def base_rtt_seconds(self) -> float:
+        """Unloaded round-trip time across the fabric (for FCT normalisation).
+
+        One MTU-sized data packet crosses host->leaf->spine->leaf->host (two
+        edge hops at the edge rate, two core hops at the core rate) and a
+        40-byte ACK returns the same way.
+        """
+        one_way_hops = 4  # host->leaf->spine->leaf->host
+        propagation = 2 * one_way_hops * self.link_propagation_ns / 1e9
+        data_serialisation = 2 * (1500 * 8 / self.edge_rate_bps) + 2 * (
+            1500 * 8 / self.core_rate_bps
+        )
+        ack_serialisation = 2 * (40 * 8 / self.edge_rate_bps) + 2 * (
+            40 * 8 / self.core_rate_bps
+        )
+        return propagation + data_serialisation + ack_serialisation
+
+
+class LeafSpineFabric:
+    """A leaf-spine fabric of hosts, leaf switches and spine switches."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: FabricConfig,
+        queue_factory: QueueFactory,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config
+        self.queue_factory = queue_factory
+        self.hosts: List[Host] = []
+        self.leaves: List[Switch] = []
+        self.spines: List[Switch] = []
+        self._build()
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route_from_leaf(self, switch: Switch, packet: Packet) -> str:
+        dst = packet.metadata["dst"]
+        leaf_index = int(switch.name.split("-")[1])
+        if self.config.leaf_of(dst) == leaf_index:
+            return f"host-{dst}"
+        spine_index = hash((packet.flow_id, leaf_index)) % self.config.num_spines
+        return f"spine-{spine_index}"
+
+    def _route_from_spine(self, switch: Switch, packet: Packet) -> str:
+        dst = packet.metadata["dst"]
+        return f"leaf-{self.config.leaf_of(dst)}"
+
+    # -- construction ------------------------------------------------------------
+
+    def _connect(self, src, dst_name: str, deliver, rate_bps: float) -> None:
+        link = Link(
+            self.simulator,
+            rate_bps=rate_bps,
+            propagation_ns=self.config.link_propagation_ns,
+            deliver=deliver,
+            queue=self.queue_factory(),
+        )
+        src.attach_link(dst_name, link)
+
+    def _build(self) -> None:
+        config = self.config
+        self.leaves = [
+            Switch(f"leaf-{i}", self.simulator, self._route_from_leaf)
+            for i in range(config.num_leaves)
+        ]
+        self.spines = [
+            Switch(f"spine-{i}", self.simulator, self._route_from_spine)
+            for i in range(config.num_spines)
+        ]
+        self.hosts = [
+            Host(f"host-{i}", self.simulator, host_id=i)
+            for i in range(config.num_hosts)
+        ]
+        for host in self.hosts:
+            leaf = self.leaves[config.leaf_of(host.host_id)]
+            self._connect(host, leaf.name, leaf.receive, config.edge_rate_bps)
+            self._connect(leaf, host.name, host.receive, config.edge_rate_bps)
+        for leaf in self.leaves:
+            for spine in self.spines:
+                self._connect(leaf, spine.name, spine.receive, config.core_rate_bps)
+                self._connect(spine, leaf.name, leaf.receive, config.core_rate_bps)
+
+    # -- accessors --------------------------------------------------------------------
+
+    def host(self, host_id: int) -> Host:
+        """Host by id."""
+        return self.hosts[host_id]
+
+    def all_port_queues(self) -> List[PortQueue]:
+        """Every port queue in the fabric (for drop/occupancy statistics)."""
+        queues = []
+        for node in [*self.hosts, *self.leaves, *self.spines]:
+            for link in node.links.values():
+                queues.append(link.queue)
+        return queues
+
+    def total_drops(self) -> int:
+        """Packets dropped fabric-wide."""
+        return sum(queue.drops for queue in self.all_port_queues())
+
+
+__all__ = ["FabricConfig", "LeafSpineFabric", "QueueFactory"]

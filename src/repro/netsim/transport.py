@@ -1,0 +1,240 @@
+"""Simplified transports for the fabric simulation: DCTCP and pFabric.
+
+Both transports implement the same reliability skeleton — a sliding window of
+MTU-sized packets, per-packet ACKs, timeout-based retransmission — and differ
+in how the window reacts to congestion signals:
+
+* :class:`DctcpTransport` grows its window by one MSS per RTT and shrinks it
+  proportionally to the fraction of ECN-marked ACKs (the DCTCP control law
+  with gain 1/16);
+* :class:`PFabricTransport` keeps a fixed window of roughly two
+  bandwidth-delay products and relies on the fabric's priority scheduling /
+  dropping: packets carry the flow's remaining size, so nearly-complete flows
+  overtake long ones inside the switches.
+
+The completion time of a flow is measured from its start until the ACK of its
+last packet is received, which is what the FCT statistics of Figure 19 use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .elements import Host
+from .simulator import Simulator
+from ..core.model.packet import Packet
+
+MTU_BYTES = 1500
+ACK_BYTES = 40
+
+
+@dataclass
+class FlowRecord:
+    """Bookkeeping and result of one simulated flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: int
+    start_ns: int
+    finish_ns: Optional[int] = None
+    retransmissions: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """True once every byte has been acknowledged."""
+        return self.finish_ns is not None
+
+    @property
+    def fct_seconds(self) -> float:
+        """Flow completion time in seconds."""
+        if self.finish_ns is None:
+            raise ValueError(f"flow {self.flow_id} has not completed")
+        return (self.finish_ns - self.start_ns) / 1e9
+
+    @property
+    def num_packets(self) -> int:
+        """Number of MTU-sized packets making up the flow."""
+        return max(1, -(-self.size_bytes // MTU_BYTES))
+
+
+class _BaseTransport:
+    """Shared sliding-window sender/receiver logic."""
+
+    #: Retransmission timeout; a small multiple of the fabric RTT.
+    rto_ns = 300_000
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        fabric,
+        record: FlowRecord,
+        on_complete: Callable[[FlowRecord], None],
+        initial_window: int = 10,
+    ) -> None:
+        self.simulator = simulator
+        self.fabric = fabric
+        self.record = record
+        self.on_complete = on_complete
+        self.window = float(initial_window)
+        self.total_packets = record.num_packets
+        self.next_seq = 0
+        self.acked: set[int] = set()
+        self.in_flight: Dict[int, int] = {}  # seq -> send time
+        self.src_host: Host = fabric.host(record.src)
+        self.dst_host: Host = fabric.host(record.dst)
+        self.dst_host.register_flow_receiver(
+            record.flow_id, self._on_packet_at_receiver
+        )
+        self.src_host.register_flow_receiver(record.flow_id, self._on_packet_at_sender)
+        self._done = False
+
+    # -- sending ----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmission (called at the flow's arrival time)."""
+        self._fill_window()
+
+    def _remaining_bytes(self, seq: int) -> int:
+        remaining_packets = self.total_packets - seq
+        return max(1, remaining_packets * MTU_BYTES)
+
+    def _fill_window(self) -> None:
+        while (
+            len(self.in_flight) < max(1, int(self.window))
+            and self.next_seq < self.total_packets
+        ):
+            self._send_data(self.next_seq)
+            self.next_seq += 1
+
+    def _send_data(self, seq: int, retransmission: bool = False) -> None:
+        if self._done or seq in self.acked:
+            return
+        size = min(MTU_BYTES, self.record.size_bytes - seq * MTU_BYTES) or MTU_BYTES
+        packet = Packet(flow_id=self.record.flow_id, size_bytes=max(64, size))
+        packet.metadata.update(
+            {
+                "kind": "data",
+                "seq": seq,
+                "src": self.record.src,
+                "dst": self.record.dst,
+                "remaining_bytes": self._remaining_bytes(seq),
+            }
+        )
+        if retransmission:
+            self.record.retransmissions += 1
+        self.in_flight[seq] = self.simulator.now_ns
+        self.src_host.uplink().send(packet)
+        self.simulator.schedule(self.rto_ns, lambda seq=seq: self._check_timeout(seq))
+
+    def _check_timeout(self, seq: int) -> None:
+        if self._done or seq in self.acked:
+            return
+        sent_at = self.in_flight.get(seq)
+        if sent_at is None:
+            return
+        if self.simulator.now_ns - sent_at >= self.rto_ns:
+            self.on_timeout(seq)
+            self._send_data(seq, retransmission=True)
+
+    # -- receiving -----------------------------------------------------------------------
+
+    def _on_packet_at_receiver(self, packet: Packet) -> None:
+        if packet.flow_id != self.record.flow_id:
+            return
+        if packet.metadata.get("kind") != "data":
+            return
+        ack = Packet(flow_id=self.record.flow_id, size_bytes=ACK_BYTES)
+        ack.metadata.update(
+            {
+                "kind": "ack",
+                "seq": packet.metadata["seq"],
+                "src": self.record.dst,
+                "dst": self.record.src,
+                "ecn_echo": bool(packet.metadata.get("ecn")),
+                "remaining_bytes": 1,  # ACKs get top priority in pFabric ports
+            }
+        )
+        self.dst_host.uplink().send(ack)
+
+    def _on_packet_at_sender(self, packet: Packet) -> None:
+        if self._done or packet.flow_id != self.record.flow_id:
+            return
+        if packet.metadata.get("kind") != "ack":
+            return
+        seq = packet.metadata["seq"]
+        if seq in self.acked:
+            return
+        self.acked.add(seq)
+        self.in_flight.pop(seq, None)
+        self.on_ack(packet)
+        if len(self.acked) >= self.total_packets:
+            self._done = True
+            self.record.finish_ns = self.simulator.now_ns
+            self.on_complete(self.record)
+            return
+        self._fill_window()
+
+    # -- congestion-control hooks ------------------------------------------------------------
+
+    def on_ack(self, ack: Packet) -> None:
+        """Adjust the window in response to an ACK."""
+
+    def on_timeout(self, seq: int) -> None:
+        """React to a retransmission timeout."""
+
+
+class DctcpTransport(_BaseTransport):
+    """A compact DCTCP sender: ECN-fraction-proportional window reduction."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.alpha = 0.0
+        self._acks_in_window = 0
+        self._marks_in_window = 0
+        self._window_target = max(1, int(self.window))
+
+    def on_ack(self, ack: Packet) -> None:
+        self._acks_in_window += 1
+        if ack.metadata.get("ecn_echo"):
+            self._marks_in_window += 1
+        # Once per window of ACKs, update alpha and apply the DCTCP cut.
+        if self._acks_in_window >= max(1, int(self.window)):
+            fraction = self._marks_in_window / self._acks_in_window
+            self.alpha = (1 - 1 / 16) * self.alpha + (1 / 16) * fraction
+            if self._marks_in_window:
+                self.window = max(1.0, self.window * (1 - self.alpha / 2))
+            else:
+                self.window += 1.0
+            self._acks_in_window = 0
+            self._marks_in_window = 0
+        else:
+            # Additive increase spread across the window.
+            self.window += 1.0 / max(1.0, self.window)
+
+    def on_timeout(self, seq: int) -> None:
+        self.window = max(1.0, self.window / 2)
+
+
+class PFabricTransport(_BaseTransport):
+    """pFabric's minimal transport: fixed (BDP-sized) window, aggressive start."""
+
+    def __init__(self, *args, window_packets: int = 12, **kwargs) -> None:
+        kwargs.setdefault("initial_window", window_packets)
+        super().__init__(*args, **kwargs)
+        self.window = float(window_packets)
+
+    def on_timeout(self, seq: int) -> None:
+        # pFabric handles loss with small-timeout retransmission and keeps the
+        # window fixed: switch priority dropping does the congestion control.
+        return
+
+
+__all__ = [
+    "ACK_BYTES",
+    "DctcpTransport",
+    "FlowRecord",
+    "MTU_BYTES",
+    "PFabricTransport",
+]

@@ -1,0 +1,33 @@
+"""Workload generation: flow-size distributions and packet/flow generators."""
+
+from .distributions import (
+    DATAMINING_SIZE_CDF,
+    EmpiricalCDF,
+    FlowSizeDistribution,
+    PoissonArrivals,
+    WEBSEARCH_SIZE_CDF,
+    load_for_fabric,
+)
+from .generators import (
+    FlowArrival,
+    FlowSpec,
+    FlowWorkload,
+    NeperLikeGenerator,
+    RoundRobinAnnotator,
+    SyntheticPacketGenerator,
+)
+
+__all__ = [
+    "DATAMINING_SIZE_CDF",
+    "EmpiricalCDF",
+    "FlowArrival",
+    "FlowSpec",
+    "FlowSizeDistribution",
+    "FlowWorkload",
+    "NeperLikeGenerator",
+    "PoissonArrivals",
+    "RoundRobinAnnotator",
+    "SyntheticPacketGenerator",
+    "WEBSEARCH_SIZE_CDF",
+    "load_for_fabric",
+]

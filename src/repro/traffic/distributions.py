@@ -1,0 +1,196 @@
+"""Flow-size and inter-arrival distributions used by the evaluation workloads.
+
+The pFabric / DCTCP literature evaluates datacenter transports on two
+empirical flow-size distributions measured in production clusters:
+
+* **web search** (DCTCP, Alizadeh et al.) — a mix dominated by short request
+  /response flows with a heavy tail of multi-megabyte background flows;
+* **data mining** (VL2/pFabric) — even heavier tailed: most flows are tiny
+  but most *bytes* belong to flows of hundreds of megabytes.
+
+The Figure 19 reproduction drives its simulated leaf-spine fabric with the
+web-search distribution, exactly as the paper does.  Both distributions are
+encoded as piecewise-linear CDFs (the standard representation shipped with
+the pFabric ns-2 scripts) and sampled by inverse-transform sampling.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Piecewise CDF of flow sizes (bytes, cumulative probability) for the DCTCP
+#: web-search workload.
+WEBSEARCH_SIZE_CDF: List[Tuple[int, float]] = [
+    (6_000, 0.15),
+    (13_000, 0.20),
+    (19_000, 0.30),
+    (33_000, 0.40),
+    (53_000, 0.53),
+    (133_000, 0.60),
+    (667_000, 0.70),
+    (1_333_000, 0.80),
+    (3_333_000, 0.90),
+    (6_667_000, 0.97),
+    (20_000_000, 1.00),
+]
+
+#: Piecewise CDF of flow sizes for the VL2 / data-mining workload.
+DATAMINING_SIZE_CDF: List[Tuple[int, float]] = [
+    (100, 0.50),
+    (1_000, 0.60),
+    (10_000, 0.70),
+    (30_000, 0.80),
+    (100_000, 0.85),
+    (1_000_000, 0.90),
+    (10_000_000, 0.96),
+    (100_000_000, 0.99),
+    (1_000_000_000, 1.00),
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """A piecewise-linear empirical CDF over positive values."""
+
+    points: Sequence[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("CDF needs at least one point")
+        previous_value, previous_prob = 0.0, 0.0
+        for value, prob in self.points:
+            if value <= previous_value and previous_value > 0:
+                raise ValueError("CDF values must be strictly increasing")
+            if prob < previous_prob:
+                raise ValueError("CDF probabilities must be non-decreasing")
+            previous_value, previous_prob = value, prob
+        if abs(self.points[-1][1] - 1.0) > 1e-9:
+            raise ValueError("CDF must end at probability 1.0")
+
+    def sample(self, rng: random.Random) -> float:
+        """Inverse-transform sample from the CDF."""
+        u = rng.random()
+        probs = [prob for _value, prob in self.points]
+        index = bisect.bisect_left(probs, u)
+        index = min(index, len(self.points) - 1)
+        hi_value, hi_prob = self.points[index]
+        if index == 0:
+            lo_value, lo_prob = 0.0, 0.0
+        else:
+            lo_value, lo_prob = self.points[index - 1]
+        if hi_prob <= lo_prob:
+            return hi_value
+        fraction = (u - lo_prob) / (hi_prob - lo_prob)
+        return lo_value + fraction * (hi_value - lo_value)
+
+    def mean(self) -> float:
+        """Mean of the piecewise-linear distribution."""
+        total = 0.0
+        lo_value, lo_prob = 0.0, 0.0
+        for hi_value, hi_prob in self.points:
+            mass = hi_prob - lo_prob
+            total += mass * (lo_value + hi_value) / 2.0
+            lo_value, lo_prob = hi_value, hi_prob
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Value at cumulative probability ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        probs = [prob for _value, prob in self.points]
+        index = min(bisect.bisect_left(probs, q), len(self.points) - 1)
+        hi_value, hi_prob = self.points[index]
+        lo_value, lo_prob = (0.0, 0.0) if index == 0 else self.points[index - 1]
+        if hi_prob <= lo_prob:
+            return hi_value
+        fraction = (q - lo_prob) / (hi_prob - lo_prob)
+        return lo_value + fraction * (hi_value - lo_value)
+
+
+class FlowSizeDistribution:
+    """Samples flow sizes (bytes) from a named empirical workload."""
+
+    WORKLOADS = {
+        "websearch": WEBSEARCH_SIZE_CDF,
+        "datamining": DATAMINING_SIZE_CDF,
+    }
+
+    def __init__(self, workload: str = "websearch", seed: Optional[int] = None) -> None:
+        try:
+            points = self.WORKLOADS[workload]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown workload {workload!r}; choose from {sorted(self.WORKLOADS)}"
+            ) from exc
+        self.workload = workload
+        self.cdf = EmpiricalCDF(points)
+        self.rng = random.Random(seed)
+
+    def sample_bytes(self) -> int:
+        """One flow size in bytes."""
+        return max(1, int(self.cdf.sample(self.rng)))
+
+    def sample_packets(self, mtu_bytes: int = 1500) -> int:
+        """One flow size in MTU-sized packets."""
+        return max(1, math.ceil(self.sample_bytes() / mtu_bytes))
+
+    def mean_bytes(self) -> float:
+        """Mean flow size of the workload in bytes."""
+        return self.cdf.mean()
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times targeting a given event rate."""
+
+    def __init__(self, rate_per_sec: float, seed: Optional[int] = None) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        self.rate_per_sec = rate_per_sec
+        self.rng = random.Random(seed)
+
+    def next_gap_ns(self) -> int:
+        """Nanoseconds until the next arrival."""
+        return max(1, int(self.rng.expovariate(self.rate_per_sec) * 1e9))
+
+    def arrival_times_ns(self, count: int, start_ns: int = 0) -> List[int]:
+        """Absolute arrival times of the next ``count`` events."""
+        times = []
+        now = start_ns
+        for _ in range(count):
+            now += self.next_gap_ns()
+            times.append(now)
+        return times
+
+
+def load_for_fabric(
+    target_load: float,
+    link_bps: float,
+    num_hosts: int,
+    mean_flow_bytes: float,
+) -> float:
+    """Flow arrival rate (flows/sec, fabric-wide) for a target edge load.
+
+    The pFabric evaluation sweeps "load" from 0.1 to 0.8 of the edge link
+    capacity; given the mean flow size this converts to a Poisson flow
+    arrival rate.
+    """
+    if not 0 < target_load <= 1.0:
+        raise ValueError("target_load must be in (0, 1]")
+    if link_bps <= 0 or num_hosts <= 0 or mean_flow_bytes <= 0:
+        raise ValueError("link_bps, num_hosts and mean_flow_bytes must be positive")
+    bytes_per_second = target_load * link_bps / 8.0 * num_hosts
+    return bytes_per_second / mean_flow_bytes
+
+
+__all__ = [
+    "DATAMINING_SIZE_CDF",
+    "EmpiricalCDF",
+    "FlowSizeDistribution",
+    "PoissonArrivals",
+    "WEBSEARCH_SIZE_CDF",
+    "load_for_fabric",
+]

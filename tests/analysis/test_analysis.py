@@ -1,0 +1,113 @@
+"""Unit tests for the analysis helpers and Table 1 data."""
+
+import pytest
+
+from repro.analysis import (
+    Cdf,
+    FEATURE_MATRIX,
+    Series,
+    Table,
+    feature_matrix_rows,
+    format_feature_matrix,
+    format_series,
+    format_table,
+    normalized_fct,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentileAndCdf:
+    def test_percentile_basics(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        assert percentile(values, 50) == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_cdf(self):
+        cdf = Cdf([5.0, 1.0, 3.0])
+        assert cdf.median() == 3.0
+        assert cdf.at(3.0) == pytest.approx(2 / 3)
+        assert cdf.quantile(1.0) == 5.0
+        points = cdf.points(num=3)
+        assert points[0][0] == 1.0
+        assert points[-1][0] == 5.0
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["count"] == 4
+
+    def test_normalized_fct(self):
+        # A flow finishing in exactly its ideal time normalises to 1.
+        ideal = 0.001 + 100_000 * 8 / 10e9
+        assert normalized_fct(ideal, 100_000, 10e9, 0.001) == pytest.approx(1.0)
+        assert normalized_fct(2 * ideal, 100_000, 10e9, 0.001) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            normalized_fct(1.0, 0, 10e9, 0.001)
+
+
+class TestTablesAndSeries:
+    def test_series(self):
+        series = Series(name="x")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert len(series) == 2
+
+    def test_table_row_validation(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_table_contains_values(self):
+        table = Table(title="My table", columns=["name", "value"])
+        table.add_row("fq", 14.0)
+        rendered = format_table(table)
+        assert "My table" in rendered
+        assert "fq" in rendered
+        assert "14" in rendered
+
+    def test_format_series_merges_x_axes(self):
+        a = Series(name="a", x=[1, 2], y=[10.0, 20.0])
+        b = Series(name="b", x=[2, 3], y=[200.0, 300.0])
+        rendered = format_series("fig", [a, b], x_label="flows", y_label="Mbps")
+        assert "fig" in rendered
+        assert "flows" in rendered
+        assert "-" in rendered  # missing value placeholder
+
+
+class TestFeatureMatrix:
+    def test_eiffel_row_claims(self):
+        eiffel = next(e for e in FEATURE_MATRIX if e.system == "Eiffel")
+        assert eiffel.efficiency == "O(1)"
+        assert eiffel.work_conserving and eiffel.shaping
+        assert eiffel.placement == "SW"
+
+    def test_carousel_not_work_conserving(self):
+        carousel = next(e for e in FEATURE_MATRIX if e.system == "Carousel")
+        assert not carousel.work_conserving
+
+    def test_rows_and_formatting(self):
+        rows = feature_matrix_rows()
+        assert len(rows) == 6
+        rendered = format_feature_matrix()
+        assert "Eiffel" in rendered and "PIFO" in rendered
+
+    def test_claims_match_implementations(self):
+        # The implemented timing wheel (Carousel substrate) indeed lacks
+        # ExtractMin-style eligibility, while the Eiffel queues provide it.
+        from repro.core.queues import BucketSpec, CircularFFSQueue, TimingWheel
+
+        wheel = TimingWheel(num_slots=16)
+        assert not hasattr(wheel, "extract_min")
+        cffs = CircularFFSQueue(BucketSpec(num_buckets=16))
+        assert hasattr(cffs, "extract_min")

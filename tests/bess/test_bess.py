@@ -1,0 +1,132 @@
+"""Unit and integration tests for the BESS-like userspace substrate."""
+
+import pytest
+
+from repro.bess import (
+    BessExperimentConfig,
+    BufferModule,
+    HClockEiffelModule,
+    HClockHeapModule,
+    PFabricEiffelModule,
+    PFabricHeapModule,
+    Pipeline,
+    Sink,
+    Source,
+    crossover_flows,
+    hclock_class_config,
+    measure_max_rate,
+    run_figure12,
+    run_figure15,
+)
+from repro.core.model import Packet
+from repro.traffic import RoundRobinAnnotator, SyntheticPacketGenerator
+
+
+class TestPipeline:
+    def test_pipeline_moves_packets_to_sink(self):
+        generator = SyntheticPacketGenerator(
+            packet_bytes=1500, batch_size=16, annotator=RoundRobinAnnotator(4)
+        )
+        scheduler = PFabricEiffelModule()
+        pipeline = Pipeline([Source(generator), scheduler, Sink()])
+        report = pipeline.run(batches=10)
+        assert report.packets > 0
+        assert report.cycles > 0
+        assert report.cycles_per_packet > 0
+
+    def test_pipeline_requires_sink_last(self):
+        generator = SyntheticPacketGenerator(batch_size=4)
+        pipeline = Pipeline([Source(generator), PFabricEiffelModule()])
+        with pytest.raises(TypeError):
+            pipeline.run(batches=1)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_max_rate_capped_by_line_rate(self):
+        generator = SyntheticPacketGenerator(batch_size=8, annotator=RoundRobinAnnotator(2))
+        pipeline = Pipeline([Source(generator), PFabricEiffelModule(), Sink()])
+        report = pipeline.run(batches=4)
+        rate = pipeline.max_rate_bps(report, packet_bytes=1500, line_rate_bps=10e9)
+        assert 0 < rate <= 10e9
+        limited = pipeline.max_rate_bps(
+            report, packet_bytes=1500, line_rate_bps=10e9, rate_limit_bps=5e9
+        )
+        assert limited <= 5e9
+
+
+class TestBufferModule:
+    def test_batches_per_flow(self):
+        buffer_module = BufferModule(batch_bytes=3000)
+        first = buffer_module.process_batch([Packet(flow_id=1, size_bytes=1500)], 0)
+        assert first == []  # below threshold, staged
+        second = buffer_module.process_batch([Packet(flow_id=1, size_bytes=1500)], 0)
+        assert len(second) == 2  # threshold reached, burst released
+
+    def test_flush(self):
+        buffer_module = BufferModule(batch_bytes=10_000)
+        buffer_module.process_batch([Packet(flow_id=1, size_bytes=100)], 0)
+        assert len(buffer_module.flush()) == 1
+        assert buffer_module.flush() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferModule(batch_bytes=0)
+
+
+class TestMeasureMaxRate:
+    def test_eiffel_faster_than_heap_hclock_at_scale(self):
+        config = BessExperimentConfig()
+        flows = 2000
+        classes = hclock_class_config(flows)
+        eiffel_rate = measure_max_rate(
+            HClockEiffelModule(flows, classes), flows, config, measure_packets=128
+        )
+        heap_rate = measure_max_rate(
+            HClockHeapModule(flows, classes), flows, config, measure_packets=128
+        )
+        assert eiffel_rate > heap_rate
+
+    def test_eiffel_faster_than_heap_pfabric_at_scale(self):
+        config = BessExperimentConfig()
+        flows = 2000
+        eiffel_rate = measure_max_rate(
+            PFabricEiffelModule(), flows, config, measure_packets=128
+        )
+        heap_rate = measure_max_rate(
+            PFabricHeapModule(), flows, config, measure_packets=128
+        )
+        assert eiffel_rate > heap_rate
+
+    def test_rate_limit_caps_result(self):
+        config = BessExperimentConfig()
+        rate = measure_max_rate(
+            PFabricEiffelModule(), 10, config, rate_limit_bps=5e9, measure_packets=64
+        )
+        assert rate <= 5e9
+
+
+class TestFigureRuns:
+    def test_figure12_shape(self):
+        results = run_figure12(
+            [10, 1000], config=BessExperimentConfig(), systems=["eiffel", "hclock"]
+        )
+        eiffel = results["eiffel"]
+        hclock = results["hclock"]
+        # Both sustain line rate at 10 flows; at 1000 flows Eiffel still does
+        # and the heap baseline has collapsed.
+        assert eiffel.y[0] == pytest.approx(10_000, rel=0.01)
+        assert hclock.y[0] == pytest.approx(10_000, rel=0.01)
+        assert eiffel.y[1] > hclock.y[1]
+        assert crossover_flows(eiffel, 10e9) >= 1000
+        assert crossover_flows(hclock, 10e9) == 10
+
+    def test_figure15_shape(self):
+        results = run_figure15([100, 5000], config=BessExperimentConfig())
+        eiffel = results["pfabric_eiffel"]
+        heap = results["pfabric_heap"]
+        assert eiffel.y[-1] > heap.y[-1]
+        # Eiffel sustains line rate at 5k flows (the paper shows 5x more
+        # flows than the heap at line rate).
+        assert eiffel.y[-1] == pytest.approx(10_000, rel=0.01)

@@ -1,0 +1,200 @@
+"""Unit tests for policy descriptions, the parser, and the compiler."""
+
+import pytest
+
+from repro.core.model import (
+    Discipline,
+    PolicyNodeSpec,
+    PolicySpec,
+    compile_policy,
+    describe_policy,
+    parse_policy,
+)
+from repro.core.model import Packet
+
+
+def figure7_policy():
+    """The hierarchical policy of Figure 7: nested rate limits plus pacing."""
+    return PolicySpec(
+        name="figure7",
+        nodes=[
+            PolicyNodeSpec(name="root", discipline=Discipline.WFQ),
+            PolicyNodeSpec(name="left", parent="root", weight=0.3),
+            PolicyNodeSpec(
+                name="right", parent="root", weight=0.7, rate_limit_bps=10e6,
+                discipline=Discipline.WFQ,
+            ),
+            PolicyNodeSpec(name="right_a", parent="right", weight=0.5),
+            PolicyNodeSpec(
+                name="right_b", parent="right", weight=0.5, rate_limit_bps=7e6
+            ),
+        ],
+        pacing_rate_bps=20e6,
+        flow_to_leaf={1: "left", 2: "right_a", 3: "right_b"},
+    )
+
+
+class TestPolicySpecValidation:
+    def test_valid_policy_passes(self):
+        figure7_policy().validate()
+
+    def test_requires_single_root(self):
+        spec = PolicySpec(
+            name="bad",
+            nodes=[PolicyNodeSpec(name="a"), PolicyNodeSpec(name="b")],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_parent(self):
+        spec = PolicySpec(
+            name="bad",
+            nodes=[
+                PolicyNodeSpec(name="root"),
+                PolicyNodeSpec(name="x", parent="ghost"),
+            ],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_duplicate_names(self):
+        spec = PolicySpec(
+            name="bad",
+            nodes=[PolicyNodeSpec(name="root"), PolicyNodeSpec(name="root", parent="root")],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_flow_mapping(self):
+        spec = PolicySpec(
+            name="bad",
+            nodes=[PolicyNodeSpec(name="root")],
+            flow_to_leaf={1: "ghost"},
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_cycle_detection(self):
+        spec = PolicySpec(
+            name="bad",
+            nodes=[
+                PolicyNodeSpec(name="root"),
+                PolicyNodeSpec(name="a", parent="b"),
+                PolicyNodeSpec(name="b", parent="a"),
+            ],
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError):
+            PolicyNodeSpec(name="x", weight=0)
+        with pytest.raises(ValueError):
+            PolicyNodeSpec(name="x", rate_limit_bps=-1)
+        with pytest.raises(ValueError):
+            PolicyNodeSpec(name="x", pifo_buckets=0)
+
+    def test_leaf_helpers(self):
+        spec = figure7_policy()
+        assert set(spec.leaf_names()) == {"left", "right_a", "right_b"}
+        assert spec.leaf_for_flow(2) == "right_a"
+        assert spec.leaf_for_flow(999) == "left"  # first leaf fallback
+        assert [child.name for child in spec.children_of("right")] == [
+            "right_a",
+            "right_b",
+        ]
+
+
+class TestParser:
+    def test_parse_round_trip(self):
+        text = """
+        # Figure 7 policy
+        root wfq
+        root -> left   [weight=0.3]
+        root -> right  [weight=0.7] [rate=10e6] wfq
+        right -> right_a [weight=0.5]
+        right -> right_b [weight=0.5] [rate=7e6]
+        pacing 20e6
+        """
+        spec = parse_policy(text, name="figure7")
+        assert spec.pacing_rate_bps == 20e6
+        assert spec.node("right").rate_limit_bps == 10e6
+        assert spec.node("right").discipline is Discipline.WFQ
+        assert spec.node("left").weight == pytest.approx(0.3)
+        assert set(spec.leaf_names()) == {"left", "right_a", "right_b"}
+
+    def test_parse_unknown_parent_raises(self):
+        with pytest.raises(ValueError):
+            parse_policy("root\nghost -> leaf")
+
+
+class TestCompiler:
+    def test_compiled_scheduler_transmits_all_packets(self):
+        scheduler = compile_policy(figure7_policy())
+        packets = [
+            Packet(flow_id=flow, size_bytes=1500) for flow in (1, 2, 3) for _ in range(5)
+        ]
+        for packet in packets:
+            scheduler.enqueue(packet, now_ns=0)
+        # All packets clear their gates well within a second at >= 7 Mbps.
+        drained = scheduler.dequeue_all_due(now_ns=10_000_000_000)
+        assert len(drained) == len(packets)
+        assert scheduler.empty
+
+    def test_rate_limits_delay_packets(self):
+        scheduler = compile_policy(figure7_policy())
+        # Flow 3 goes through the 7 Mbps leaf: 10 x 1500 B = 120 kbit needs
+        # ~17 ms; almost nothing should be deliverable after 1 ms.
+        for _ in range(10):
+            scheduler.enqueue(Packet(flow_id=3, size_bytes=1500), now_ns=0)
+        early = scheduler.dequeue_all_due(now_ns=1_000_000)
+        late = scheduler.dequeue_all_due(now_ns=100_000_000)
+        assert len(early) < 10
+        assert len(early) + len(late) == 10
+
+    def test_unshaped_policy_has_no_shaper(self):
+        spec = PolicySpec(
+            name="plain",
+            nodes=[
+                PolicyNodeSpec(name="root", discipline=Discipline.STRICT),
+                PolicyNodeSpec(name="gold", parent="root", priority=0),
+                PolicyNodeSpec(name="best_effort", parent="root", priority=1),
+            ],
+            flow_to_leaf={1: "gold", 2: "best_effort"},
+        )
+        scheduler = compile_policy(spec)
+        assert scheduler.shaper is None
+        scheduler.enqueue(Packet(flow_id=2), now_ns=0)
+        scheduler.enqueue(Packet(flow_id=1), now_ns=0)
+        assert scheduler.dequeue(0).flow_id == 1
+        assert scheduler.dequeue(0).flow_id == 2
+
+    def test_describe_policy(self):
+        description = describe_policy(figure7_policy())
+        assert "figure7" in description
+        assert "right_b" in description
+        assert "pacing" in description
+
+    def test_leaf_annotation_overrides_mapping(self):
+        scheduler = compile_policy(figure7_policy())
+        packet = Packet(flow_id=1).annotate(leaf="right_a")
+        scheduler.enqueue(packet, now_ns=0)
+        assert scheduler.stats.per_leaf.get("right_a") == 1
+
+
+class TestSchedulerTimerSupport:
+    def test_next_event_reports_shaper_deadline(self):
+        scheduler = compile_policy(figure7_policy())
+        assert scheduler.next_event_ns() is None
+        scheduler.enqueue(Packet(flow_id=3, size_bytes=1500), now_ns=0)
+        event = scheduler.next_event_ns()
+        assert event is not None
+
+    def test_next_event_zero_when_tree_ready(self):
+        spec = PolicySpec(
+            name="plain",
+            nodes=[PolicyNodeSpec(name="root"), PolicyNodeSpec(name="leaf", parent="root")],
+        )
+        scheduler = compile_policy(spec)
+        scheduler.enqueue(Packet(flow_id=1), now_ns=0)
+        assert scheduler.next_event_ns() == 0

@@ -1,0 +1,151 @@
+"""Unit tests for scheduling trees and node rank policies."""
+
+import pytest
+
+from repro.core.model import (
+    FIFORankPolicy,
+    NodeConfig,
+    Packet,
+    RateLimit,
+    SchedulingTree,
+    StrictPriorityRankPolicy,
+    WFQRankPolicy,
+)
+
+
+def two_level_tree(root_policy=None):
+    configs = [
+        NodeConfig(name="root", rank_policy=root_policy),
+        NodeConfig(name="left", parent="root"),
+        NodeConfig(name="right", parent="root"),
+    ]
+    return SchedulingTree(configs)
+
+
+class TestTreeStructure:
+    def test_requires_single_root(self):
+        with pytest.raises(ValueError):
+            SchedulingTree([NodeConfig(name="a"), NodeConfig(name="b")])
+        with pytest.raises(ValueError):
+            SchedulingTree([NodeConfig(name="a", parent="missing")])
+        with pytest.raises(ValueError):
+            SchedulingTree([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingTree([NodeConfig(name="a"), NodeConfig(name="a", parent="a")])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingTree(
+                [NodeConfig(name="root"), NodeConfig(name="x", parent="ghost")]
+            )
+
+    def test_leaves_and_paths(self):
+        tree = two_level_tree()
+        assert {node.name for node in tree.leaves()} == {"left", "right"}
+        path = [node.name for node in tree.path_to_root("left")]
+        assert path == ["left", "root"]
+
+    def test_shaping_transactions_on_path(self):
+        configs = [
+            NodeConfig(name="root", rate_limit=RateLimit(20e6)),
+            NodeConfig(name="mid", parent="root", rate_limit=RateLimit(10e6)),
+            NodeConfig(name="leaf", parent="mid"),
+        ]
+        tree = SchedulingTree(configs)
+        gates = tree.shaping_transactions_on_path("leaf")
+        assert [gate.name for gate in gates] == ["mid", "root"]
+
+
+class TestTreeScheduling:
+    def test_fifo_root(self):
+        tree = two_level_tree()
+        first = Packet(flow_id=1)
+        second = Packet(flow_id=2)
+        tree.enqueue("left", first)
+        tree.enqueue("right", second)
+        assert tree.dequeue() is first
+        assert tree.dequeue() is second
+        assert tree.dequeue() is None
+
+    def test_strict_priority_root(self):
+        policy = StrictPriorityRankPolicy({"left": 1, "right": 0})
+        tree = two_level_tree(policy)
+        low = Packet(flow_id=1)
+        high = Packet(flow_id=2)
+        tree.enqueue("left", low)
+        tree.enqueue("right", high)
+        # "right" has the smaller priority value, so it wins.
+        assert tree.dequeue() is high
+        assert tree.dequeue() is low
+
+    def test_wfq_root_shares_bandwidth(self):
+        policy = WFQRankPolicy({"left": 3.0, "right": 1.0})
+        tree = two_level_tree(policy)
+        for index in range(40):
+            tree.enqueue("left", Packet(flow_id=1, size_bytes=1000))
+            tree.enqueue("right", Packet(flow_id=2, size_bytes=1000))
+        served_left = 0
+        for _ in range(40):
+            packet = tree.dequeue()
+            if packet.flow_id == 1:
+                served_left += 1
+        # With a 3:1 weight ratio roughly three quarters of the first 40
+        # services go to the heavier child.
+        assert served_left >= 25
+
+    def test_counts_and_pending(self):
+        tree = two_level_tree()
+        assert tree.empty
+        tree.enqueue("left", Packet(flow_id=1))
+        tree.enqueue("left", Packet(flow_id=1))
+        assert len(tree) == 2
+        pending = tree.pending_per_node()
+        assert pending["left"] == 2
+        assert pending["root"] == 2
+        assert pending["right"] == 0
+
+    def test_enqueue_at_internal_node_rejected(self):
+        tree = two_level_tree()
+        with pytest.raises(ValueError):
+            tree.enqueue("root", Packet(flow_id=1))
+
+    def test_three_level_hierarchy(self):
+        configs = [
+            NodeConfig(name="root", rank_policy=None),
+            NodeConfig(name="tenant_a", parent="root"),
+            NodeConfig(name="tenant_b", parent="root"),
+            NodeConfig(name="a_web", parent="tenant_a"),
+            NodeConfig(name="a_video", parent="tenant_a"),
+        ]
+        tree = SchedulingTree(configs)
+        tree.enqueue("a_web", Packet(flow_id=1))
+        tree.enqueue("a_video", Packet(flow_id=2))
+        tree.enqueue("tenant_b", Packet(flow_id=3))
+        drained = [tree.dequeue().flow_id for _ in range(3)]
+        assert sorted(drained) == [1, 2, 3]
+        assert tree.empty
+
+
+class TestRankPolicies:
+    def test_strict_priority_requires_known_child(self):
+        policy = StrictPriorityRankPolicy({"a": 0})
+        with pytest.raises(KeyError):
+            policy.rank("b", Packet(flow_id=1), 0)
+        with pytest.raises(ValueError):
+            StrictPriorityRankPolicy({})
+
+    def test_wfq_validation(self):
+        with pytest.raises(ValueError):
+            WFQRankPolicy({})
+        with pytest.raises(ValueError):
+            WFQRankPolicy({"a": 0})
+        with pytest.raises(ValueError):
+            WFQRankPolicy({"a": 1.0}, quantum_bytes=0)
+
+    def test_fifo_policy_monotonic(self):
+        policy = FIFORankPolicy()
+        first = policy.rank("x", Packet(flow_id=1), 0)
+        second = policy.rank("y", Packet(flow_id=2), 0)
+        assert second > first

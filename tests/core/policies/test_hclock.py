@@ -1,0 +1,144 @@
+"""Unit and behavioural tests for the hClock schedulers."""
+
+import pytest
+
+from repro.core.model import Packet
+from repro.core.policies import EiffelHClockScheduler, HClockClass, HeapHClockScheduler
+
+IMPLEMENTATIONS = [EiffelHClockScheduler, HeapHClockScheduler]
+
+NS_PER_SEC = 1_000_000_000
+
+
+def run_constant_load(scheduler, flows, duration_ns, link_bps, packet_bytes=1500):
+    """Backlogged flows served at a fixed link rate; returns bytes per flow."""
+    packet_ns = int(packet_bytes * 8 / link_bps * 1e9)
+    served = {flow: 0 for flow in flows}
+    # Keep every flow backlogged with a couple of packets at all times.
+    for flow in flows:
+        for _ in range(4):
+            scheduler.enqueue(Packet(flow_id=flow, size_bytes=packet_bytes), now_ns=0)
+    now = 0
+    while now < duration_ns:
+        packet = scheduler.dequeue(now_ns=now)
+        if packet is not None:
+            served[packet.flow_id] += packet.size_bytes
+            scheduler.enqueue(
+                Packet(flow_id=packet.flow_id, size_bytes=packet_bytes), now_ns=now
+            )
+        now += packet_ns
+    return served
+
+
+class TestHClockClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HClockClass(reservation_bps=-1)
+        with pytest.raises(ValueError):
+            HClockClass(limit_bps=0)
+        with pytest.raises(ValueError):
+            HClockClass(share=0)
+
+
+@pytest.mark.parametrize("scheduler_cls", IMPLEMENTATIONS)
+class TestHClockBehaviour:
+    def test_work_conserving_without_limits(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        for flow in range(3):
+            scheduler.enqueue(Packet(flow_id=flow), now_ns=0)
+        drained = [scheduler.dequeue(now_ns=0) for _ in range(3)]
+        assert all(packet is not None for packet in drained)
+        assert scheduler.empty
+
+    def test_limit_enforced(self, scheduler_cls):
+        # One flow limited to 12 Mbps on a 100 Mbps link: served bytes over
+        # 100 ms must be close to 150 kB, far below the ~1.2 MB line rate.
+        scheduler = scheduler_cls()
+        scheduler.configure_class(1, HClockClass(limit_bps=12e6))
+        served = run_constant_load(
+            scheduler, flows=[1], duration_ns=NS_PER_SEC // 10, link_bps=100e6
+        )
+        expected = 12e6 / 8 * 0.1
+        assert served[1] <= expected * 1.3
+        assert served[1] >= expected * 0.5
+
+    def test_unlimited_flow_uses_full_link(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        served = run_constant_load(
+            scheduler, flows=[1], duration_ns=NS_PER_SEC // 10, link_bps=100e6
+        )
+        expected = 100e6 / 8 * 0.1
+        assert served[1] >= expected * 0.8
+
+    def test_shares_divide_capacity(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        scheduler.configure_class(1, HClockClass(share=3.0))
+        scheduler.configure_class(2, HClockClass(share=1.0))
+        served = run_constant_load(
+            scheduler, flows=[1, 2], duration_ns=NS_PER_SEC // 20, link_bps=100e6
+        )
+        ratio = served[1] / max(1, served[2])
+        assert ratio > 1.8  # roughly 3:1, allow slack for discretisation
+
+    def test_reservation_served_first(self, scheduler_cls):
+        # Flow 1 has a reservation; flow 2 only a share.  Under contention
+        # flow 1 must receive at least its reserved rate.
+        scheduler = scheduler_cls()
+        scheduler.configure_class(1, HClockClass(reservation_bps=20e6, share=1.0))
+        scheduler.configure_class(2, HClockClass(share=10.0))
+        served = run_constant_load(
+            scheduler, flows=[1, 2], duration_ns=NS_PER_SEC // 10, link_bps=50e6
+        )
+        reserved_bytes = 20e6 / 8 * 0.1
+        assert served[1] >= reserved_bytes * 0.7
+
+    def test_non_work_conserving_when_all_limited(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        scheduler.configure_class(1, HClockClass(limit_bps=1e6))
+        scheduler.enqueue(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        first = scheduler.dequeue(now_ns=0)
+        assert first is not None  # first packet allowed immediately
+        scheduler.enqueue(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        # Immediately afterwards the flow exceeds its limit: nothing eligible.
+        assert scheduler.dequeue(now_ns=1) is None
+        # Once enough time passes (12 kbit at 1 Mbps = 12 ms) it becomes eligible.
+        assert scheduler.dequeue(now_ns=20_000_000) is not None
+
+    def test_next_event_reports_limit_tag(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        scheduler.configure_class(1, HClockClass(limit_bps=1e6))
+        scheduler.enqueue(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        scheduler.dequeue(now_ns=0)
+        scheduler.enqueue(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        event = scheduler.next_event_ns()
+        assert event is not None
+        assert event > 0
+
+    def test_pending_counter(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        for _ in range(4):
+            scheduler.enqueue(Packet(flow_id=1), now_ns=0)
+        assert scheduler.pending == 4
+        scheduler.dequeue(now_ns=0)
+        assert scheduler.pending == 3
+        assert scheduler.active_flows == 1
+
+
+class TestImplementationAgreement:
+    def test_served_rates_agree(self):
+        def build(cls):
+            scheduler = cls()
+            scheduler.configure_class(1, HClockClass(share=2.0))
+            scheduler.configure_class(2, HClockClass(share=1.0, limit_bps=20e6))
+            return scheduler
+
+        eiffel = run_constant_load(
+            build(EiffelHClockScheduler), [1, 2], NS_PER_SEC // 20, 100e6
+        )
+        heap = run_constant_load(
+            build(HeapHClockScheduler), [1, 2], NS_PER_SEC // 20, 100e6
+        )
+        for flow in (1, 2):
+            assert heap[flow] > 0
+            ratio = eiffel[flow] / heap[flow]
+            assert 0.7 <= ratio <= 1.3

@@ -1,0 +1,129 @@
+"""Unit tests for the two pFabric scheduler implementations."""
+
+import random
+
+import pytest
+
+from repro.core.model import Packet
+from repro.core.policies import EiffelPFabricScheduler, HeapPFabricScheduler
+
+IMPLEMENTATIONS = [EiffelPFabricScheduler, HeapPFabricScheduler]
+
+
+def packet(flow_id, remaining, size=1500):
+    return Packet(flow_id=flow_id, size_bytes=size).annotate(
+        remaining_packets=remaining
+    )
+
+
+@pytest.mark.parametrize("scheduler_cls", IMPLEMENTATIONS)
+class TestPFabricCommon:
+    def test_smallest_remaining_flow_first(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        scheduler.enqueue(packet(1, remaining=100))
+        scheduler.enqueue(packet(2, remaining=3))
+        scheduler.enqueue(packet(3, remaining=50))
+        assert scheduler.dequeue().flow_id == 2
+        assert scheduler.dequeue().flow_id == 3
+        assert scheduler.dequeue().flow_id == 1
+
+    def test_flow_fifo_order(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        packets = [packet(1, remaining=10 - i) for i in range(5)]
+        for item in packets:
+            scheduler.enqueue(item)
+        drained = [scheduler.dequeue().packet_id for _ in range(5)]
+        assert drained == [p.packet_id for p in packets]
+
+    def test_rank_tracks_minimum_remaining(self, scheduler_cls):
+        # A flow that is almost done (small remaining) must preempt a flow
+        # that arrived earlier with a larger remaining size.
+        scheduler = scheduler_cls()
+        scheduler.enqueue(packet(1, remaining=1000))
+        scheduler.enqueue(packet(2, remaining=999))
+        scheduler.enqueue(packet(2, remaining=1))  # flow 2 nearly finished
+        assert scheduler.dequeue().flow_id == 2
+
+    def test_on_dequeue_rerank_follows_figure14(self, scheduler_cls):
+        # Figure 14: on dequeue, f.rank = min(p.rank, f.front().rank).  A flow
+        # that was nearly finished keeps its small rank even if a new, larger
+        # message queues behind it, so it completes before other flows.
+        scheduler = scheduler_cls()
+        scheduler.enqueue(packet(1, remaining=1))
+        scheduler.enqueue(packet(1, remaining=10_000))
+        scheduler.enqueue(packet(2, remaining=100))
+        assert scheduler.dequeue().flow_id == 1
+        assert scheduler.dequeue().flow_id == 1
+        assert scheduler.dequeue().flow_id == 2
+
+    def test_on_dequeue_rerank_head_dominates(self, scheduler_cls):
+        # When the departing packet carried a *larger* remaining size than the
+        # head (the normal monotonic case), the flow's rank becomes the
+        # head's remaining size.
+        scheduler = scheduler_cls()
+        scheduler.enqueue(packet(1, remaining=500))
+        scheduler.enqueue(packet(1, remaining=499))
+        scheduler.enqueue(packet(2, remaining=499))
+        first = scheduler.dequeue()
+        assert first.flow_id in (1, 2)
+        drained = [scheduler.dequeue().flow_id, scheduler.dequeue().flow_id]
+        assert sorted(drained + [first.flow_id]) == [1, 1, 2]
+
+    def test_conservation(self, scheduler_cls):
+        rng = random.Random(3)
+        scheduler = scheduler_cls()
+        total = 0
+        for flow in range(20):
+            for index in range(rng.randrange(1, 10)):
+                scheduler.enqueue(packet(flow, remaining=rng.randrange(1, 1000)))
+                total += 1
+        drained = 0
+        while scheduler.dequeue() is not None:
+            drained += 1
+        assert drained == total
+        assert scheduler.empty
+
+    def test_unannotated_packets_fall_back_to_backlog(self, scheduler_cls):
+        scheduler = scheduler_cls()
+        scheduler.enqueue(Packet(flow_id=1))
+        scheduler.enqueue(Packet(flow_id=1))
+        scheduler.enqueue(Packet(flow_id=2))
+        drained = [scheduler.dequeue() for _ in range(3)]
+        assert all(p is not None for p in drained)
+
+
+class TestImplementationEquivalence:
+    def test_same_flow_service_order(self):
+        # With a bucket granularity of one, the Eiffel implementation orders
+        # flows exactly like the heap baseline.
+        rng = random.Random(11)
+        eiffel = EiffelPFabricScheduler(max_remaining=1024, buckets=1024)
+        heap = HeapPFabricScheduler(max_remaining=1024)
+        remainings = rng.sample(range(5, 1000), 10)
+        events = list(enumerate(remainings))
+        for flow, remaining in events:
+            eiffel.enqueue(packet(flow, remaining))
+            heap.enqueue(packet(flow, remaining))
+        eiffel_order = [eiffel.dequeue().flow_id for _ in range(len(events))]
+        heap_order = [heap.dequeue().flow_id for _ in range(len(events))]
+        assert eiffel_order == heap_order
+
+    def test_heap_counts_reheapify_work(self):
+        heap = HeapPFabricScheduler()
+        for flow in range(50):
+            heap.enqueue(packet(flow, remaining=flow + 1))
+        assert heap.heap_operations > 50
+        before = heap.heap_operations
+        while heap.dequeue() is not None:
+            pass
+        assert heap.heap_operations > before
+
+    def test_active_flow_counters(self):
+        eiffel = EiffelPFabricScheduler()
+        for flow in range(5):
+            eiffel.enqueue(packet(flow, remaining=10))
+        assert eiffel.active_flows == 5
+        heap = HeapPFabricScheduler()
+        for flow in range(5):
+            heap.enqueue(packet(flow, remaining=10))
+        assert heap.active_flows == 5

@@ -1,0 +1,111 @@
+"""Unit tests for the simple per-packet policies."""
+
+import pytest
+
+from repro.core.model import Packet
+from repro.core.policies import (
+    EarliestDeadlineFirstScheduler,
+    FIFOScheduler,
+    LeastSlackTimeFirstScheduler,
+    ShortestRemainingTimeFirstScheduler,
+    StrictPriorityScheduler,
+)
+
+
+class TestFIFO:
+    def test_order(self):
+        scheduler = FIFOScheduler()
+        packets = [Packet(flow_id=i) for i in range(5)]
+        for packet in packets:
+            scheduler.enqueue(packet)
+        drained = [scheduler.dequeue().packet_id for _ in range(5)]
+        assert drained == [p.packet_id for p in packets]
+        assert scheduler.dequeue() is None
+
+    def test_pending(self):
+        scheduler = FIFOScheduler()
+        assert scheduler.empty
+        scheduler.enqueue(Packet(flow_id=1))
+        assert scheduler.pending == 1
+
+
+class TestStrictPriority:
+    def test_highest_priority_first(self):
+        scheduler = StrictPriorityScheduler(levels=4)
+        low = Packet(flow_id=1, priority_class=3)
+        high = Packet(flow_id=2, priority_class=0)
+        mid = Packet(flow_id=3, priority_class=1)
+        for packet in (low, mid, high):
+            scheduler.enqueue(packet)
+        assert scheduler.dequeue() is high
+        assert scheduler.dequeue() is mid
+        assert scheduler.dequeue() is low
+
+    def test_invalid_class(self):
+        scheduler = StrictPriorityScheduler(levels=2)
+        with pytest.raises(ValueError):
+            scheduler.enqueue(Packet(flow_id=1, priority_class=5))
+        with pytest.raises(ValueError):
+            StrictPriorityScheduler(levels=0)
+
+    def test_fifo_within_class(self):
+        scheduler = StrictPriorityScheduler(levels=2)
+        first = Packet(flow_id=1, priority_class=1)
+        second = Packet(flow_id=2, priority_class=1)
+        scheduler.enqueue(first)
+        scheduler.enqueue(second)
+        assert scheduler.dequeue() is first
+        assert scheduler.dequeue() is second
+
+
+class TestEDF:
+    def test_earliest_deadline_first(self):
+        scheduler = EarliestDeadlineFirstScheduler()
+        late = Packet(flow_id=1).annotate(deadline_ns=900_000)
+        early = Packet(flow_id=2).annotate(deadline_ns=10_000)
+        scheduler.enqueue(late, now_ns=0)
+        scheduler.enqueue(early, now_ns=0)
+        assert scheduler.dequeue() is early
+
+    def test_missing_deadline_ranks_last(self):
+        scheduler = EarliestDeadlineFirstScheduler()
+        no_deadline = Packet(flow_id=1)
+        with_deadline = Packet(flow_id=2).annotate(deadline_ns=500_000)
+        scheduler.enqueue(no_deadline, now_ns=0)
+        scheduler.enqueue(with_deadline, now_ns=0)
+        assert scheduler.dequeue() is with_deadline
+
+
+class TestLSTF:
+    def test_least_slack_first(self):
+        scheduler = LeastSlackTimeFirstScheduler()
+        relaxed = Packet(flow_id=1).annotate(slack_ns=500_000)
+        urgent = Packet(flow_id=2).annotate(slack_ns=5_000)
+        scheduler.enqueue(relaxed, now_ns=0)
+        scheduler.enqueue(urgent, now_ns=0)
+        assert scheduler.dequeue() is urgent
+
+    def test_slack_clamped_to_horizon(self):
+        scheduler = LeastSlackTimeFirstScheduler(max_slack_ns=1_000_000)
+        huge = Packet(flow_id=1).annotate(slack_ns=10**12)
+        scheduler.enqueue(huge, now_ns=0)
+        assert scheduler.dequeue() is huge
+
+
+class TestSRTF:
+    def test_smallest_remaining_first(self):
+        scheduler = ShortestRemainingTimeFirstScheduler()
+        elephant = Packet(flow_id=1).annotate(remaining_bytes=5_000_000)
+        mouse = Packet(flow_id=2).annotate(remaining_bytes=3_000)
+        scheduler.enqueue(elephant)
+        scheduler.enqueue(mouse)
+        assert scheduler.dequeue() is mouse
+        assert scheduler.dequeue() is elephant
+
+    def test_unannotated_packet_ranks_last(self):
+        scheduler = ShortestRemainingTimeFirstScheduler()
+        unknown = Packet(flow_id=1)
+        known = Packet(flow_id=2).annotate(remaining_bytes=100)
+        scheduler.enqueue(unknown)
+        scheduler.enqueue(known)
+        assert scheduler.dequeue() is known

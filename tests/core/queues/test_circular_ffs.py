@@ -1,0 +1,128 @@
+"""Unit tests for the circular hierarchical FFS queue (cFFS)."""
+
+import random
+
+import pytest
+
+from repro.core.queues import BucketSpec, CircularFFSQueue, EmptyQueueError
+
+
+def make_queue(num_buckets=64, granularity=1, base=0, **kwargs):
+    return CircularFFSQueue(
+        BucketSpec(num_buckets=num_buckets, granularity=granularity, base_priority=base),
+        **kwargs,
+    )
+
+
+class TestRanges:
+    def test_initial_ranges(self):
+        queue = make_queue(num_buckets=10, granularity=5, base=100)
+        assert queue.primary_range == (100, 150)
+        assert queue.secondary_range == (150, 200)
+        assert queue.window_span == 50
+
+    def test_rotation_advances_head(self):
+        queue = make_queue(num_buckets=4, granularity=1, base=0)
+        queue.enqueue(6, "secondary")  # falls in the secondary window [4, 8)
+        assert queue.extract_min() == (6, "secondary")
+        assert queue.h_index == 4
+        assert queue.stats.rotations == 1
+
+
+class TestOrdering:
+    def test_orders_across_windows(self):
+        queue = make_queue(num_buckets=8)
+        queue.enqueue(12, "second")  # secondary window
+        queue.enqueue(3, "first")  # primary window
+        assert queue.extract_min() == (3, "first")
+        assert queue.extract_min() == (12, "second")
+
+    def test_moving_range_many_rotations(self):
+        queue = make_queue(num_buckets=16)
+        # Enqueue/dequeue in waves so the range keeps moving far beyond the
+        # original window.
+        now = 0
+        for wave in range(50):
+            for offset in (1, 5, 9):
+                queue.enqueue(now + offset, (wave, offset))
+            drained = [queue.extract_min() for _ in range(3)]
+            assert [p for p, _ in drained] == sorted(p for p, _ in drained)
+            now += 16
+        assert queue.stats.rotations > 10
+
+    def test_random_within_two_windows_fully_sorted(self):
+        rng = random.Random(5)
+        queue = make_queue(num_buckets=128)
+        priorities = [rng.randrange(0, 256) for _ in range(1000)]
+        for priority in priorities:
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == sorted(priorities)
+
+    def test_overflow_bucket_loses_fine_order_but_keeps_elements(self):
+        queue = make_queue(num_buckets=4)
+        # Horizon is 4+4=8; priorities >= 8 overflow into the last bucket.
+        queue.enqueue(100, "way-out-1")
+        queue.enqueue(90, "way-out-2")
+        queue.enqueue(1, "now")
+        assert queue.stats.overflow_enqueues == 2
+        drained = list(queue.extract_all())
+        assert drained[0] == (1, "now")
+        assert {item for _, item in drained[1:]} == {"way-out-1", "way-out-2"}
+
+
+class TestStaleAndErrors:
+    def test_stale_priority_clamped_to_head(self):
+        queue = make_queue(num_buckets=8, base=100)
+        queue.enqueue(50, "stale")
+        queue.enqueue(103, "fresh")
+        priority, item = queue.extract_min()
+        assert item == "stale"
+        assert priority == 50  # original priority is preserved in the entry
+
+    def test_stale_priority_rejected_when_disallowed(self):
+        queue = make_queue(num_buckets=8, base=100, allow_stale=False)
+        with pytest.raises(ValueError):
+            queue.enqueue(50, "stale")
+
+    def test_empty_queue_raises(self):
+        queue = make_queue()
+        with pytest.raises(EmptyQueueError):
+            queue.extract_min()
+        with pytest.raises(EmptyQueueError):
+            queue.peek_min()
+
+
+class TestExtractDue:
+    def test_extract_due_releases_only_past(self):
+        queue = make_queue(num_buckets=32)
+        for timestamp in (5, 10, 15, 20):
+            queue.enqueue(timestamp, f"t{timestamp}")
+        released = queue.extract_due(now=12)
+        assert [p for p, _ in released] == [5, 10]
+        assert len(queue) == 2
+
+    def test_extract_due_empty(self):
+        queue = make_queue()
+        assert queue.extract_due(now=100) == []
+
+
+class TestRemove:
+    def test_remove_from_primary(self):
+        queue = make_queue(num_buckets=16)
+        token = object()
+        queue.enqueue(5, token)
+        queue.enqueue(5, "other")
+        assert queue.remove(5, token)
+        assert len(queue) == 1
+
+    def test_remove_from_secondary(self):
+        queue = make_queue(num_buckets=16)
+        token = object()
+        queue.enqueue(20, token)  # secondary window [16, 32)
+        assert queue.remove(20, token)
+        assert queue.empty
+
+    def test_remove_missing(self):
+        queue = make_queue(num_buckets=16)
+        assert not queue.remove(3, "ghost")

@@ -1,0 +1,157 @@
+"""Unit tests for the comparison-based baselines (heap, RB-tree, sorted list)."""
+
+import random
+
+import pytest
+
+from repro.core.queues import (
+    BinaryHeapQueue,
+    BucketSpec,
+    BucketedHeapQueue,
+    EmptyQueueError,
+    RBTreeQueue,
+    SortedListQueue,
+)
+
+
+ALL_COMPARISON_QUEUES = [BinaryHeapQueue, RBTreeQueue, SortedListQueue]
+
+
+@pytest.mark.parametrize("queue_cls", ALL_COMPARISON_QUEUES)
+class TestCommonBehaviour:
+    def test_sorted_drain(self, queue_cls):
+        rng = random.Random(21)
+        queue = queue_cls()
+        priorities = [rng.randrange(10_000) for _ in range(500)]
+        for priority in priorities:
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == sorted(priorities)
+
+    def test_fifo_for_equal_priorities(self, queue_cls):
+        queue = queue_cls()
+        queue.enqueue(7, "first")
+        queue.enqueue(7, "second")
+        queue.enqueue(7, "third")
+        items = [queue.extract_min()[1] for _ in range(3)]
+        assert items == ["first", "second", "third"]
+
+    def test_empty_raises(self, queue_cls):
+        queue = queue_cls()
+        with pytest.raises(EmptyQueueError):
+            queue.extract_min()
+        with pytest.raises(EmptyQueueError):
+            queue.peek_min()
+
+    def test_peek_then_extract(self, queue_cls):
+        queue = queue_cls()
+        queue.enqueue(3, "x")
+        queue.enqueue(1, "y")
+        assert queue.peek_min() == (1, "y")
+        assert queue.extract_min() == (1, "y")
+        assert len(queue) == 1
+
+    def test_negative_priorities_supported(self, queue_cls):
+        queue = queue_cls()
+        queue.enqueue(-5, "early")
+        queue.enqueue(5, "late")
+        assert queue.extract_min() == (-5, "early")
+
+    def test_interleaved_operations(self, queue_cls):
+        rng = random.Random(13)
+        queue = queue_cls()
+        reference = []
+        for _ in range(300):
+            if reference and rng.random() < 0.4:
+                expected = min(reference)
+                priority, _ = queue.extract_min()
+                assert priority == expected
+                reference.remove(expected)
+            else:
+                priority = rng.randrange(1000)
+                queue.enqueue(priority, priority)
+                reference.append(priority)
+
+
+class TestBinaryHeapSpecifics:
+    def test_heap_operation_accounting(self):
+        queue = BinaryHeapQueue()
+        for i in range(100):
+            queue.enqueue(i, i)
+        assert queue.stats.heap_operations > 0
+
+    def test_reheapify_counts_linear_cost(self):
+        queue = BinaryHeapQueue()
+        for i in range(64):
+            queue.enqueue(i, i)
+        before = queue.stats.heap_operations
+        queue.reheapify()
+        assert queue.stats.heap_operations - before >= 64
+
+
+class TestRBTreeSpecifics:
+    def test_invariants_after_random_workload(self):
+        rng = random.Random(31)
+        queue = RBTreeQueue()
+        for _ in range(2000):
+            if len(queue) and rng.random() < 0.45:
+                queue.extract_min()
+            else:
+                queue.enqueue(rng.randrange(500), None)
+            queue.check_invariants()
+
+    def test_keys_in_order(self):
+        queue = RBTreeQueue()
+        for priority in [50, 10, 30, 70, 20]:
+            queue.enqueue(priority, None)
+        assert list(queue.keys_in_order()) == [10, 20, 30, 50, 70]
+
+    def test_node_count_tracks_distinct_priorities(self):
+        queue = RBTreeQueue()
+        queue.enqueue(5, "a")
+        queue.enqueue(5, "b")
+        queue.enqueue(9, "c")
+        assert queue.node_count == 2
+        queue.extract_min()
+        assert queue.node_count == 2  # priority 5 still has one item
+        queue.extract_min()
+        assert queue.node_count == 1
+
+    def test_full_drain_empties_tree(self):
+        rng = random.Random(8)
+        queue = RBTreeQueue()
+        for _ in range(500):
+            queue.enqueue(rng.randrange(100), None)
+        list(queue.extract_all())
+        assert queue.node_count == 0
+        queue.check_invariants()
+
+
+class TestBucketedHeapQueue:
+    def test_sorted_drain(self):
+        rng = random.Random(17)
+        queue = BucketedHeapQueue(BucketSpec(num_buckets=5000))
+        priorities = [rng.randrange(5000) for _ in range(2000)]
+        for priority in priorities:
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == sorted(priorities)
+
+    def test_lazy_deletion_handles_stale_entries(self):
+        queue = BucketedHeapQueue(BucketSpec(num_buckets=100))
+        queue.enqueue(10, "a")
+        queue.enqueue(10, "b")
+        queue.enqueue(20, "c")
+        # Drain bucket 10 fully, then reinsert to create potential staleness.
+        queue.extract_min()
+        queue.extract_min()
+        queue.enqueue(10, "d")
+        assert queue.extract_min() == (10, "d")
+        assert queue.extract_min() == (20, "c")
+
+    def test_heap_operations_counted(self):
+        queue = BucketedHeapQueue(BucketSpec(num_buckets=1000))
+        for i in range(0, 1000, 7):
+            queue.enqueue(i, i)
+        list(queue.extract_all())
+        assert queue.stats.heap_operations > 0

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the queue data structures.
+
+Core invariants:
+
+* **conservation** — every enqueued element is extracted exactly once;
+* **ordering** — exact queues drain in non-decreasing priority order;
+* **equivalence** — all exact implementations produce the same drain order
+  (priority sequence) as a sorted reference;
+* **FIFO within a rank** — elements with equal priorities keep arrival order;
+* **red-black invariants** survive arbitrary operation sequences;
+* **Theorem 1** — the exact gradient queue's ``ceil(b/a)`` always identifies
+  the extremal non-empty bucket.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.queues import (
+    ApproximateGradientQueue,
+    BinaryHeapQueue,
+    BucketSpec,
+    BucketedHeapQueue,
+    CircularFFSQueue,
+    GradientQueue,
+    HierarchicalFFSQueue,
+    RBTreeQueue,
+    SortedListQueue,
+)
+
+NUM_BUCKETS = 256
+
+priorities_lists = st.lists(
+    st.integers(min_value=0, max_value=NUM_BUCKETS - 1), min_size=0, max_size=200
+)
+
+
+def exact_fixed_range_queues():
+    return [
+        HierarchicalFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS)),
+        GradientQueue(BucketSpec(num_buckets=NUM_BUCKETS)),
+        BucketedHeapQueue(BucketSpec(num_buckets=NUM_BUCKETS)),
+        BinaryHeapQueue(),
+        RBTreeQueue(),
+        SortedListQueue(),
+    ]
+
+
+@given(priorities_lists)
+@settings(max_examples=60, deadline=None)
+def test_all_exact_queues_drain_sorted(priorities):
+    expected = sorted(priorities)
+    for queue in exact_fixed_range_queues():
+        for priority in priorities:
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == expected, type(queue).__name__
+
+
+@given(priorities_lists)
+@settings(max_examples=60, deadline=None)
+def test_circular_ffs_matches_reference_within_two_windows(priorities):
+    queue = CircularFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS))
+    for priority in priorities:
+        queue.enqueue(priority, priority)
+    drained = [p for p, _ in queue.extract_all()]
+    assert drained == sorted(priorities)
+
+
+@given(priorities_lists)
+@settings(max_examples=60, deadline=None)
+def test_approximate_queue_conserves_elements(priorities):
+    queue = ApproximateGradientQueue(BucketSpec(num_buckets=NUM_BUCKETS), alpha=16)
+    for index, priority in enumerate(priorities):
+        queue.enqueue(priority, (priority, index))
+    drained = sorted(p for p, _ in queue.extract_all())
+    assert drained == sorted(priorities)
+    assert queue.empty
+
+
+@given(priorities_lists)
+@settings(max_examples=40, deadline=None)
+def test_fifo_within_equal_priorities(priorities):
+    for queue in exact_fixed_range_queues():
+        arrivals: dict[int, list[int]] = {}
+        for sequence, priority in enumerate(priorities):
+            queue.enqueue(priority, sequence)
+            arrivals.setdefault(priority, []).append(sequence)
+        drained: dict[int, list[int]] = {}
+        for priority, sequence in queue.extract_all():
+            drained.setdefault(priority, []).append(sequence)
+        assert drained == arrivals, type(queue).__name__
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(min_value=0, max_value=500)),
+        st.tuples(st.just("dequeue"), st.just(0)),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_rbtree_invariants_under_mixed_operations(ops):
+    queue = RBTreeQueue()
+    live = 0
+    for op, value in ops:
+        if op == "enqueue":
+            queue.enqueue(value, value)
+            live += 1
+        elif live:
+            queue.extract_min()
+            live -= 1
+    queue.check_invariants()
+    assert len(queue) == live
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_gradient_theorem1_under_mixed_operations(ops):
+    queue = GradientQueue(BucketSpec(num_buckets=512))
+    reference: list[int] = []
+    for op, value in ops:
+        if op == "enqueue":
+            bounded = value % 512
+            queue.enqueue(bounded, bounded)
+            reference.append(bounded)
+        elif reference:
+            priority, _ = queue.extract_min()
+            assert priority == min(reference)
+            reference.remove(priority)
+    if reference:
+        assert queue.peek_min()[0] == min(reference)
+    else:
+        assert queue.empty
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_heap_and_bucketed_heap_agree_under_mixed_operations(ops):
+    heap = BinaryHeapQueue()
+    bucketed = BucketedHeapQueue(BucketSpec(num_buckets=512))
+    live = 0
+    for op, value in ops:
+        if op == "enqueue":
+            bounded = value % 512
+            heap.enqueue(bounded, bounded)
+            bucketed.enqueue(bounded, bounded)
+            live += 1
+        elif live:
+            assert heap.extract_min()[0] == bucketed.extract_min()[0]
+            live -= 1
+    assert len(heap) == len(bucketed) == live
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=4 * NUM_BUCKETS), min_size=0, max_size=150
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_circular_ffs_conserves_beyond_horizon(priorities):
+    # Priorities beyond the two windows lose fine-grained order (overflow
+    # bucket) but must never be lost or duplicated.
+    queue = CircularFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS))
+    for index, priority in enumerate(priorities):
+        queue.enqueue(priority, index)
+    drained_items = sorted(item for _, item in queue.extract_all())
+    assert drained_items == list(range(len(priorities)))

@@ -1,0 +1,112 @@
+"""Unit tests for the Figure 20 queue-selection decision tree."""
+
+import pytest
+
+from repro.core.queues import (
+    ApproximateGradientQueue,
+    BinaryHeapQueue,
+    CircularApproximateGradientQueue,
+    CircularFFSQueue,
+    HierarchicalFFSQueue,
+    QueueKind,
+    WorkloadProfile,
+    build_recommended_queue,
+    recommend_queue,
+)
+from repro.core.queues.selection import CANONICAL_PROFILES
+
+
+class TestDecisionTree:
+    def test_small_level_count_any_queue(self):
+        profile = WorkloadProfile(
+            priority_levels=8, moving_range=False, uniform_occupancy=False
+        )
+        assert recommend_queue(profile).kind is QueueKind.ANY
+
+    def test_fixed_range_many_levels_ffs(self):
+        profile = WorkloadProfile(
+            priority_levels=100_000, moving_range=False, uniform_occupancy=False
+        )
+        assert recommend_queue(profile).kind is QueueKind.FFS
+
+    def test_moving_range_uneven_occupancy_cffs(self):
+        profile = WorkloadProfile(
+            priority_levels=20_000, moving_range=True, uniform_occupancy=False
+        )
+        assert recommend_queue(profile).kind is QueueKind.CIRCULAR_FFS
+
+    def test_moving_range_uniform_occupancy_approx(self):
+        profile = WorkloadProfile(
+            priority_levels=50_000, moving_range=True, uniform_occupancy=True
+        )
+        assert recommend_queue(profile).kind is QueueKind.APPROXIMATE
+
+    def test_threshold_boundary(self):
+        at_threshold = WorkloadProfile(
+            priority_levels=1000, moving_range=True, uniform_occupancy=True
+        )
+        above_threshold = WorkloadProfile(
+            priority_levels=1001, moving_range=True, uniform_occupancy=True
+        )
+        assert recommend_queue(at_threshold).kind is QueueKind.ANY
+        assert recommend_queue(above_threshold).kind is QueueKind.APPROXIMATE
+
+    def test_custom_threshold(self):
+        profile = WorkloadProfile(
+            priority_levels=500, moving_range=False, uniform_occupancy=False
+        )
+        assert recommend_queue(profile, threshold=100).kind is QueueKind.FFS
+
+    def test_reasons_describe_path(self):
+        profile = WorkloadProfile(
+            priority_levels=20_000, moving_range=True, uniform_occupancy=False
+        )
+        recommendation = recommend_queue(profile)
+        assert len(recommendation.reasons) == 3
+        assert "moving" in str(recommendation)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            recommend_queue(
+                WorkloadProfile(
+                    priority_levels=0, moving_range=False, uniform_occupancy=False
+                )
+            )
+
+
+class TestBuildRecommendedQueue:
+    def test_builds_matching_types(self):
+        cases = [
+            (CANONICAL_PROFILES["ieee_802_1q"], BinaryHeapQueue),
+            (CANONICAL_PROFILES["pfabric_remaining_size"], HierarchicalFFSQueue),
+            (CANONICAL_PROFILES["per_flow_pacing"], CircularFFSQueue),
+            (CANONICAL_PROFILES["lstf"], CircularApproximateGradientQueue),
+        ]
+        for profile, expected_type in cases:
+            queue = build_recommended_queue(profile)
+            assert isinstance(queue, expected_type), profile.description
+
+    def test_fixed_range_uniform_gets_plain_approx(self):
+        profile = WorkloadProfile(
+            priority_levels=5000, moving_range=False, uniform_occupancy=True
+        )
+        # Fixed range goes down the FFS branch per the tree; but if callers
+        # force the approximate branch via threshold, the non-circular
+        # approximate queue is returned for a fixed range.
+        queue = build_recommended_queue(profile)
+        assert isinstance(queue, HierarchicalFFSQueue)
+
+    def test_built_queue_is_functional(self):
+        for profile in CANONICAL_PROFILES.values():
+            queue = build_recommended_queue(profile)
+            queue.enqueue(5, "x")
+            queue.enqueue(2, "y")
+            priority, _ = queue.extract_min()
+            assert priority in (2, 5)
+
+    def test_canonical_profiles_cover_all_kinds(self):
+        kinds = {recommend_queue(p).kind for p in CANONICAL_PROFILES.values()}
+        assert QueueKind.ANY in kinds
+        assert QueueKind.FFS in kinds
+        assert QueueKind.CIRCULAR_FFS in kinds
+        assert QueueKind.APPROXIMATE in kinds

@@ -1,0 +1,101 @@
+"""Unit tests for the timing wheel (Carousel substrate)."""
+
+import pytest
+
+from repro.core.queues import HierarchicalTimingWheel, TimingWheel
+
+
+class TestTimingWheel:
+    def test_releases_due_packets_in_time_order_per_slot(self):
+        wheel = TimingWheel(num_slots=100, granularity=10)
+        wheel.insert(35, "a")
+        wheel.insert(15, "b")
+        wheel.insert(95, "c")
+        released = wheel.advance_to(50)
+        assert [item for _, item in released] == ["b", "a"]
+        assert len(wheel) == 1
+
+    def test_packets_beyond_horizon_clamped_to_last_slot(self):
+        wheel = TimingWheel(num_slots=10, granularity=1)
+        wheel.insert(1000, "far")
+        assert wheel.overflow_insertions == 1
+        released = wheel.advance_to(9)
+        assert [item for _, item in released] == ["far"]
+
+    def test_stale_packets_released_immediately(self):
+        wheel = TimingWheel(num_slots=10, granularity=1, start_time=100)
+        wheel.insert(50, "late-arrival")
+        assert wheel.stale_insertions == 1
+        released = wheel.advance_to(100)
+        assert [item for _, item in released] == ["late-arrival"]
+
+    def test_slot_advances_counted_even_when_empty(self):
+        # This per-slot visiting cost is Carousel's polling overhead.
+        wheel = TimingWheel(num_slots=1000, granularity=1)
+        wheel.advance_to(500)
+        assert wheel.slot_advances >= 500
+
+    def test_next_due_time_scans(self):
+        wheel = TimingWheel(num_slots=50, granularity=2)
+        assert wheel.next_due_time() is None
+        wheel.insert(44, "x")
+        wheel.insert(12, "y")
+        assert wheel.next_due_time() == 12
+
+    def test_no_backwards_advance(self):
+        wheel = TimingWheel(num_slots=10, granularity=1, start_time=50)
+        wheel.insert(55, "x")
+        assert wheel.advance_to(40) == []
+        assert len(wheel) == 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TimingWheel(num_slots=0)
+        with pytest.raises(ValueError):
+            TimingWheel(num_slots=10, granularity=0)
+
+    def test_does_not_release_future_packets_in_visited_slot(self):
+        # A slot visited during advance may contain a packet one wheel-turn
+        # ahead; it must stay queued.
+        wheel = TimingWheel(num_slots=10, granularity=1)
+        wheel.insert(3, "due")
+        wheel.advance_to(5)
+        wheel.insert(13, "next-turn")  # same slot index as 3
+        released = wheel.advance_to(8)
+        assert released == []
+        released = wheel.advance_to(13)
+        assert [item for _, item in released] == ["next-turn"]
+
+    def test_peek_slots(self):
+        wheel = TimingWheel(num_slots=10, granularity=1)
+        wheel.insert(2, "a")
+        wheel.insert(7, "b")
+        assert sorted(wheel.peek_slots()) == [2, 7]
+
+
+class TestHierarchicalTimingWheel:
+    def test_insert_beyond_inner_horizon_goes_to_outer_level(self):
+        wheel = HierarchicalTimingWheel(slots_per_level=10, granularity=1, levels=2)
+        wheel.insert(5, "inner")
+        wheel.insert(55, "outer")
+        assert len(wheel.levels[0]) == 1
+        assert len(wheel.levels[1]) == 1
+
+    def test_release_across_levels(self):
+        wheel = HierarchicalTimingWheel(slots_per_level=10, granularity=1, levels=2)
+        wheel.insert(5, "inner")
+        wheel.insert(55, "outer")
+        first = wheel.advance_to(10)
+        assert [item for _, item in first] == ["inner"]
+        second = wheel.advance_to(60)
+        assert [item for _, item in second] == ["outer"]
+        assert wheel.empty
+
+    def test_total_horizon_larger_than_single_level(self):
+        flat = TimingWheel(num_slots=10, granularity=1)
+        hierarchical = HierarchicalTimingWheel(slots_per_level=10, granularity=1, levels=3)
+        assert hierarchical.horizon > flat.horizon
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            HierarchicalTimingWheel(slots_per_level=10, levels=0)

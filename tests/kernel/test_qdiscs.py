@@ -1,0 +1,176 @@
+"""Unit tests for the three qdiscs and the timer subsystem."""
+
+import pytest
+
+from repro.core.model import Packet
+from repro.kernel import CarouselQdisc, EiffelQdisc, FQPacingQdisc, HrTimer
+
+NS_PER_MS = 1_000_000
+
+ALL_QDISCS = [FQPacingQdisc, CarouselQdisc, EiffelQdisc]
+
+
+class TestHrTimer:
+    def test_program_and_fire(self):
+        timer = HrTimer()
+        timer.program(100)
+        assert timer.armed
+        assert not timer.due(50)
+        assert timer.due(100)
+        assert timer.fire() == 100
+        assert not timer.armed
+        assert timer.programs == 1
+        assert timer.fires == 1
+
+    def test_granularity_rounds_up(self):
+        timer = HrTimer(granularity_ns=100)
+        timer.program(101)
+        assert timer.expiry_ns == 200
+
+    def test_cancel(self):
+        timer = HrTimer()
+        timer.program(10)
+        timer.cancel()
+        assert not timer.armed
+        assert timer.cancellations == 1
+
+    def test_fire_disarmed_raises(self):
+        with pytest.raises(RuntimeError):
+            HrTimer().fire()
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            HrTimer(granularity_ns=0)
+
+
+def paced_qdisc(qdisc_cls, rate_bps=12e6):
+    qdisc = qdisc_cls()
+    qdisc.set_flow_rate(1, rate_bps)
+    return qdisc
+
+
+@pytest.mark.parametrize("qdisc_cls", ALL_QDISCS)
+class TestQdiscShaping:
+    def test_unpaced_packet_released_immediately(self, qdisc_cls):
+        qdisc = qdisc_cls()
+        qdisc.enqueue_packet(Packet(flow_id=5), now_ns=0)
+        released = qdisc.dequeue_due(now_ns=0)
+        assert len(released) == 1
+
+    def test_paced_flow_spacing(self, qdisc_cls):
+        # 12 Mbps, 1500 B packets -> 1 ms spacing.
+        qdisc = paced_qdisc(qdisc_cls)
+        for _ in range(4):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        first = qdisc.dequeue_due(now_ns=0)
+        assert len(first) == 1
+        nothing_yet = qdisc.dequeue_due(now_ns=NS_PER_MS // 2)
+        assert nothing_yet == []
+        second = qdisc.dequeue_due(now_ns=NS_PER_MS + NS_PER_MS // 4)
+        assert len(second) == 1
+        rest = qdisc.dequeue_due(now_ns=10 * NS_PER_MS)
+        assert len(rest) == 2
+
+    def test_soonest_deadline_none_when_idle(self, qdisc_cls):
+        qdisc = qdisc_cls()
+        assert qdisc.soonest_deadline_ns(now_ns=0) is None
+
+    def test_soonest_deadline_when_busy(self, qdisc_cls):
+        qdisc = paced_qdisc(qdisc_cls)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        qdisc.dequeue_due(now_ns=0)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        deadline = qdisc.soonest_deadline_ns(now_ns=0)
+        assert deadline is not None
+        assert deadline > 0
+
+    def test_backlog_tracking(self, qdisc_cls):
+        qdisc = paced_qdisc(qdisc_cls)
+        for _ in range(3):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        assert qdisc.backlog == 3
+        qdisc.dequeue_due(now_ns=0)
+        assert qdisc.backlog == 2
+
+    def test_costs_are_charged(self, qdisc_cls):
+        qdisc = paced_qdisc(qdisc_cls)
+        for _ in range(10):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        qdisc.dequeue_due(now_ns=100 * NS_PER_MS)
+        assert qdisc.system_cost.total_cycles > 0
+        assert qdisc.total_cycles() >= qdisc.system_cost.total_cycles
+
+    def test_aggregate_rate_adherence(self, qdisc_cls):
+        # 100 packets of 1500 B at 120 Mbps should take ~10 ms to drain.
+        qdisc = paced_qdisc(qdisc_cls, rate_bps=120e6)
+        for _ in range(100):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        released_early = qdisc.dequeue_due(now_ns=5 * NS_PER_MS)
+        released_late = qdisc.dequeue_due(now_ns=11 * NS_PER_MS)
+        assert 40 <= len(released_early) <= 60
+        assert len(released_early) + len(released_late) == 100
+
+
+class TestFQPacingSpecifics:
+    def test_garbage_collection_reclaims_idle_flows(self):
+        qdisc = FQPacingQdisc(gc_interval_packets=10, gc_idle_ns=1000)
+        for flow in range(5):
+            qdisc.enqueue_packet(Packet(flow_id=flow), now_ns=0)
+        qdisc.dequeue_due(now_ns=0)
+        assert qdisc.active_flows == 5
+        # Much later, new traffic triggers GC and the idle flows disappear.
+        for _ in range(12):
+            qdisc.enqueue_packet(Packet(flow_id=100), now_ns=10_000_000)
+        assert qdisc.active_flows <= 2
+
+    def test_per_flow_isolation(self):
+        qdisc = FQPacingQdisc()
+        qdisc.set_flow_rate(1, 1e6)
+        qdisc.set_flow_rate(2, 1e9)
+        for _ in range(3):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+            qdisc.enqueue_packet(Packet(flow_id=2, size_bytes=1500), now_ns=0)
+        released = qdisc.dequeue_due(now_ns=100_000)
+        fast = sum(1 for p in released if p.flow_id == 2)
+        slow = sum(1 for p in released if p.flow_id == 1)
+        assert fast == 3
+        assert slow <= 1
+
+
+class TestCarouselSpecifics:
+    def test_polls_every_slot(self):
+        qdisc = CarouselQdisc(slot_ns=1_000)
+        qdisc.set_flow_rate(1, 12e6)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        # The next run is one slot away, not the actual packet deadline.
+        assert qdisc.soonest_deadline_ns(now_ns=0) == 1_000
+
+    def test_slot_scan_cost_charged(self):
+        qdisc = CarouselQdisc(slot_ns=1_000, horizon_ns=1_000_000)
+        qdisc.set_flow_rate(1, 1e6)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        qdisc.dequeue_due(now_ns=500_000)
+        assert qdisc.softirq_cost.breakdown().get("linear_scan", 0) > 0
+
+
+class TestEiffelSpecifics:
+    def test_exact_deadline(self):
+        qdisc = EiffelQdisc()
+        qdisc.set_flow_rate(1, 12e6)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        qdisc.dequeue_due(now_ns=0)
+        qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        deadline = qdisc.soonest_deadline_ns(now_ns=0)
+        assert deadline == pytest.approx(1_000_000, rel=0.01)
+
+    def test_ffs_cost_charged_not_heap(self):
+        qdisc = EiffelQdisc()
+        qdisc.set_flow_rate(1, 100e6)
+        for _ in range(20):
+            qdisc.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        qdisc.dequeue_due(now_ns=10 * NS_PER_MS)
+        breakdown = {
+            **qdisc.system_cost.breakdown(),
+            **qdisc.softirq_cost.breakdown(),
+        }
+        assert breakdown.get("ffs_word", 0) > 0

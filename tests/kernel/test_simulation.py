@@ -1,0 +1,115 @@
+"""Integration tests for the kernel simulation and the Use Case 1 experiment."""
+
+import pytest
+
+from repro.core.model import Packet
+from repro.kernel import (
+    EiffelQdisc,
+    KernelSimulation,
+    ShapingExperimentConfig,
+    run_shaping_experiment,
+)
+from repro.traffic import NeperLikeGenerator
+
+
+class TestKernelSimulation:
+    def test_interval_transmits_paced_traffic(self):
+        qdisc = EiffelQdisc(default_rate_bps=None)
+        qdisc.set_flow_rate(0, 12e6)
+        simulation = KernelSimulation(qdisc, tsq_limit=4)
+        arrivals = [
+            (i * 1_000_000, Packet(flow_id=0, size_bytes=1500, arrival_ns=i * 1_000_000))
+            for i in range(10)
+        ]
+        sample = simulation.run_interval(arrivals, start_ns=0, duration_ns=20_000_000)
+        assert sample.packets > 0
+        assert simulation.transmitted > 0
+        assert sample.total_cycles > 0
+
+    def test_tsq_defers_excess_packets(self):
+        qdisc = EiffelQdisc()
+        qdisc.set_flow_rate(0, 1e6)  # very slow flow
+        simulation = KernelSimulation(qdisc, tsq_limit=1)
+        arrivals = [
+            (i, Packet(flow_id=0, size_bytes=1500, arrival_ns=i)) for i in range(20)
+        ]
+        simulation.run_interval(arrivals, start_ns=0, duration_ns=1_000_000)
+        assert simulation.deferred > 0
+
+    def test_timer_fires_recorded(self):
+        qdisc = EiffelQdisc()
+        qdisc.set_flow_rate(0, 12e6)
+        simulation = KernelSimulation(qdisc, tsq_limit=8)
+        arrivals = [
+            (0, Packet(flow_id=0, size_bytes=1500)),
+            (1000, Packet(flow_id=0, size_bytes=1500)),
+        ]
+        simulation.run_interval(arrivals, start_ns=0, duration_ns=5_000_000)
+        assert qdisc.stats.timer_fires > 0
+        assert qdisc.stats.timer_programs > 0
+
+
+class TestNeperGenerator:
+    def test_interval_packet_count_matches_rate(self):
+        generator = NeperLikeGenerator(
+            num_flows=100, aggregate_rate_bps=1.2e9, packet_bytes=1500, seed=1
+        )
+        events = generator.packets_for_interval(0, 10_000_000)  # 10 ms
+        # 1.2 Gbps / 12 kbit per packet = 100k pps -> ~1000 packets in 10 ms.
+        assert 800 <= len(events) <= 1200
+        assert all(0 <= ts < 10_000_000 for ts, _ in events)
+        assert events == sorted(events, key=lambda item: item[0])
+
+    def test_flow_rates_sum_to_aggregate(self):
+        generator = NeperLikeGenerator(num_flows=10, aggregate_rate_bps=1e9)
+        assert sum(generator.flow_rates().values()) == pytest.approx(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeperLikeGenerator(num_flows=0, aggregate_rate_bps=1e9)
+        with pytest.raises(ValueError):
+            NeperLikeGenerator(num_flows=10, aggregate_rate_bps=0)
+
+
+class TestShapingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # A small configuration for CI speed: per-flow packet gaps stay well
+        # below the sample duration so every sample sees steady-state work.
+        config = ShapingExperimentConfig(
+            num_flows=100,
+            aggregate_rate_bps=480e6,
+            num_samples=3,
+            sample_duration_ns=10_000_000,
+        )
+        return run_shaping_experiment(config)
+
+    def test_all_qdiscs_sampled(self, result):
+        assert set(result.samples) == {"fq", "carousel", "eiffel"}
+        for samples in result.samples.values():
+            assert len(samples) == 3
+
+    def test_eiffel_cheapest(self, result):
+        medians = result.median_cores()
+        assert medians["eiffel"] < medians["carousel"]
+        assert medians["eiffel"] < medians["fq"]
+
+    def test_speedup_factors_reasonable(self, result):
+        # Paper: Eiffel outperforms Carousel by ~3x and FQ by ~14x.  The
+        # scaled-down CI configuration reproduces the ordering with clear
+        # factors; the full ordering (FQ > Carousel > Eiffel) is exercised by
+        # the Figure 9 benchmark at the default (larger) configuration.
+        assert result.speedup_over("carousel") > 1.5
+        assert result.speedup_over("fq") > 1.5
+
+    def test_carousel_softirq_dominates_eiffel(self, result):
+        # Figure 10 (right): the difference between Carousel and Eiffel is in
+        # timer (softirq) overhead, not in system overhead.
+        carousel_softirq = result.softirq_cores_cdf("carousel").median()
+        eiffel_softirq = result.softirq_cores_cdf("eiffel").median()
+        assert carousel_softirq > eiffel_softirq
+
+    def test_cdf_values_are_positive(self, result):
+        for name in result.samples:
+            cdf = result.cores_cdf(name)
+            assert cdf.quantile(0.9) > 0

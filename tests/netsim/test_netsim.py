@@ -1,0 +1,163 @@
+"""Unit and integration tests for the network simulator (Figure 19 substrate)."""
+
+import pytest
+
+from repro.core.model import Packet
+from repro.netsim import (
+    DropTailEcnQueue,
+    FabricConfig,
+    FabricExperimentConfig,
+    LeafSpineFabric,
+    PFabricPortQueue,
+    Simulator,
+    approx_pfabric_queue_factory,
+    run_fabric_experiment,
+)
+
+
+class TestSimulator:
+    def test_event_ordering(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(50, lambda: order.append("b"))
+        simulator.schedule(10, lambda: order.append("a"))
+        simulator.schedule(50, lambda: order.append("c"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+        assert simulator.now_ns == 50
+
+    def test_until_horizon(self):
+        simulator = Simulator()
+        hits = []
+        simulator.schedule(10, lambda: hits.append(1))
+        simulator.schedule(100, lambda: hits.append(2))
+        simulator.run(until_ns=50)
+        assert hits == [1]
+        assert simulator.pending_events == 1
+
+    def test_cannot_schedule_in_past(self):
+        simulator = Simulator()
+        simulator.schedule(10, lambda: simulator.schedule_at(5, lambda: None))
+        with pytest.raises(ValueError):
+            simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule(-1, lambda: None)
+
+
+class TestPortQueues:
+    def test_droptail_marks_ecn_above_threshold(self):
+        queue = DropTailEcnQueue(capacity_packets=10, ecn_threshold=2)
+        packets = [Packet(flow_id=1) for _ in range(4)]
+        for packet in packets:
+            queue.enqueue(packet)
+        assert not packets[0].metadata.get("ecn")
+        assert packets[3].metadata.get("ecn")
+
+    def test_droptail_drops_when_full(self):
+        queue = DropTailEcnQueue(capacity_packets=2)
+        assert queue.enqueue(Packet(flow_id=1))
+        assert queue.enqueue(Packet(flow_id=1))
+        assert not queue.enqueue(Packet(flow_id=1))
+        assert queue.drops == 1
+
+    def test_pfabric_serves_smallest_remaining_first(self):
+        queue = PFabricPortQueue(capacity_packets=10)
+        big = Packet(flow_id=1).annotate(remaining_bytes=1_000_000)
+        small = Packet(flow_id=2).annotate(remaining_bytes=3_000)
+        queue.enqueue(big)
+        queue.enqueue(small)
+        assert queue.dequeue() is small
+        assert queue.dequeue() is big
+        assert queue.dequeue() is None
+
+    def test_pfabric_priority_dropping_evicts_largest(self):
+        queue = PFabricPortQueue(capacity_packets=2)
+        elephant = Packet(flow_id=1).annotate(remaining_bytes=9_000_000)
+        medium = Packet(flow_id=2).annotate(remaining_bytes=60_000)
+        mouse = Packet(flow_id=3).annotate(remaining_bytes=1_500)
+        queue.enqueue(elephant)
+        queue.enqueue(medium)
+        assert queue.enqueue(mouse)  # evicts the elephant
+        assert queue.drops == 1
+        drained = [queue.dequeue(), queue.dequeue()]
+        assert elephant not in drained
+        assert mouse in drained and medium in drained
+
+    def test_pfabric_rejects_arrival_larger_than_worst(self):
+        queue = PFabricPortQueue(capacity_packets=1)
+        queue.enqueue(Packet(flow_id=1).annotate(remaining_bytes=1_500))
+        assert not queue.enqueue(Packet(flow_id=2).annotate(remaining_bytes=9_000_000))
+        assert len(queue) == 1
+
+    def test_pfabric_approx_variant_behaves(self):
+        queue = PFabricPortQueue(
+            capacity_packets=8, queue_factory=approx_pfabric_queue_factory
+        )
+        for remaining in (1_000_000, 3_000, 300_000):
+            queue.enqueue(Packet(flow_id=1).annotate(remaining_bytes=remaining))
+        drained = []
+        while True:
+            packet = queue.dequeue()
+            if packet is None:
+                break
+            drained.append(packet.metadata["remaining_bytes"])
+        assert sorted(drained) == [3_000, 300_000, 1_000_000]
+
+
+class TestFabric:
+    def test_leaf_spine_wiring(self):
+        config = FabricConfig(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+        fabric = LeafSpineFabric(Simulator(), config, DropTailEcnQueue)
+        assert len(fabric.hosts) == 4
+        assert len(fabric.leaves) == 2
+        # Each leaf connects to its hosts and every spine.
+        assert len(fabric.leaves[0].links) == 2 + 2
+        assert len(fabric.hosts[0].links) == 1
+
+    def test_packet_crosses_fabric(self):
+        simulator = Simulator()
+        config = FabricConfig(num_leaves=2, num_spines=1, hosts_per_leaf=2)
+        fabric = LeafSpineFabric(simulator, config, DropTailEcnQueue)
+        received = []
+        fabric.host(3).register_receiver(received.append)
+        packet = Packet(flow_id=1, size_bytes=1500)
+        packet.metadata.update({"dst": 3, "src": 0})
+        fabric.host(0).uplink().send(packet)
+        simulator.run()
+        assert received and received[0] is packet
+
+    def test_base_rtt_positive(self):
+        config = FabricConfig()
+        assert 0 < config.base_rtt_seconds() < 1e-3
+
+
+class TestFabricExperiment:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return FabricExperimentConfig(
+            fabric=FabricConfig(num_leaves=2, num_spines=2, hosts_per_leaf=2),
+            num_flows=40,
+            seed=3,
+        )
+
+    def test_all_flows_complete(self, small_config):
+        result = run_fabric_experiment("pfabric", 0.4, small_config)
+        assert result.completion_rate() == pytest.approx(1.0)
+
+    def test_pfabric_beats_dctcp_for_small_flows(self, small_config):
+        dctcp = run_fabric_experiment("dctcp", 0.6, small_config)
+        pfabric = run_fabric_experiment("pfabric", 0.6, small_config)
+        assert pfabric.small_flow_avg() < dctcp.small_flow_avg()
+
+    def test_approximation_has_minimal_effect(self, small_config):
+        exact = run_fabric_experiment("pfabric", 0.6, small_config)
+        approx = run_fabric_experiment("pfabric_approx", 0.6, small_config)
+        # The Figure 19 claim: swapping the switch priority queue for the
+        # approximate queue leaves FCTs essentially unchanged.
+        assert approx.small_flow_avg() == pytest.approx(
+            exact.small_flow_avg(), rel=0.5
+        )
+
+    def test_unknown_scheme_rejected(self, small_config):
+        with pytest.raises(ValueError):
+            run_fabric_experiment("tcp-reno", 0.5, small_config)

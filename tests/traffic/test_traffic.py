@@ -1,0 +1,135 @@
+"""Unit tests for workload distributions and generators."""
+
+import pytest
+
+from repro.traffic import (
+    EmpiricalCDF,
+    FlowSizeDistribution,
+    FlowWorkload,
+    PoissonArrivals,
+    RoundRobinAnnotator,
+    SyntheticPacketGenerator,
+    load_for_fabric,
+)
+
+
+class TestEmpiricalCDF:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5)])  # does not reach 1.0
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.7), (20, 0.5), (30, 1.0)])  # decreasing prob
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(10, 0.5), (5, 1.0)])  # decreasing value
+
+    def test_quantile_and_mean(self):
+        cdf = EmpiricalCDF([(100, 0.5), (1000, 1.0)])
+        assert 0 < cdf.quantile(0.25) <= 100
+        assert 100 < cdf.quantile(0.75) <= 1000
+        assert 0 < cdf.mean() < 1000
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_samples_within_support(self):
+        import random
+
+        cdf = EmpiricalCDF([(100, 0.5), (1000, 1.0)])
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= cdf.sample(rng) <= 1000
+
+
+class TestFlowSizeDistribution:
+    def test_websearch_statistics(self):
+        dist = FlowSizeDistribution("websearch", seed=1)
+        samples = [dist.sample_bytes() for _ in range(2000)]
+        assert min(samples) >= 1
+        assert max(samples) <= 20_000_000
+        # Heavy tail: the mean is far above the median.
+        samples.sort()
+        median = samples[len(samples) // 2]
+        mean = sum(samples) / len(samples)
+        assert mean > 2 * median
+
+    def test_datamining_heavier_tail_than_websearch(self):
+        web = FlowSizeDistribution("websearch")
+        mining = FlowSizeDistribution("datamining")
+        assert mining.cdf.quantile(0.5) < web.cdf.quantile(0.5)
+        assert mining.cdf.quantile(0.999) > web.cdf.quantile(0.999)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution("bitcoin")
+
+    def test_sample_packets(self):
+        dist = FlowSizeDistribution("websearch", seed=3)
+        assert dist.sample_packets() >= 1
+
+
+class TestPoissonArrivals:
+    def test_mean_rate(self):
+        arrivals = PoissonArrivals(rate_per_sec=10_000, seed=5)
+        gaps = [arrivals.next_gap_ns() for _ in range(5000)]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1e9 / 10_000, rel=0.1)
+
+    def test_arrival_times_monotonic(self):
+        arrivals = PoissonArrivals(rate_per_sec=100, seed=5)
+        times = arrivals.arrival_times_ns(100)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0)
+
+
+class TestLoadForFabric:
+    def test_scaling(self):
+        base = load_for_fabric(0.4, 10e9, 16, 100_000)
+        double_load = load_for_fabric(0.8, 10e9, 16, 100_000)
+        assert double_load == pytest.approx(2 * base)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_for_fabric(0, 10e9, 16, 1000)
+        with pytest.raises(ValueError):
+            load_for_fabric(0.5, 0, 16, 1000)
+
+
+class TestGenerators:
+    def test_round_robin_annotator(self):
+        from repro.core.model import Packet
+
+        annotator = RoundRobinAnnotator(3)
+        flows = [annotator.annotate(Packet(flow_id=0)).flow_id for _ in range(7)]
+        assert flows == [0, 1, 2, 0, 1, 2, 0]
+        with pytest.raises(ValueError):
+            RoundRobinAnnotator(0)
+
+    def test_synthetic_generator_batches(self):
+        generator = SyntheticPacketGenerator(packet_bytes=64, batch_size=8)
+        batches = list(generator.batches(3))
+        assert len(batches) == 3
+        assert all(len(batch) == 8 for batch in batches)
+        assert generator.generated == 24
+        assert all(packet.size_bytes == 64 for batch in batches for packet in batch)
+
+    def test_flow_workload_generates_valid_endpoints(self):
+        workload = FlowWorkload(
+            num_hosts=8, link_bps=10e9, target_load=0.5, seed=11
+        )
+        flows = workload.generate(200)
+        assert len(flows) == 200
+        for flow in flows:
+            assert 0 <= flow.src < 8
+            assert 0 <= flow.dst < 8
+            assert flow.src != flow.dst
+            assert flow.size_bytes >= 1
+        arrivals = [flow.arrival_ns for flow in flows]
+        assert arrivals == sorted(arrivals)
+
+    def test_flow_workload_requires_two_hosts(self):
+        with pytest.raises(ValueError):
+            FlowWorkload(num_hosts=1, link_bps=10e9, target_load=0.5)
