@@ -13,7 +13,6 @@ structure is backed by a C-implemented library) and, in parentheses, the raw
 wall-clock Mpps.
 """
 
-import random
 import time
 
 from conftest import modelled_cycles_per_op, report

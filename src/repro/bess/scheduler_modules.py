@@ -66,13 +66,10 @@ class SchedulerModule(Module):
         now = self._virtual_now_ns
         for packet in batch:
             self.charge_per_packet(packet)
-            self.scheduler.enqueue(packet, now)
-        released: List[Packet] = []
-        for _ in range(len(batch)):
-            packet = self.scheduler.dequeue(now)
-            if packet is None:
-                break
-            released.append(packet)
+        # The whole batch moves through the policy's amortised batch paths:
+        # one admit call and one bounded drain per module invocation.
+        self.scheduler.enqueue_batch(batch, now)
+        released = self.scheduler.dequeue_due(now, limit=len(batch))
         self.charge_scheduler_work()
         return released
 

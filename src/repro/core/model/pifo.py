@@ -16,7 +16,7 @@ what Eiffel's per-flow and on-dequeue primitives need.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..queues import BucketSpec, CircularFFSQueue, EmptyQueueError, IntegerPriorityQueue
 
@@ -65,6 +65,21 @@ class PIFOBlock:
     def peek(self) -> tuple[int, Any]:
         """Return ``(rank, element)`` with the smallest rank without removing it."""
         return self.queue.peek_min()
+
+    def push_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Insert many ``(rank, element)`` pairs through the queue's batch path."""
+        pairs = list(pairs)
+        count = self.queue.enqueue_batch(pairs)
+        for rank, element in pairs:
+            self._membership[id(element)] = (rank, element)
+        return count
+
+    def pop_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Remove up to ``n`` minimum-rank elements in one batched call."""
+        batch = self.queue.extract_min_batch(n)
+        for _rank, element in batch:
+            self._membership.pop(id(element), None)
+        return batch
 
     def remove(self, element: Any) -> bool:
         """Remove ``element`` wherever it currently sits; True when found.

@@ -20,7 +20,7 @@ Figure 8.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .packet import Packet
 from .pifo import QueueFactory
@@ -82,31 +82,47 @@ class DecoupledShaper:
         self.queue.enqueue(send_at_ns, (packet, continuation))
         self._size += 1
 
+    def schedule_batch(
+        self, entries: Iterable[tuple[Packet, int, Continuation]]
+    ) -> int:
+        """Batched :meth:`schedule`: one amortised queue insert for the batch."""
+        pairs = [
+            (send_at_ns, (packet, continuation))
+            for packet, send_at_ns, continuation in entries
+        ]
+        count = self.queue.enqueue_batch(pairs)
+        self._size += count
+        return count
+
     # -- release -------------------------------------------------------------------
 
     def release_due(self, now_ns: int) -> list[Packet]:
         """Release every packet whose timestamp has passed.
 
-        Continuations run in timestamp order; a continuation may re-insert
+        Due packets are drained from the backing queue in one batched
+        ``extract_due`` call per round — this is the timer-fire hot path, so
+        the bitmap/tree maintenance is amortised across the whole batch
+        instead of paying a peek + extract walk per packet.  Continuations
+        run in timestamp order within a round; a continuation may re-insert
         the packet into this same shaper (the next rate limit of Figure 8),
-        and such re-inserted packets are also released if their new timestamp
-        is still ``<= now_ns``.
+        and such re-inserted packets are released by a subsequent round of
+        the same call while their new timestamp is still ``<= now_ns``.
 
         Returns the packets whose continuations ran (in release order).
         """
         released: list[Packet] = []
         while self._size:
-            timestamp, _entry = self.queue.peek_min()
-            if timestamp > now_ns:
+            batch = self.queue.extract_due(now_ns)
+            if not batch:
                 break
-            timestamp, (packet, continuation) = self.queue.extract_min()
-            self._size -= 1
-            # The continuation observes the time the timer would have fired
-            # (the packet's own timestamp), not the sweep time: downstream
-            # shaping stages must pace from the moment the packet actually
-            # cleared this gate.
-            continuation(packet, max(timestamp, 0))
-            released.append(packet)
+            self._size -= len(batch)
+            for timestamp, (packet, continuation) in batch:
+                # The continuation observes the time the timer would have
+                # fired (the packet's own timestamp), not the sweep time:
+                # downstream shaping stages must pace from the moment the
+                # packet actually cleared this gate.
+                continuation(packet, max(timestamp, 0))
+                released.append(packet)
         return released
 
     def next_event_ns(self) -> Optional[int]:

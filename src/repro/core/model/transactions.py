@@ -24,7 +24,7 @@ so policy code reads exactly like the paper's snippets
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .packet import Flow, FlowTable, Packet
 from .pifo import PIFOBlock, QueueFactory, default_queue_factory
@@ -63,6 +63,15 @@ class SchedulingTransaction:
         packet.rank = rank
         self.pifo.push(rank, packet)
         return rank
+
+    def enqueue_batch(self, packets: Iterable[Packet]) -> int:
+        """Rank and push a batch through the PIFO's batched insert path."""
+        pairs = []
+        for packet in packets:
+            rank = self.rank_function(packet, self.context)
+            packet.rank = rank
+            pairs.append((rank, packet))
+        return self.pifo.push_batch(pairs)
 
     def dequeue(self) -> Optional[Packet]:
         """Pop the minimum-rank packet, or ``None`` when empty."""
@@ -132,6 +141,27 @@ class PerFlowSchedulingTransaction:
         self.on_enqueue(flow, packet, self.context)
         self.pifo.reinsert(flow, flow.rank)
         return flow
+
+    def enqueue_batch(self, packets: Iterable[Packet]) -> int:
+        """Add a batch of packets, relocating each flow handle only once.
+
+        ``on_enqueue`` still runs per packet (the ranking semantics are
+        per-packet), but the PIFO relocation — the expensive part — happens
+        once per *flow* per batch instead of once per packet, since only the
+        flow's final rank matters when no dequeue interleaves.
+        """
+        touched: dict[int, Flow] = {}
+        count = 0
+        for packet in packets:
+            flow = self.flows.get(packet.flow_id, weight=self.flow_weight)
+            flow.push(packet)
+            self._packets += 1
+            self.on_enqueue(flow, packet, self.context)
+            touched[flow.flow_id] = flow
+            count += 1
+        for flow in touched.values():
+            self.pifo.reinsert(flow, flow.rank)
+        return count
 
     # -- dequeue ------------------------------------------------------------------
 

@@ -16,7 +16,7 @@ interchangeably:
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from ..model.packet import Packet
 
@@ -51,6 +51,19 @@ class PacketScheduler(abc.ABC):
         already eligible.
         """
         return None
+
+    def enqueue_batch(self, packets: Iterable[Packet], now_ns: int = 0) -> int:
+        """Admit a batch of packets; returns the number admitted.
+
+        The default is N single enqueues; policies whose backing structures
+        support amortised batch inserts override this so a NIC burst costs
+        one index update per touched bucket/flow instead of one per packet.
+        """
+        count = 0
+        for packet in packets:
+            self.enqueue(packet, now_ns)
+            count += 1
+        return count
 
     def dequeue_due(self, now_ns: int = 0, limit: Optional[int] = None) -> List[Packet]:
         """Drain every currently eligible packet (up to ``limit``)."""

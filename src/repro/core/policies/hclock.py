@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .base import PacketScheduler
 from ..model.packet import Flow, FlowTable, Packet
@@ -195,6 +195,38 @@ class EiffelHClockScheduler(_HClockBase):
             if extra.get("r_rank") is not None:
                 self._reservation_pifo.reinsert(flow, extra["r_rank"])
             self._share_pifo.reinsert(flow, extra["s_rank"])
+
+    def enqueue_batch(self, packets: Iterable[Packet], now_ns: int = 0) -> int:
+        """Batched admit: tag init and PIFO inserts once per newly active flow.
+
+        Packets of already-backlogged flows only append to the flow's FIFO;
+        flows that become backlogged in this batch are tagged once and
+        inserted into both PIFOs through the backing queues' batched path.
+        """
+        newly_backlogged: List[Flow] = []
+        count = 0
+        for packet in packets:
+            flow = self._flows.get(packet.flow_id)
+            if flow.empty:
+                newly_backlogged.append(flow)
+            flow.push(packet)
+            self._pending += 1
+            count += 1
+        reservation_pairs: List[tuple[int, Flow]] = []
+        share_pairs: List[tuple[int, Flow]] = []
+        for flow in newly_backlogged:
+            self._init_tags(flow, now_ns)
+            extra = flow.state.extra
+            if extra.get("r_rank") is not None:
+                self._reservation_pifo.remove(flow)
+                reservation_pairs.append((extra["r_rank"], flow))
+            self._share_pifo.remove(flow)
+            share_pairs.append((extra["s_rank"], flow))
+        if reservation_pairs:
+            self._reservation_pifo.push_batch(reservation_pairs)
+        if share_pairs:
+            self._share_pifo.push_batch(share_pairs)
+        return count
 
     def _serve(self, flow: Flow, now_ns: int) -> Packet:
         packet = flow.pop()

@@ -28,7 +28,7 @@ counting the flow's own backlog, which yields SRPT-of-backlog behaviour.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .base import PacketScheduler
 from ..model.packet import Flow, FlowTable, Packet
@@ -89,6 +89,10 @@ class EiffelPFabricScheduler(PacketScheduler):
 
     def enqueue(self, packet: Packet, now_ns: int = 0) -> None:
         self._transaction.enqueue(packet)
+
+    def enqueue_batch(self, packets: Iterable[Packet], now_ns: int = 0) -> int:
+        """Batched admit: one flow relocation per touched flow (Figure 14)."""
+        return self._transaction.enqueue_batch(packets)
 
     def dequeue(self, now_ns: int = 0) -> Optional[Packet]:
         return self._transaction.dequeue()

@@ -19,8 +19,8 @@ benchmark harness can compare both wall-clock time and modelled CPU cycles.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
 
 
 class QueueError(Exception):
@@ -146,6 +146,57 @@ class IntegerPriorityQueue(abc.ABC):
     @abc.abstractmethod
     def peek_min(self) -> tuple[int, Any]:
         """Return ``(priority, item)`` of the minimum element without removal."""
+
+    # -- batch surface ----------------------------------------------------
+    #
+    # Batching is how the paper's BESS integration amortises per-packet
+    # overhead: a timer fire or NIC pull moves a whole batch through the
+    # queue in one call.  The defaults below fall back to N single-element
+    # operations so every queue supports the API; concrete queues override
+    # them with implementations that amortise bitmap/tree/heap index
+    # maintenance across the batch (and charge their stats counters
+    # per-batch instead of per-element).  Overrides must be observationally
+    # equivalent to the defaults: same elements, same order.
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Insert every ``(priority, item)`` pair; returns the count inserted."""
+        count = 0
+        for priority, item in pairs:
+            self.enqueue(priority, item)
+            count += 1
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Remove and return up to ``n`` minimum elements in priority order.
+
+        Returns fewer than ``n`` entries when the queue drains; never raises
+        on an empty queue (an empty list is returned instead).
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and not self.empty:
+            batch.append(self.extract_min())
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        """Drain every element whose priority is ``<= now`` (up to ``limit``).
+
+        This is the operation a shaping qdisc performs when its timer fires:
+        release every packet whose transmission timestamp has passed.  The
+        check is against the head of the minimum bucket, so queues whose
+        buckets span several priority units (granularity > 1) release at
+        bucket resolution, exactly as the per-element peek/extract loop does.
+        """
+        released: list[tuple[int, Any]] = []
+        while not self.empty and (limit is None or len(released) < limit):
+            priority, _item = self.peek_min()
+            if priority > now:
+                break
+            released.append(self.extract_min())
+        return released
 
     # -- shared helpers ---------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable, Optional
 
 from .base import (
     BucketSpec,
@@ -83,6 +83,74 @@ class BucketedHeapQueue(IntegerPriorityQueue):
             raise EmptyQueueError("peek_min from empty BucketedHeapQueue")
         bucket = self._min_bucket()
         return self._buckets[bucket][0]
+
+    # -- batch operations -----------------------------------------------------
+
+    def _drop_min_bucket(self, bucket: int) -> None:
+        heapq.heappop(self._heap)
+        self._in_heap[bucket] = False
+        self.stats.heap_operations += max(1, len(self._heap).bit_length())
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: at most one heap push per distinct bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range of BucketedHeapQueue"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            self._buckets[bucket].extend(entries)
+            if not self._in_heap[bucket]:
+                heapq.heappush(self._heap, bucket)
+                self._in_heap[bucket] = True
+                self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one heap pop per bucket drained."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self._drop_min_bucket(bucket)
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self._drop_min_bucket(bucket)
+                continue
+            break
+        return released
 
 
 __all__ = ["BucketedHeapQueue"]

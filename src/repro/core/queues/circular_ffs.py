@@ -13,13 +13,16 @@ queue's **last bucket** (losing exact ordering, which the paper accepts
 because ranges are easy to size per policy).  When the primary queue drains
 and the minimum now lives in the secondary queue, the two queues *rotate*:
 pointers (bucket arrays + bitmaps) are swapped and ``h_index`` advances by
-one window — an O(1) operation, no per-element copying.
+one window.  On rotation the incoming primary's unsorted overflow bucket is
+re-dispatched into the new secondary range, so the ordering approximation
+stays bounded to one window as the paper intends — far-future ranks are
+never dequeued as if they were due.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable, Iterator, Optional
 
 from .base import (
     BucketSpec,
@@ -143,14 +146,91 @@ class CircularFFSQueue(IntegerPriorityQueue):
         self._size += 1
 
     def _rotate(self) -> None:
-        """Swap primary and secondary windows and advance ``h_index``."""
+        """Swap primary and secondary windows and advance ``h_index``.
+
+        The incoming primary window may carry an unsorted overflow (last)
+        bucket of beyond-horizon ranks; those are re-dispatched into the new
+        secondary range so they are not dequeued as if they were due.
+        """
         self._primary, self._secondary = self._secondary, self._primary
         self.h_index += self.window_span
         self.stats.rotations += 1
+        self._rebucket_overflow()
+
+    def _rebucket_overflow(self) -> None:
+        """Re-dispatch the new primary's overflow bucket after a rotation.
+
+        Entries whose rank falls inside the last bucket's own range stay put;
+        everything else belongs to the new secondary window (or its overflow
+        bucket) now that ``h_index`` has advanced.
+        """
+        last = self.spec.num_buckets - 1
+        entries = self._primary.buckets[last]
+        if not entries:
+            return
+        last_floor = self.h_index + last * self.spec.granularity
+        _lo, hi = self.primary_range
+        if all(last_floor <= priority < hi for priority, _item in entries):
+            return  # everything legitimately belongs to the last bucket
+        keep: Deque[tuple[int, Any]] = deque()
+        moved = 0
+        _slo, shi = self.secondary_range
+        while entries:
+            entry = entries.popleft()
+            priority = entry[0]
+            self.stats.linear_scans += 1
+            if priority < hi:
+                window = self._primary
+                bucket = self._bucket_in_primary(priority)
+            elif priority < shi:
+                window = self._secondary
+                bucket = self._bucket_in_secondary(priority)
+            else:
+                window = self._secondary
+                bucket = last
+            if window is self._primary and bucket == last:
+                keep.append(entry)
+                continue
+            was_empty = not window.buckets[bucket]
+            window.buckets[bucket].append(entry)
+            if was_empty:
+                self.stats.word_scans += window.tree.set(bucket)
+            if window is self._secondary:
+                moved += 1
+        if keep:
+            entries.extend(keep)
+        else:
+            self.stats.word_scans += self._primary.tree.clear(last)
+        self._primary.size -= moved
+        self._secondary.size += moved
+
+    def _fast_forward_if_overflow_only(self) -> None:
+        """Jump ``h_index`` ahead when only far-future overflow ranks remain.
+
+        Called with an empty primary window.  If every remaining element sits
+        in the secondary's overflow bucket and none of them lands within the
+        next window either, rotating one window at a time would shuffle the
+        same overflow entries forward once per window; instead ``h_index``
+        jumps straight to the window preceding the minimum remaining rank so
+        the upcoming rotation places it in the primary range.
+        """
+        last = self.spec.num_buckets - 1
+        first, scanned = self._secondary.tree.first_set()
+        self.stats.word_scans += scanned
+        if first != last:
+            return
+        entries = self._secondary.buckets[last]
+        self.stats.linear_scans += len(entries)
+        min_priority = min(priority for priority, _item in entries)
+        span = self.window_span
+        if min_priority < self.h_index + 2 * span:
+            return
+        self.h_index += ((min_priority - self.h_index) // span - 1) * span
 
     def _advance_to_nonempty(self) -> _Window:
         """Rotate until the primary window holds the minimum element."""
         while self._primary.empty and not self._secondary.empty:
+            self._fast_forward_if_overflow_only()
             self._rotate()
         if self._primary.empty:
             raise EmptyQueueError("circular FFS queue is empty")
@@ -178,18 +258,92 @@ class CircularFFSQueue(IntegerPriorityQueue):
         self.stats.word_scans += scanned
         return window.buckets[bucket][0]
 
-    def extract_due(self, now: int) -> list[tuple[int, Any]]:
-        """Drain every element whose priority is ``<= now``.
+    # -- batch operations --------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one bucket lookup and tree update per bucket."""
+        grouped: dict[tuple[int, int], list[tuple[int, Any]]] = {}
+        count = 0
+        lo, hi = self.primary_range
+        _slo, shi = self.secondary_range
+        last = self.spec.num_buckets - 1
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if priority < lo:
+                if not self.allow_stale:
+                    raise ValueError(
+                        f"priority {priority} precedes queue head index {lo}"
+                    )
+                key = (0, 0)
+            elif priority < hi:
+                key = (0, self._bucket_in_primary(priority))
+            elif priority < shi:
+                key = (1, self._bucket_in_secondary(priority))
+            else:
+                self.stats.overflow_enqueues += 1
+                key = (1, last)
+            grouped.setdefault(key, []).append((priority, item))
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        windows = (self._primary, self._secondary)
+        for (window_index, bucket), entries in grouped.items():
+            window = windows[window_index]
+            was_empty = not window.buckets[bucket]
+            window.buckets[bucket].extend(entries)
+            if was_empty:
+                self.stats.word_scans += window.tree.set(bucket)
+            window.size += len(entries)
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one tree walk per bucket visited."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            window = self._advance_to_nonempty()
+            bucket, scanned = window.tree.first_set()
+            self.stats.word_scans += scanned
+            entries = window.buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self.stats.word_scans += window.tree.clear(bucket)
+            window.size -= take
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        """Drain every element whose priority is ``<= now`` (up to ``limit``).
 
         This is the operation a shaping qdisc performs when its timer fires:
-        release every packet whose transmission timestamp has passed.
+        release every packet whose transmission timestamp has passed.  The
+        batch implementation walks the bitmap tree once per bucket drained
+        instead of twice per element (peek + extract).
         """
         released: list[tuple[int, Any]] = []
-        while not self.empty:
-            priority, _item = self.peek_min()
-            if priority > now:
-                break
-            released.append(self.extract_min())
+        while self._size and (limit is None or len(released) < limit):
+            window = self._advance_to_nonempty()
+            bucket, scanned = window.tree.first_set()
+            self.stats.word_scans += scanned
+            entries = window.buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                window.size -= 1
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self.stats.word_scans += window.tree.clear(bucket)
+                continue
+            break  # head not yet due, or the limit was reached
         return released
 
     def remove(self, priority: int, item: Any) -> bool:
@@ -207,17 +361,27 @@ class CircularFFSQueue(IntegerPriorityQueue):
                     return True
         return False
 
-    def _candidate_buckets(self, priority: int):
+    def _candidate_buckets(self, priority: int) -> Iterator[tuple[_Window, int]]:
+        """Buckets that may hold an element of ``priority``.
+
+        Beyond-window priorities may sit in *either* window's overflow (last)
+        bucket: new overflow lands in the secondary's last bucket, but after a
+        rotation previously overflowed entries live in the primary's last
+        bucket until the next rotation re-dispatches them.
+        """
         lo, hi = self.primary_range
-        slo, shi = self.secondary_range
+        _slo, shi = self.secondary_range
+        last = self.spec.num_buckets - 1
         if priority < lo:
             yield self._primary, 0
         elif priority < hi:
             yield self._primary, self._bucket_in_primary(priority)
         elif priority < shi:
             yield self._secondary, self._bucket_in_secondary(priority)
+            yield self._primary, last
         else:
-            yield self._secondary, self.spec.num_buckets - 1
+            yield self._secondary, last
+            yield self._primary, last
 
 
 __all__ = ["CircularFFSQueue"]

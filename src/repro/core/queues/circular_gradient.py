@@ -19,7 +19,7 @@ The rotation protocol is identical to the cFFS (Figure 4):
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Optional
 
 from .base import (
     BucketSpec,
@@ -118,10 +118,38 @@ class CircularQueueAdapter(IntegerPriorityQueue):
             raise EmptyQueueError("circular queue is empty")
         return self._primary
 
+    def _settle(self) -> IntegerPriorityQueue:
+        """Advance to the window holding the minimum, re-dispatching overflow.
+
+        Entries that overflowed past both windows sit (unsorted) at the
+        overflow offset of what later rotates into the primary window; their
+        stored absolute priority may belong to a later window.  The generic
+        adapter cannot re-bucket on rotation (the window queues expose no
+        bucket access), so misplaced entries are re-dispatched lazily the
+        moment they surface as the window minimum — before anything is
+        returned with a far-future rank, keeping the ordering approximation
+        bounded to one window exactly as the cFFS does.
+        """
+        while True:
+            window = self._advance()
+            _local, payload = window.peek_min()
+            priority = payload[0]
+            _lo, hi = self.primary_range
+            if priority < hi:
+                return window
+            window.extract_min()
+            slo, shi = self.secondary_range
+            self.stats.linear_scans += 1
+            if priority < shi:
+                self._secondary.enqueue(priority - slo, payload)
+            else:
+                overflow_offset = (self.spec.num_buckets - 1) * self.spec.granularity
+                self._secondary.enqueue(overflow_offset, payload)
+
     def extract_min(self) -> tuple[int, Any]:
         if self.empty:
             raise EmptyQueueError("extract_min from empty circular queue")
-        window = self._advance()
+        window = self._settle()
         _local, payload = window.extract_min()
         self.stats.dequeues += 1
         self._size -= 1
@@ -130,19 +158,91 @@ class CircularQueueAdapter(IntegerPriorityQueue):
     def peek_min(self) -> tuple[int, Any]:
         if self.empty:
             raise EmptyQueueError("peek_min from empty circular queue")
-        window = self._advance()
+        window = self._settle()
         _local, payload = window.peek_min()
         return payload
 
-    def extract_due(self, now: int) -> list[tuple[int, Any]]:
-        """Drain every element whose (absolute) priority is ``<= now``."""
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        """Drain every element whose (absolute) priority is ``<= now``.
+
+        The due check must use the *absolute* priority stored in the payload
+        (overflow entries sit at a window-local offset unrelated to their
+        rank), so this stays a per-element peek/extract loop; the amortised
+        batch paths are :meth:`enqueue_batch` and :meth:`extract_min_batch`.
+        """
         released: list[tuple[int, Any]] = []
-        while not self.empty:
+        while not self.empty and (limit is None or len(released) < limit):
             priority, _item = self.peek_min()
             if priority > now:
                 break
             released.append(self.extract_min())
         return released
+
+    # -- batch operations --------------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one delegated ``enqueue_batch`` per window."""
+        primary_entries: list[tuple[int, Any]] = []
+        secondary_entries: list[tuple[int, Any]] = []
+        count = 0
+        lo, hi = self.primary_range
+        slo, shi = self.secondary_range
+        overflow_offset = (self.spec.num_buckets - 1) * self.spec.granularity
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if priority < lo:
+                if not self.allow_stale:
+                    raise ValueError(
+                        f"priority {priority} precedes queue head index {lo}"
+                    )
+                primary_entries.append((0, (priority, item)))
+            elif priority < hi:
+                primary_entries.append((priority - lo, (priority, item)))
+            elif priority < shi:
+                secondary_entries.append((priority - slo, (priority, item)))
+            else:
+                self.stats.overflow_enqueues += 1
+                secondary_entries.append((overflow_offset, (priority, item)))
+            count += 1
+        if primary_entries:
+            self._primary.enqueue_batch(primary_entries)
+        if secondary_entries:
+            self._secondary.enqueue_batch(secondary_entries)
+        self.stats.enqueues += count
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min delegating to the window queues' batch paths.
+
+        Misplaced overflow entries surfacing in the drained batch are
+        re-dispatched into the secondary window (see :meth:`_settle`) rather
+        than returned with far-future ranks; the stable filter preserves the
+        FIFO order the per-element path yields.
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            window = self._settle()
+            _lo, hi = self.primary_range
+            slo, shi = self.secondary_range
+            overflow_offset = (self.spec.num_buckets - 1) * self.spec.granularity
+            for _local, payload in window.extract_min_batch(n - len(batch)):
+                priority = payload[0]
+                if priority < hi:
+                    batch.append(payload)
+                    self.stats.dequeues += 1
+                    self._size -= 1
+                    continue
+                self.stats.linear_scans += 1
+                if priority < shi:
+                    self._secondary.enqueue(priority - slo, payload)
+                else:
+                    self._secondary.enqueue(overflow_offset, payload)
+        return batch
 
     def merged_stats(self) -> dict[str, int]:
         """Adapter counters plus both windows' counters, for cost accounting."""

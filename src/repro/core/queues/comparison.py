@@ -12,9 +12,10 @@ behaviour within a rank that the bucketed queues give for free.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
-from typing import Any, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from .base import BucketSpec, EmptyQueueError, IntegerPriorityQueue, validate_priority
 
@@ -58,6 +59,55 @@ class BinaryHeapQueue(IntegerPriorityQueue):
         """
         heapq.heapify(self._heap)
         self.stats.heap_operations += max(1, len(self._heap))
+
+    # -- batch operations ------------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one O(n) heapify when it beats k pushes.
+
+        Extraction order is fully determined by the ``(priority, seq)`` total
+        order, so rebuilding the heap in one pass is observationally identical
+        to pushing elements one at a time.
+        """
+        entries = [
+            (validate_priority(priority), next(self._counter), item)
+            for priority, item in pairs
+        ]
+        if not entries:
+            return 0
+        self.stats.enqueues += len(entries)
+        total = len(self._heap) + len(entries)
+        if len(entries) * max(1, total.bit_length()) >= total:
+            self._heap.extend(entries)
+            heapq.heapify(self._heap)
+            self.stats.heap_operations += max(1, total)
+        else:
+            for entry in entries:
+                heapq.heappush(self._heap, entry)
+                self.stats.heap_operations += max(1, len(self._heap).bit_length())
+        self._size += len(entries)
+        return len(entries)
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: a full drain sorts in place instead of sifting."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        if n >= self._size and self._size:
+            # Draining everything: one O(n log n) sort replaces n pops, each
+            # of which would sift the root down the whole heap.
+            self._heap.sort()
+            drained = [(priority, item) for priority, _seq, item in self._heap]
+            self.stats.heap_operations += max(
+                1, self._size * max(1, self._size.bit_length()) // 2
+            )
+            self.stats.dequeues += self._size
+            self._heap.clear()
+            self._size = 0
+            return drained
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            batch.append(self.extract_min())
+        return batch
 
 
 class _RBNode:
@@ -328,6 +378,57 @@ class RBTreeQueue(IntegerPriorityQueue):
         node = self._minimum_node()
         return node.key, node.items[0]
 
+    # -- batch operations -------------------------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one tree descent per distinct priority."""
+        grouped: dict[int, list[Any]] = {}
+        count = 0
+        for priority, item in pairs:
+            grouped.setdefault(validate_priority(priority), []).append(item)
+            count += 1
+        self.stats.enqueues += count
+        for priority, items in grouped.items():
+            node = self._find_or_insert_node(priority)
+            node.items.extend(items)
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one minimum walk per node drained."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            node = self._minimum_node()
+            take = min(n - len(batch), len(node.items))
+            batch.extend((node.key, item) for item in node.items[:take])
+            del node.items[:take]
+            if not node.items:
+                self._delete_node(node)
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            node = self._minimum_node()
+            if node.key > now:
+                break
+            take = len(node.items)
+            if limit is not None:
+                take = min(take, limit - len(released))
+            released.extend((node.key, item) for item in node.items[:take])
+            del node.items[:take]
+            if not node.items:
+                self._delete_node(node)
+            self.stats.dequeues += take
+            self._size -= take
+        return released
+
     # -- invariants (used by property-based tests) -----------------------------------------
 
     @property
@@ -407,6 +508,58 @@ class SortedListQueue(IntegerPriorityQueue):
             raise EmptyQueueError("peek_min from empty SortedListQueue")
         priority, _seq, item = self._entries[0]
         return priority, item
+
+    # -- batch operations -----------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one sorted merge instead of k linear insertions.
+
+        The final list is ordered by the ``(priority, seq)`` total order, the
+        same invariant the per-element insertion maintains.
+        """
+        entries = [
+            (validate_priority(priority), next(self._counter), item)
+            for priority, item in pairs
+        ]
+        if not entries:
+            return 0
+        self.stats.enqueues += len(entries)
+        self._entries.extend(entries)
+        self._entries.sort(key=lambda entry: entry[:2])
+        # Modelled as one merge pass over the combined list.
+        self.stats.linear_scans += len(self._entries)
+        self._size += len(entries)
+        return len(entries)
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one front slice instead of n O(n) pops."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        take = min(n, self._size)
+        if take == 0:
+            return []
+        batch = [(priority, item) for priority, _seq, item in self._entries[:take]]
+        del self._entries[:take]
+        self.stats.dequeues += take
+        self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        if self._size == 0:
+            return []
+        cutoff = bisect.bisect_right(self._entries, now, key=lambda entry: entry[0])
+        self.stats.linear_scans += max(1, len(self._entries).bit_length())
+        if limit is not None:
+            cutoff = min(cutoff, limit)
+        if cutoff == 0:
+            return []
+        released = [(priority, item) for priority, _seq, item in self._entries[:cutoff]]
+        del self._entries[:cutoff]
+        self.stats.dequeues += cutoff
+        self._size -= cutoff
+        return released
 
 
 __all__ = ["BinaryHeapQueue", "RBTreeQueue", "SortedListQueue"]

@@ -18,7 +18,7 @@ Two conventions are used throughout:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable, Optional
 
 from .base import (
     BucketSpec,
@@ -68,8 +68,8 @@ def test_bit(word: int, index: int) -> bool:
 
 
 def popcount(word: int) -> int:
-    """Number of set bits in ``word``."""
-    return bin(word).count("1")
+    """Number of set bits in ``word`` (x86 ``POPCNT``)."""
+    return int(word).bit_count()
 
 
 class Bitmap:
@@ -199,6 +199,70 @@ class FFSQueue(IntegerPriorityQueue):
         """The raw occupancy bitmap word (for tests and inspection)."""
         return self._bitmap.word
 
+    # -- batch operations -------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one bucket lookup and bitmap update per bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range "
+                    f"[{self.spec.base_priority}, "
+                    f"{self.spec.base_priority + self.spec.horizon})"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            self._buckets[bucket].extend(entries)
+            self._bitmap.set(bucket)
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one FFS per bucket visited, not per element."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            self.stats.word_scans += 1
+            bucket = self._bitmap.first_set()
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self._bitmap.clear(bucket)
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            self.stats.word_scans += 1
+            bucket = self._bitmap.first_set()
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self._bitmap.clear(bucket)
+                continue
+            break  # head not yet due, or the limit was reached
+        return released
+
 
 class MultiWordFFSQueue(IntegerPriorityQueue):
     """Sequentially-scanned multi-word FFS queue.
@@ -257,6 +321,71 @@ class MultiWordFFSQueue(IntegerPriorityQueue):
             raise EmptyQueueError("peek_min from empty MultiWordFFSQueue")
         bucket = self._min_bucket()
         return self._buckets[bucket][0]
+
+    # -- batch operations -------------------------------------------------
+
+    def _clear_bucket_bit(self, bucket: int) -> None:
+        word_index, bit = divmod(bucket, self.word_width)
+        self._words[word_index] = clear_bit(self._words[word_index], bit)
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one bucket lookup and bit set per bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range of MultiWordFFSQueue"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            self._buckets[bucket].extend(entries)
+            word_index, bit = divmod(bucket, self.word_width)
+            self._words[word_index] = set_bit(self._words[word_index], bit)
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one word scan per bucket visited."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self._clear_bucket_bit(bucket)
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self._clear_bucket_bit(bucket)
+                continue
+            break
+        return released
 
 
 __all__ = [

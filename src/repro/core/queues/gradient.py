@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Iterable, Optional
 
 from .base import (
     BucketSpec,
@@ -237,6 +237,68 @@ class GradientQueue(IntegerPriorityQueue):
         bucket = self._min_bucket()
         return self._buckets[bucket][0]
 
+    # -- batch operations ----------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one curvature update per newly non-empty bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range of GradientQueue"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            was_empty = not self._buckets[bucket]
+            self._buckets[bucket].extend(entries)
+            if was_empty:
+                self._mark_nonempty(self._internal(bucket))
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one critical-point division per bucket."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self._mark_empty(self._internal(bucket))
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self._mark_empty(self._internal(bucket))
+                continue
+            break
+        return released
+
     def curvature_coefficients(self) -> tuple[int, int]:
         """The ``(a, b)`` coefficients, exposed for tests of Theorem 1."""
         return self._a, self._b
@@ -419,6 +481,74 @@ class ApproximateGradientQueue(IntegerPriorityQueue):
             raise EmptyQueueError("peek_min from empty ApproximateGradientQueue")
         bucket = self._min_bucket()
         return self._buckets[bucket][0]
+
+    # -- batch operations ----------------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one curvature update per newly non-empty bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range of "
+                    "ApproximateGradientQueue"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            was_empty = not self._buckets[bucket]
+            self._buckets[bucket].extend(entries)
+            if was_empty:
+                self._mark_nonempty(self._internal(bucket))
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one estimate (and fallback) per bucket.
+
+        The one-step estimate only changes when bucket occupancy changes, so
+        draining the selected bucket before re-estimating visits exactly the
+        same buckets in the same order as repeated single extractions.
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self._mark_empty(self._internal(bucket))
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            bucket = self._min_bucket()
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self._mark_empty(self._internal(bucket))
+                continue
+            break
+        return released
 
     # -- error reporting (Figure 18) ----------------------------------------------
 

@@ -15,7 +15,7 @@ the last level has one bit per bucket.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Iterable, Optional
 
 from .base import (
     BucketSpec,
@@ -179,6 +179,70 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
         bucket, scanned = self._tree.first_set()
         self.stats.word_scans += scanned
         return self._buckets[bucket][0]
+
+    # -- batch operations -------------------------------------------------
+
+    def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Batched insert: one bucket lookup and tree update per bucket."""
+        grouped: dict[int, list[tuple[int, Any]]] = {}
+        count = 0
+        for priority, item in pairs:
+            priority = validate_priority(priority)
+            if not self.spec.contains(priority):
+                raise PriorityOutOfRangeError(
+                    f"priority {priority} outside fixed range of HierarchicalFFSQueue"
+                )
+            grouped.setdefault(self.spec.bucket_for(priority), []).append(
+                (priority, item)
+            )
+            count += 1
+        self.stats.enqueues += count
+        self.stats.bucket_lookups += len(grouped)
+        for bucket, entries in grouped.items():
+            was_empty = not self._buckets[bucket]
+            self._buckets[bucket].extend(entries)
+            if was_empty:
+                self.stats.word_scans += self._tree.set(bucket)
+        self._size += count
+        return count
+
+    def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
+        """Batched extract-min: one root-to-leaf walk per bucket visited."""
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        batch: list[tuple[int, Any]] = []
+        while len(batch) < n and self._size:
+            bucket, scanned = self._tree.first_set()
+            self.stats.word_scans += scanned
+            entries = self._buckets[bucket]
+            take = min(n - len(batch), len(entries))
+            for _ in range(take):
+                batch.append(entries.popleft())
+            if not entries:
+                self.stats.word_scans += self._tree.clear(bucket)
+            self.stats.dequeues += take
+            self._size -= take
+        return batch
+
+    def extract_due(
+        self, now: int, limit: Optional[int] = None
+    ) -> list[tuple[int, Any]]:
+        released: list[tuple[int, Any]] = []
+        while self._size and (limit is None or len(released) < limit):
+            bucket, scanned = self._tree.first_set()
+            self.stats.word_scans += scanned
+            entries = self._buckets[bucket]
+            while entries and entries[0][0] <= now:
+                if limit is not None and len(released) >= limit:
+                    break
+                released.append(entries.popleft())
+                self.stats.dequeues += 1
+                self._size -= 1
+            if not entries:
+                self.stats.word_scans += self._tree.clear(bucket)
+                continue
+            break
+        return released
 
     def remove(self, priority: int, item: Any) -> bool:
         """Remove a specific ``(priority, item)`` pair in O(bucket length).

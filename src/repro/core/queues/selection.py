@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
 
 from .base import BucketSpec, IntegerPriorityQueue
 from .bucket_heap import BucketedHeapQueue

@@ -90,13 +90,24 @@ class TimingWheel:
         self._slots[slot].append((effective, item))
         self._size += 1
 
+    def insert_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Insert every ``(timestamp, item)`` pair; returns the count inserted."""
+        count = 0
+        for timestamp, item in pairs:
+            self.insert(timestamp, item)
+            count += 1
+        return count
+
     def advance_to(self, now: int) -> list[tuple[int, Any]]:
         """Advance the wheel clock to ``now`` and release every due packet.
 
         Every slot between the previous clock value and ``now`` is visited
         (that per-slot visit is exactly the polling overhead Carousel pays,
         and what Figure 10's softirq panel shows); packets in visited slots
-        are returned in slot order.
+        are returned in slot order.  Entries within one slot are *not*
+        ordered by timestamp — packets may be inserted out of order within a
+        slot interval — so the whole slot is scanned and not-yet-due entries
+        are retained (in arrival order) for a later advance.
         """
         released: list[tuple[int, Any]] = []
         if now < self.current_time:
@@ -109,13 +120,19 @@ class TimingWheel:
         for step in range(slots_to_advance + 1):
             slot = (current_slot + step) % self.num_slots
             self.slot_advances += 1
-            while self._slots[slot]:
-                timestamp, item = self._slots[slot][0]
+            entries = self._slots[slot]
+            if not entries:
+                continue
+            pending: Deque[tuple[int, Any]] = deque()
+            while entries:
+                timestamp, item = entries.popleft()
                 if timestamp > now:
-                    break
-                self._slots[slot].popleft()
+                    pending.append((timestamp, item))
+                    continue
                 self._size -= 1
                 released.append((timestamp, item))
+            if pending:
+                entries.extend(pending)
         self.current_time = now
         return released
 
@@ -191,6 +208,14 @@ class HierarchicalTimingWheel:
         else:
             self.levels[-1].insert(timestamp, item)
         self._size += 1
+
+    def insert_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
+        """Insert every ``(timestamp, item)`` pair; returns the count inserted."""
+        count = 0
+        for timestamp, item in pairs:
+            self.insert(timestamp, item)
+            count += 1
+        return count
 
     def advance_to(self, now: int) -> list[tuple[int, Any]]:
         """Advance all levels to ``now``; cascade and return due packets."""

@@ -99,8 +99,10 @@ class CarouselQdisc(Qdisc):
             self.stats.dequeued += 1
             self._backlog -= 1
         # Anything beyond the budget goes back into the wheel (rare).
-        for timestamp, packet in released_entries[budget:]:
-            self._wheel.insert(max(timestamp, now_ns), packet)
+        self._wheel.insert_batch(
+            (max(timestamp, now_ns), packet)
+            for timestamp, packet in released_entries[budget:]
+        )
         return released
 
     def soonest_deadline_ns(self, now_ns: int) -> Optional[int]:

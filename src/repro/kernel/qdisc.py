@@ -23,7 +23,7 @@ Figure 10.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .timer import HrTimer

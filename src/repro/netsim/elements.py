@@ -47,6 +47,20 @@ class PortQueue:
         """Next packet to transmit, or ``None`` when empty."""
         raise NotImplementedError
 
+    def enqueue_batch(self, packets: List[Packet]) -> int:
+        """Admit a burst of packets; returns how many were accepted."""
+        return sum(1 for packet in packets if self.enqueue(packet))
+
+    def dequeue_batch(self, n: int) -> List[Packet]:
+        """Pull up to ``n`` packets in one NIC-pull; default is n dequeues."""
+        batch: List[Packet] = []
+        while len(batch) < n:
+            packet = self.dequeue()
+            if packet is None:
+                break
+            batch.append(packet)
+        return batch
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -148,6 +162,17 @@ class PFabricPortQueue(PortQueue):
             return packet
         return None
 
+    def dequeue_batch(self, n: int) -> List[Packet]:
+        """Batched NIC pull through the priority index's amortised path."""
+        batch: List[Packet] = []
+        while len(batch) < n and len(self._queue):
+            for _priority, packet in self._queue.extract_min_batch(n - len(batch)):
+                if packet.metadata.pop("pfabric_evicted", None):
+                    continue  # lazily discard evicted packets
+                self._resident.remove(packet)
+                batch.append(packet)
+        return batch
+
     def __len__(self) -> int:
         return len(self._resident)
 
@@ -159,7 +184,18 @@ def approx_pfabric_queue_factory(spec: BucketSpec):
 
 
 class Link:
-    """A unidirectional link: serialisation at ``rate_bps`` plus propagation."""
+    """A unidirectional link: serialisation at ``rate_bps`` plus propagation.
+
+    Args:
+        burst_packets: how many packets one NIC pull takes from the port
+            queue.  With the default of 1 every transmission completion
+            schedules one pull per packet; a larger burst drains the queue
+            through its batched ``dequeue_batch`` path and schedules a single
+            completion event for the whole burst, amortising the per-call
+            overhead exactly as a real NIC TX burst does.  Serialisation
+            timing is preserved: each packet in the burst is delivered at its
+            own position within the burst's serialisation schedule.
+    """
 
     def __init__(
         self,
@@ -168,14 +204,18 @@ class Link:
         propagation_ns: int,
         deliver: Callable[[Packet], None],
         queue: PortQueue,
+        burst_packets: int = 1,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
+        if burst_packets <= 0:
+            raise ValueError("burst_packets must be positive")
         self.simulator = simulator
         self.rate_bps = rate_bps
         self.propagation_ns = propagation_ns
         self.deliver = deliver
         self.queue = queue
+        self.burst_packets = burst_packets
         self._busy = False
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
@@ -187,13 +227,19 @@ class Link:
         if not self._busy:
             self._transmit_next()
 
+    def _serialisation_ns(self, packet: Packet) -> int:
+        return int(packet.size_bytes * 8 / self.rate_bps * 1e9)
+
     def _transmit_next(self) -> None:
+        if self.burst_packets > 1:
+            self._transmit_burst()
+            return
         packet = self.queue.dequeue()
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        serialisation_ns = int(packet.size_bytes * 8 / self.rate_bps * 1e9)
+        serialisation_ns = self._serialisation_ns(packet)
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.size_bytes
 
@@ -202,6 +248,24 @@ class Link:
 
         self.simulator.schedule(serialisation_ns + self.propagation_ns, delivered)
         self.simulator.schedule(serialisation_ns, self._transmit_next)
+
+    def _transmit_burst(self) -> None:
+        batch = self.queue.dequeue_batch(self.burst_packets)
+        if not batch:
+            self._busy = False
+            return
+        self._busy = True
+        elapsed_ns = 0
+        for packet in batch:
+            elapsed_ns += self._serialisation_ns(packet)
+            self.transmitted_packets += 1
+            self.transmitted_bytes += packet.size_bytes
+
+            def delivered(packet=packet) -> None:
+                self.deliver(packet)
+
+            self.simulator.schedule(elapsed_ns + self.propagation_ns, delivered)
+        self.simulator.schedule(elapsed_ns, self._transmit_next)
 
     @property
     def utilization_bytes(self) -> int:

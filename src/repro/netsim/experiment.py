@@ -16,7 +16,7 @@ on an idle fabric (propagation + serialisation), as in the pFabric paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from .elements import (
     DropTailEcnQueue,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from .elements import Host, Link, PortQueue, Switch
 from .simulator import Simulator

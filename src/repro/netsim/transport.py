@@ -18,7 +18,7 @@ last packet is received, which is what the FCT statistics of Figure 19 use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from .elements import Host

@@ -1,6 +1,5 @@
 """Unit tests for Packet, Flow, FlowState and FlowTable."""
 
-import pytest
 
 from repro.core.model import Flow, FlowTable, Packet
 

@@ -1,6 +1,5 @@
 """Unit tests for the PIFO block."""
 
-import pytest
 
 from repro.core.model import PIFOBlock
 from repro.core.queues import BinaryHeapQueue, BucketSpec

@@ -1,0 +1,211 @@
+"""Property-based tests for the batched queue operations.
+
+Every queue type must satisfy the batch contract: ``enqueue_batch``,
+``extract_min_batch`` and ``extract_due`` are observationally equivalent to N
+repeated single-element operations — same elements, same order — while
+charging their index-maintenance counters per batch instead of per element.
+The equivalence tests run a batched queue and a reference queue side by side
+over hypothesis-generated workloads; the amortisation tests check that the
+modelled CPU cost of a batched drain is strictly below the per-packet
+peek + extract path, which is the acceptance bar of the batching benchmark.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.queues import (
+    ApproximateGradientQueue,
+    BinaryHeapQueue,
+    BucketSpec,
+    BucketedHeapQueue,
+    CircularApproximateGradientQueue,
+    CircularFFSQueue,
+    CircularGradientQueue,
+    FFSQueue,
+    GradientQueue,
+    HierarchicalFFSQueue,
+    MultiWordFFSQueue,
+    RBTreeQueue,
+    SortedListQueue,
+)
+from repro.cpu import CostModel
+
+NUM_BUCKETS = 128
+
+#: Every queue type in the library, as (name, zero-argument factory) pairs.
+QUEUE_FACTORIES = [
+    ("ffs", lambda: FFSQueue(BucketSpec(num_buckets=NUM_BUCKETS), word_width=NUM_BUCKETS)),
+    ("multiword_ffs", lambda: MultiWordFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS), word_width=32)),
+    ("hierarchical_ffs", lambda: HierarchicalFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS), word_width=8)),
+    ("circular_ffs", lambda: CircularFFSQueue(BucketSpec(num_buckets=NUM_BUCKETS), word_width=8)),
+    ("gradient", lambda: GradientQueue(BucketSpec(num_buckets=NUM_BUCKETS))),
+    ("approx_gradient", lambda: ApproximateGradientQueue(BucketSpec(num_buckets=NUM_BUCKETS), alpha=16)),
+    ("circular_gradient", lambda: CircularGradientQueue(BucketSpec(num_buckets=NUM_BUCKETS))),
+    ("circular_approx", lambda: CircularApproximateGradientQueue(BucketSpec(num_buckets=NUM_BUCKETS), alpha=16)),
+    ("bucketed_heap", lambda: BucketedHeapQueue(BucketSpec(num_buckets=NUM_BUCKETS))),
+    ("binary_heap", lambda: BinaryHeapQueue()),
+    ("rb_tree", lambda: RBTreeQueue()),
+    ("sorted_list", lambda: SortedListQueue()),
+]
+
+priorities_lists = st.lists(
+    st.integers(min_value=0, max_value=NUM_BUCKETS - 1), min_size=0, max_size=120
+)
+#: cFFS-style moving-range workloads also exercise overflow + rotation.
+wide_priorities_lists = st.lists(
+    st.integers(min_value=0, max_value=4 * NUM_BUCKETS), min_size=0, max_size=120
+)
+batch_sizes = st.integers(min_value=1, max_value=40)
+
+
+def _fill_single(queue, priorities):
+    for index, priority in enumerate(priorities):
+        queue.enqueue(priority, (priority, index))
+
+
+def _fill_batch(queue, priorities, chunk):
+    pairs = [(priority, (priority, index)) for index, priority in enumerate(priorities)]
+    for start in range(0, len(pairs), chunk):
+        queue.enqueue_batch(pairs[start : start + chunk])
+
+
+def _drain_single(queue):
+    drained = []
+    while not queue.empty:
+        drained.append(queue.extract_min())
+    return drained
+
+
+def _drain_batched(queue, chunk):
+    drained = []
+    while not queue.empty:
+        batch = queue.extract_min_batch(chunk)
+        assert batch, "extract_min_batch returned nothing on a non-empty queue"
+        drained.extend(batch)
+    return drained
+
+
+@pytest.mark.parametrize("name,factory", QUEUE_FACTORIES)
+@given(priorities=priorities_lists, chunk=batch_sizes)
+@settings(max_examples=25, deadline=None)
+def test_enqueue_batch_matches_repeated_single_enqueues(name, factory, priorities, chunk):
+    reference = factory()
+    batched = factory()
+    _fill_single(reference, priorities)
+    _fill_batch(batched, priorities, chunk)
+    assert len(batched) == len(reference) == len(priorities)
+    assert _drain_single(batched) == _drain_single(reference), name
+
+
+@pytest.mark.parametrize("name,factory", QUEUE_FACTORIES)
+@given(priorities=priorities_lists, chunk=batch_sizes)
+@settings(max_examples=25, deadline=None)
+def test_extract_min_batch_matches_repeated_single_extracts(name, factory, priorities, chunk):
+    reference = factory()
+    batched = factory()
+    _fill_single(reference, priorities)
+    _fill_single(batched, priorities)
+    assert _drain_batched(batched, chunk) == _drain_single(reference), name
+    assert batched.empty
+
+
+@pytest.mark.parametrize("name,factory", QUEUE_FACTORIES)
+@given(
+    priorities=priorities_lists,
+    now=st.integers(min_value=-1, max_value=NUM_BUCKETS),
+)
+@settings(max_examples=25, deadline=None)
+def test_extract_due_matches_single_peek_extract_loop(name, factory, priorities, now):
+    reference = factory()
+    batched = factory()
+    _fill_single(reference, priorities)
+    _fill_single(batched, priorities)
+
+    expected = []
+    while not reference.empty:
+        priority, _item = reference.peek_min()
+        if priority > now:
+            break
+        expected.append(reference.extract_min())
+
+    assert batched.extract_due(now) == expected, name
+    assert len(batched) == len(reference)
+
+
+@pytest.mark.parametrize("name,factory", QUEUE_FACTORIES)
+@given(priorities=priorities_lists, limit=st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_extract_due_respects_limit(name, factory, priorities, limit):
+    batched = factory()
+    _fill_single(batched, priorities)
+    released = batched.extract_due(NUM_BUCKETS, limit=limit)
+    assert len(released) <= limit
+    assert len(batched) == len(priorities) - len(released)
+
+
+CIRCULAR_FACTORIES = [
+    ("circular_ffs", lambda: CircularFFSQueue(BucketSpec(num_buckets=64), word_width=8)),
+    ("circular_gradient", lambda: CircularGradientQueue(BucketSpec(num_buckets=64))),
+    ("circular_approx", lambda: CircularApproximateGradientQueue(BucketSpec(num_buckets=64), alpha=16)),
+]
+
+
+@pytest.mark.parametrize("name,factory", CIRCULAR_FACTORIES)
+@given(priorities=wide_priorities_lists, chunk=batch_sizes)
+@settings(max_examples=25, deadline=None)
+def test_circular_batch_equivalence_across_rotations(name, factory, priorities, chunk):
+    # Moving-range workload: overflow enqueues, rotations and overflow
+    # re-dispatch must behave identically on the batched and single paths.
+    reference = factory()
+    batched = factory()
+    _fill_single(reference, priorities)
+    _fill_batch(batched, priorities, chunk)
+    assert _drain_batched(batched, chunk) == _drain_single(reference), name
+
+
+def _modelled_cycles(stats_dict):
+    model = CostModel()
+    model.charge_queue_stats(stats_dict)
+    return model.total_cycles
+
+
+# BucketedHeapQueue is excluded: its heap index is maintained lazily (ops are
+# only charged when a bucket drains), so batching cuts Python call overhead
+# but not its modelled operation count.
+AMORTISING_FACTORIES = [
+    entry
+    for entry in QUEUE_FACTORIES
+    if entry[0]
+    in {"ffs", "multiword_ffs", "hierarchical_ffs", "circular_ffs", "gradient",
+        "approx_gradient"}
+]
+
+
+@pytest.mark.parametrize("name,factory", AMORTISING_FACTORIES)
+@pytest.mark.parametrize("chunk", [8, 32, 64])
+def test_batched_drain_modelled_cycles_strictly_below_per_packet_path(name, factory, chunk):
+    # The acceptance bar of the batching work: at batch >= 8 the modelled
+    # cycles/packet of a batched drain must be strictly below the per-packet
+    # peek + extract path on the same workload.
+    priorities = [(i * 7) % 64 for i in range(256)]
+
+    single = factory()
+    _fill_single(single, priorities)
+    single.stats.reset()
+    while not single.empty:
+        single.peek_min()
+        single.extract_min()
+    single_cycles = _modelled_cycles(single.stats.as_dict())
+
+    batched = factory()
+    _fill_single(batched, priorities)
+    batched.stats.reset()
+    while not batched.empty:
+        batched.extract_min_batch(chunk)
+    batched_cycles = _modelled_cycles(batched.stats.as_dict())
+
+    assert batched_cycles < single_cycles, (
+        f"{name}: batched drain ({batched_cycles:.0f} cycles) not below "
+        f"per-packet path ({single_cycles:.0f} cycles) at batch={chunk}"
+    )

@@ -107,6 +107,44 @@ class TestExtractDue:
         assert queue.extract_due(now=100) == []
 
 
+class TestRotationRebucketsOverflow:
+    def test_beyond_horizon_rank_not_extracted_before_nearer_post_rotation_ranks(self):
+        # Regression: the overflow (last) bucket of the incoming primary
+        # window used to be dequeued as if its far-future ranks were due.
+        queue = make_queue(num_buckets=4)  # primary [0,4), secondary [4,8)
+        queue.enqueue(100, "far-future")  # beyond both windows: overflow
+        queue.enqueue(1, "due-now")
+        assert queue.extract_min() == (1, "due-now")
+        queue.enqueue(5, "rotates")  # in the secondary window: rotates on pop
+        assert queue.extract_min() == (5, "rotates")
+        # Post-rotation the windows are [4, 8) / [8, 12); a rank enqueued now
+        # into the new secondary window must come out before the overflow.
+        queue.enqueue(9, "nearer")
+        assert queue.extract_min() == (9, "nearer")
+        assert queue.extract_min() == (100, "far-future")
+
+    def test_rotation_keeps_overflow_order_bounded_to_one_window(self):
+        queue = make_queue(num_buckets=4)
+        for priority in (20, 9, 13, 1):
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == [1, 9, 13, 20]
+
+    def test_extract_due_does_not_release_far_future_overflow(self):
+        queue = make_queue(num_buckets=4)
+        queue.enqueue(2, "due")
+        queue.enqueue(50, "far-future")
+        assert [item for _p, item in queue.extract_due(now=10)] == ["due"]
+        assert len(queue) == 1
+
+    def test_legit_last_bucket_entries_stay_after_rotation(self):
+        queue = make_queue(num_buckets=4)
+        queue.enqueue(7, "last-bucket-of-secondary")  # secondary bucket 3
+        queue.enqueue(0, "head")
+        assert queue.extract_min() == (0, "head")
+        assert queue.extract_min() == (7, "last-bucket-of-secondary")
+
+
 class TestRemove:
     def test_remove_from_primary(self):
         queue = make_queue(num_buckets=16)
@@ -126,3 +164,38 @@ class TestRemove:
     def test_remove_missing(self):
         queue = make_queue(num_buckets=16)
         assert not queue.remove(3, "ghost")
+
+    def test_remove_overflow_item_before_rotation(self):
+        queue = make_queue(num_buckets=4)
+        token = object()
+        queue.enqueue(100, token)  # beyond both windows: overflow bucket
+        assert queue.remove(100, token)
+        assert queue.empty
+
+    def test_remove_overflow_item_after_rotation(self):
+        # Regression: after a rotation the overflow entries live in (or were
+        # re-dispatched from) the *primary* window; remove() used to look
+        # only in the secondary's last bucket and report a present item as
+        # missing.
+        queue = make_queue(num_buckets=4)
+        token = object()
+        queue.enqueue(100, token)  # beyond both windows
+        queue.enqueue(1, "drain-me")
+        assert queue.extract_min() == (1, "drain-me")
+        queue.enqueue(6, "also-present")  # forces a rotation on next extract
+        assert queue.extract_min() == (6, "also-present")
+        assert queue.remove(100, token)
+        assert queue.empty
+
+    def test_remove_after_rotation_via_drains_past_both_windows(self):
+        # The ISSUE scenario: enqueue past both windows, rotate via drains,
+        # then remove the far item.
+        queue = make_queue(num_buckets=8)  # primary [0,8), secondary [8,16)
+        token = object()
+        queue.enqueue(40, token)  # past both windows
+        for priority in (1, 9):
+            queue.enqueue(priority, priority)
+        assert queue.extract_min()[0] == 1  # drains primary
+        assert queue.extract_min()[0] == 9  # rotates, drains next window
+        assert queue.remove(40, token)
+        assert len(queue) == 0

@@ -208,6 +208,28 @@ class TestCircularGradientQueues:
         released = queue.extract_due(now=40)
         assert sorted(p for p, _ in released) == [3, 9, 40]
 
+    def test_beyond_horizon_rank_not_extracted_before_nearer_post_rotation_ranks(self):
+        # Regression (mirrors the cFFS rotation fix): entries parked in the
+        # overflow offset used to be dequeued with far-future ranks once
+        # their window rotated into the primary position.
+        queue = CircularGradientQueue(BucketSpec(num_buckets=4))
+        queue.enqueue(100, "far-future")  # beyond both windows
+        queue.enqueue(1, "due-now")
+        assert queue.extract_min() == (1, "due-now")
+        queue.enqueue(5, "rotates")
+        assert queue.extract_min() == (5, "rotates")
+        queue.enqueue(9, "nearer")  # new secondary window after rotation
+        assert queue.extract_min() == (9, "nearer")
+        assert queue.extract_min() == (100, "far-future")
+
+    def test_overflow_drains_sorted_across_rotations(self):
+        queue = CircularApproximateGradientQueue(BucketSpec(num_buckets=16), alpha=16)
+        priorities = [70, 3, 40, 18, 90, 9]
+        for priority in priorities:
+            queue.enqueue(priority, priority)
+        drained = [p for p, _ in queue.extract_all()]
+        assert drained == sorted(priorities)
+
     def test_merged_stats_include_window_counters(self):
         queue = CircularApproximateGradientQueue(BucketSpec(num_buckets=64))
         queue.enqueue(1, "a")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.queues import (
-    ApproximateGradientQueue,
     BinaryHeapQueue,
     CircularApproximateGradientQueue,
     CircularFFSQueue,

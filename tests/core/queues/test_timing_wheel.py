@@ -29,6 +29,35 @@ class TestTimingWheel:
         released = wheel.advance_to(100)
         assert [item for _, item in released] == ["late-arrival"]
 
+    def test_out_of_order_insertions_within_one_slot_released_when_due(self):
+        # Regression: advance_to used to stop at the first slot-front entry
+        # with timestamp > now, hiding later-inserted same-slot entries that
+        # were already due.
+        wheel = TimingWheel(num_slots=100, granularity=10)
+        wheel.insert(109, "late")
+        wheel.insert(101, "early")  # same slot, inserted after "late"
+        released = wheel.advance_to(105)
+        assert [item for _, item in released] == ["early"]
+        assert len(wheel) == 1
+        # The not-yet-due entry is still released once its time comes.
+        released = wheel.advance_to(110)
+        assert [item for _, item in released] == ["late"]
+        assert wheel.empty
+
+    def test_not_due_entries_keep_arrival_order_within_slot(self):
+        wheel = TimingWheel(num_slots=10, granularity=10)
+        wheel.insert(57, "b")
+        wheel.insert(51, "a")
+        wheel.insert(59, "c")
+        assert wheel.advance_to(53) == [(51, "a")]
+        assert wheel.advance_to(59) == [(57, "b"), (59, "c")]
+
+    def test_insert_batch_counts_and_releases(self):
+        wheel = TimingWheel(num_slots=100, granularity=10)
+        assert wheel.insert_batch([(15, "a"), (35, "b")]) == 2
+        assert wheel.insertions == 2
+        assert [item for _, item in wheel.advance_to(40)] == ["a", "b"]
+
     def test_slot_advances_counted_even_when_empty(self):
         # This per-slot visiting cost is Carousel's polling overhead.
         wheel = TimingWheel(num_slots=1000, granularity=1)
