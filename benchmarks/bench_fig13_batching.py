@@ -72,10 +72,7 @@ def _workload(num_packets: int = NUM_PACKETS, rank_range: int = RANK_RANGE):
 
 def _modelled_cycles(stats_before, stats_after) -> float:
     model = CostModel()
-    delta = {
-        key: stats_after[key] - stats_before.get(key, 0) for key in stats_after
-    }
-    model.charge_queue_stats(delta)
+    model.charge_queue_stats(stats_after.diff(stats_before).as_dict())
     return model.total_cycles
 
 
@@ -86,7 +83,7 @@ def _measure_one(factory, batch_size: int, ranks) -> dict:
     horizon = max(ranks) if ranks else 0
 
     # Enqueue phase.
-    enqueue_before = dict(queue.stats.as_dict())
+    enqueue_before = queue.stats.snapshot()
     start = time.perf_counter()
     if batch_size == 1:
         for rank, item in pairs:
@@ -95,12 +92,12 @@ def _measure_one(factory, batch_size: int, ranks) -> dict:
         for offset in range(0, len(pairs), batch_size):
             queue.enqueue_batch(pairs[offset : offset + batch_size])
     enqueue_elapsed = time.perf_counter() - start
-    enqueue_cycles = _modelled_cycles(enqueue_before, queue.stats.as_dict())
+    enqueue_cycles = _modelled_cycles(enqueue_before, queue.stats)
 
     # Drain phase: batch == 1 is the per-packet consumer path (peek + extract
     # per packet, as a timer fire does without batching); batch > 1 drains
     # through the amortised ``extract_due`` path in bounded bursts.
-    drain_before = dict(queue.stats.as_dict())
+    drain_before = queue.stats.snapshot()
     drained = 0
     start = time.perf_counter()
     if batch_size == 1:
@@ -114,7 +111,7 @@ def _measure_one(factory, batch_size: int, ranks) -> dict:
         while not queue.empty:
             drained += len(queue.extract_due(horizon, limit=batch_size))
     drain_elapsed = time.perf_counter() - start
-    drain_cycles = _modelled_cycles(drain_before, queue.stats.as_dict())
+    drain_cycles = _modelled_cycles(drain_before, queue.stats)
 
     assert drained == len(ranks)
     packets = max(1, len(ranks))

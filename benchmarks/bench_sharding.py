@@ -1,0 +1,249 @@
+"""Shard-scaling benchmark — the horizontal-scaling counterpart of Figure 13.
+
+Sweeps the sharded runtime over shard counts (1/2/4/8) under two flow-hash
+workloads:
+
+* **uniform** — flow ids drawn uniformly, the case RSS-style hashing is
+  built for: per-shard load splits evenly and aggregate throughput should
+  improve monotonically with shard count;
+* **zipf** — Zipf-skewed flow popularity (a few elephant flows carry most
+  packets), the adversarial case: the shard that drew the hottest flows
+  becomes the bottleneck core, and only the skew-aware rebalancer (run with
+  and without) can repair the imbalance that hashing cannot.
+
+Throughput is *modelled* the way a real multi-core deployment is limited:
+every shard is one core, all cores run concurrently, so the run's wall time
+is the bottleneck shard's cycle consumption at the modelled clock —
+``aggregate ops/sec = packets * clock / max_shard_cycles``.  The harness's
+single-threaded wall-clock rate is also recorded (as ``harness_ops_per_sec``)
+but carries no scaling signal, since the simulation itself runs on one
+Python thread.
+
+Results land in ``BENCH_sharding.json`` at the repo root: the scaling-axis
+perf artifact future PRs build on.  Run standalone
+(``python benchmarks/bench_sharding.py``) to regenerate it with full
+iteration counts; the pytest entry points run a smoke-sized sweep with the
+scaling assertions.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.core.model.packet import Packet
+from repro.cpu import CpuMeter
+from repro.runtime import ShardedRuntime
+from repro.traffic import ZipfFlowSampler
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sharding.json"
+
+SHARD_COUNTS = [1, 2, 4, 8]
+NUM_FLOWS = 256
+RATE_BPS = 10e9  # per-flow pacing rate (10G access links)
+PACKET_BYTES = 1500
+QUANTUM_NS = 10_000
+BATCH_PER_QUANTUM = 64
+# Ingress rate is set so flows drain between bursts (1500 B at 10 Gbps is
+# 1.2 us, ~8 packets per quantum per flow): idle gaps are what allow the
+# FIFO-safe rebalancer to land its migrations, exactly as kernel RPS/mq only
+# re-steer a flow whose queue went empty.
+INGRESS_BATCH = 16  # packets offered per quantum of simulated ingress
+ZIPF_SKEW = 1.2
+REBALANCE_INTERVAL_NS = 16 * QUANTUM_NS
+SEED = 20_190_226  # NSDI'19
+
+FULL_PACKETS = 20_000
+SMOKE_PACKETS = 4_000
+
+METER = CpuMeter()  # 3 GHz modelled cores
+
+
+def _flow_sequence(distribution: str, num_packets: int) -> list:
+    rng = random.Random(SEED)
+    if distribution == "uniform":
+        return [rng.randrange(NUM_FLOWS) for _ in range(num_packets)]
+    if distribution == "zipf":
+        return ZipfFlowSampler(NUM_FLOWS, skew=ZIPF_SKEW, rng=rng).sample_flows(
+            num_packets
+        )
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def _run_one(num_shards: int, flow_ids: list, rebalance: bool) -> dict:
+    """One configuration: drive the runtime to completion, report telemetry."""
+    runtime = ShardedRuntime(
+        num_shards,
+        default_rate_bps=RATE_BPS,
+        quantum_ns=QUANTUM_NS,
+        batch_per_quantum=BATCH_PER_QUANTUM,
+        rebalance_interval_ns=REBALANCE_INTERVAL_NS if rebalance else None,
+        record_transmits=False,
+    )
+    simulator = runtime.simulator
+
+    # Open-loop ingress: INGRESS_BATCH packets per quantum, as a NIC RX loop
+    # would hand bursts to the dispatching core.
+    for index in range(0, len(flow_ids), INGRESS_BATCH):
+        chunk = flow_ids[index : index + INGRESS_BATCH]
+        when_ns = (index // INGRESS_BATCH) * QUANTUM_NS
+
+        def offer(chunk=chunk) -> None:
+            runtime.submit_batch(
+                [Packet(flow_id=flow_id, size_bytes=PACKET_BYTES) for flow_id in chunk]
+            )
+
+        simulator.schedule_at(when_ns, offer)
+
+    start = time.perf_counter()
+    runtime.run()
+    elapsed = time.perf_counter() - start
+
+    telemetry = runtime.telemetry()
+    assert telemetry.transmitted == len(flow_ids)
+    packets = telemetry.transmitted
+    aggregate_ops = packets * METER.cycles_per_second / telemetry.max_shard_cycles
+    return {
+        "num_shards": num_shards,
+        "transmitted": packets,
+        "aggregate_ops_per_sec": aggregate_ops,
+        "max_shard_cycles": telemetry.max_shard_cycles,
+        "total_cycles": telemetry.total_cycles,
+        "cycles_per_packet": telemetry.total_cycles / packets,
+        "bottleneck_cycles_per_packet": telemetry.max_shard_cycles / packets,
+        "imbalance": telemetry.imbalance,
+        "migrations": telemetry.migrations_applied,
+        "rebalance_rounds": telemetry.rebalance_rounds,
+        "per_shard_transmitted": [
+            shard.transmitted for shard in telemetry.shards
+        ],
+        "harness_ops_per_sec": packets / max(elapsed, 1e-9),
+        "elapsed_sec": elapsed,
+    }
+
+
+def run_sharding_sweep(num_packets: int = FULL_PACKETS) -> dict:
+    """Full sweep: shard counts x {uniform, zipf} x {rebalance off, on}."""
+    scenarios: dict = {}
+    for distribution in ("uniform", "zipf"):
+        flow_ids = _flow_sequence(distribution, num_packets)
+        scenarios[distribution] = {}
+        for rebalance in (False, True):
+            key = "rebalance_on" if rebalance else "rebalance_off"
+            scenarios[distribution][key] = {
+                str(shards): _run_one(shards, flow_ids, rebalance)
+                for shards in SHARD_COUNTS
+            }
+    return {
+        "benchmark": "sharding_scaling",
+        "description": (
+            "Sharded runtime throughput vs shard count under uniform and "
+            "Zipf-skewed flow hashes, with and without the skew-aware "
+            "rebalancer.  aggregate_ops_per_sec models concurrent per-core "
+            "execution: packets * clock / bottleneck-shard cycles."
+        ),
+        "workload": {
+            "num_packets": num_packets,
+            "num_flows": NUM_FLOWS,
+            "flow_rate_bps": RATE_BPS,
+            "packet_bytes": PACKET_BYTES,
+            "quantum_ns": QUANTUM_NS,
+            "batch_per_quantum": BATCH_PER_QUANTUM,
+            "ingress_batch": INGRESS_BATCH,
+            "zipf_skew": ZIPF_SKEW,
+            "rebalance_interval_ns": REBALANCE_INTERVAL_NS,
+            "seed": SEED,
+            "modelled_clock_hz": METER.cycles_per_second,
+        },
+        "shard_counts": SHARD_COUNTS,
+        "scenarios": scenarios,
+    }
+
+
+def write_artifact(results: dict, path: Path = ARTIFACT_PATH) -> Path:
+    """Write ``BENCH_sharding.json`` (the scaling-trajectory artifact)."""
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _format_sweep(results: dict) -> str:
+    lines = []
+    header = f"{'scenario':<24}" + "".join(f"s={shards:<11}" for shards in results["shard_counts"])
+    lines.append(header + " (aggregate Mops/sec | imbalance)")
+    for distribution, by_rebalance in results["scenarios"].items():
+        for key, by_shards in by_rebalance.items():
+            row = f"{distribution + '/' + key:<24}"
+            for shards in results["shard_counts"]:
+                run = by_shards[str(shards)]
+                row += (
+                    f"{run['aggregate_ops_per_sec'] / 1e6:5.2f}|{run['imbalance']:4.2f}  "
+                )
+            lines.append(row)
+    return "\n".join(lines)
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_sharding_scaling_sweep(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        run_sharding_sweep, kwargs={"num_packets": SMOKE_PACKETS}, rounds=1, iterations=1
+    )
+    # The committed BENCH_sharding.json holds the full-size run (plus
+    # machine-dependent wall-clock numbers), so the test writes to a scratch
+    # path; regenerate deliberately via `python benchmarks/bench_sharding.py`.
+    path = write_artifact(results, tmp_path / "BENCH_sharding.json")
+    report("Sharding sweep — aggregate throughput vs shard count", _format_sweep(results))
+    benchmark.extra_info["artifact"] = str(path)
+
+    uniform = results["scenarios"]["uniform"]["rebalance_off"]
+    # The acceptance gate: aggregate throughput improves monotonically from
+    # 1 -> 4 shards under the uniform hash, and 4 shards beat 1 outright.
+    assert (
+        uniform["1"]["aggregate_ops_per_sec"]
+        < uniform["2"]["aggregate_ops_per_sec"]
+        < uniform["4"]["aggregate_ops_per_sec"]
+    ), _format_sweep(results)
+    assert uniform["4"]["aggregate_ops_per_sec"] > uniform["1"]["aggregate_ops_per_sec"]
+    # Conservation at every point of the sweep.
+    for by_rebalance in results["scenarios"].values():
+        for by_shards in by_rebalance.values():
+            for run in by_shards.values():
+                assert run["transmitted"] == SMOKE_PACKETS
+
+
+def test_zipf_rebalancing_repairs_imbalance(benchmark):
+    flow_ids = _flow_sequence("zipf", SMOKE_PACKETS)
+
+    def run_pair():
+        return (
+            _run_one(4, flow_ids, rebalance=False),
+            _run_one(4, flow_ids, rebalance=True),
+        )
+
+    static, rebalanced = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    report(
+        "Zipf skew, 4 shards — static vs rebalanced",
+        (
+            f"static:     imbalance={static['imbalance']:.2f} "
+            f"agg={static['aggregate_ops_per_sec'] / 1e6:.2f} Mops/s\n"
+            f"rebalanced: imbalance={rebalanced['imbalance']:.2f} "
+            f"agg={rebalanced['aggregate_ops_per_sec'] / 1e6:.2f} Mops/s "
+            f"({rebalanced['migrations']} migrations)"
+        ),
+    )
+    assert rebalanced["migrations"] > 0, "rebalancer never migrated a flow"
+    assert rebalanced["imbalance"] <= static["imbalance"] + 1e-9
+    assert (
+        rebalanced["aggregate_ops_per_sec"]
+        >= static["aggregate_ops_per_sec"] * 0.95
+    )
+
+
+if __name__ == "__main__":
+    sweep = run_sharding_sweep()
+    artifact = write_artifact(sweep)
+    print(_format_sweep(sweep))
+    print(f"\nwrote {artifact}")

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Sharded runtime demo: 4 virtual cores, Zipf traffic, hot-flow rebalancing.
+
+Builds a 4-shard scheduling runtime (one Eiffel cFFS queue + per-flow pacing
+per shard, RSS-style flow hashing at ingress), pushes a Zipf-skewed packet
+stream through it, and compares shard balance with and without the
+skew-aware rebalancer.  The rebalancer migrates hot flows off the bottleneck
+shard — waiting for each flow to drain first, so per-flow FIFO order is
+never violated.
+
+Run:  python examples/sharded_runtime.py
+"""
+
+import random
+
+from repro.core.model import Packet
+from repro.runtime import ShardedRuntime
+from repro.traffic import ZipfFlowSampler
+
+NUM_SHARDS = 4
+NUM_FLOWS = 64
+NUM_PACKETS = 6_000
+QUANTUM_NS = 10_000
+INGRESS_BATCH = 16
+RATE_BPS = 10e9
+
+
+def drive(rebalance: bool):
+    """Run the Zipf workload through a fresh runtime; return its telemetry."""
+    runtime = ShardedRuntime(
+        NUM_SHARDS,
+        default_rate_bps=RATE_BPS,
+        quantum_ns=QUANTUM_NS,
+        rebalance_interval_ns=16 * QUANTUM_NS if rebalance else None,
+        record_transmits=False,
+    )
+    sampler = ZipfFlowSampler(NUM_FLOWS, skew=1.2, rng=random.Random(7))
+    flow_ids = sampler.sample_flows(NUM_PACKETS)
+    for index in range(0, NUM_PACKETS, INGRESS_BATCH):
+        chunk = flow_ids[index : index + INGRESS_BATCH]
+
+        def offer(chunk=chunk):
+            runtime.submit_batch([Packet(flow_id=f, size_bytes=1500) for f in chunk])
+
+        runtime.simulator.schedule_at((index // INGRESS_BATCH) * QUANTUM_NS, offer)
+    runtime.run()
+    return runtime.telemetry()
+
+
+def describe(title: str, telemetry) -> None:
+    print(f"{title}:")
+    for shard in telemetry.shards:
+        bar = "#" * (shard.transmitted // 60)
+        print(
+            f"  shard {shard.shard_id}: {shard.transmitted:5d} packets  "
+            f"{shard.cycles / 1e3:7.1f} kcycles  {bar}"
+        )
+    print(
+        f"  imbalance (max/mean) = {telemetry.imbalance:.2f}, "
+        f"bottleneck = {telemetry.max_shard_cycles / 1e3:.1f} kcycles, "
+        f"migrations = {telemetry.migrations_applied}"
+    )
+    print()
+
+
+def main() -> None:
+    print(
+        f"{NUM_PACKETS} packets, {NUM_FLOWS} Zipf-skewed flows, "
+        f"{NUM_SHARDS} shards (one cFFS queue + shaper per shard)\n"
+    )
+    static = drive(rebalance=False)
+    describe("static RSS hashing", static)
+    rebalanced = drive(rebalance=True)
+    describe("with skew-aware rebalancing", rebalanced)
+    gain = static.max_shard_cycles / rebalanced.max_shard_cycles
+    print(
+        "The rebalancer pins hot flows away from the bottleneck shard once\n"
+        "they drain (per-flow FIFO preserved), cutting the bottleneck core's\n"
+        f"work by {100 * (1 - 1 / gain):.0f}% — "
+        f"{gain:.2f}x modelled aggregate throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

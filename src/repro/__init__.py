@@ -15,6 +15,10 @@ Public surface:
 * :mod:`repro.bess` — busy-polling userspace pipeline substrate (BESS-like).
 * :mod:`repro.netsim` — packet-level datacenter network simulator used for
   the pFabric flow-completion-time experiments.
+* :mod:`repro.runtime` — sharded multi-core scheduling runtime: RSS-style
+  flow sharding, batched SPSC mailboxes, per-shard cFFS workers, skew-aware
+  hot-flow rebalancing, and multi-queue adapters for netsim and the kernel
+  layer.
 * :mod:`repro.traffic`, :mod:`repro.cpu`, :mod:`repro.analysis` — workload
   generation, CPU cost modelling and result formatting.
 """

@@ -30,7 +30,7 @@ from ..core.policies import (
     HeapPFabricScheduler,
     PacketScheduler,
 )
-from ..cpu.cost_model import QUEUE_STATS_COSTS
+from ..core.queues import QueueStats
 
 
 class SchedulerModule(Module):
@@ -90,19 +90,15 @@ class _BucketQueueChargingMixin:
 
     def _init_snapshots(self, queues) -> None:
         self._charged_queues = list(queues)
-        self._snapshots = [dict() for _ in self._charged_queues]
+        self._snapshots = [QueueStats() for _ in self._charged_queues]
 
     def charge_scheduler_work(self) -> None:  # type: ignore[override]
         if self.cost is None:
             return
         for index, queue in enumerate(self._charged_queues):
-            stats = queue.stats.as_dict()
-            snapshot = self._snapshots[index]
-            for counter, operation in QUEUE_STATS_COSTS.items():
-                delta = stats.get(counter, 0) - snapshot.get(counter, 0)
-                if delta > 0:
-                    self.cost.charge(operation, delta)
-            self._snapshots[index] = stats
+            delta = queue.stats.diff(self._snapshots[index])
+            self.cost.charge_queue_stats(delta.as_dict())
+            self._snapshots[index] = queue.stats.snapshot()
 
 
 class HClockEiffelModule(_BucketQueueChargingMixin, SchedulerModule):

@@ -267,7 +267,12 @@ class ShapingTransaction:
 
     @property
     def next_free_ns(self) -> int:
-        """Earliest time the node can transmit its next packet."""
+        """Earliest time the node can transmit its next packet.
+
+        Once wall time passes this, the transaction carries no state that a
+        freshly constructed one would not reproduce (modulo the initial
+        burst credit) — which is what flow-state garbage collectors check.
+        """
         return self._next_free_ns
 
 

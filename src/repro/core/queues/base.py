@@ -35,8 +35,21 @@ class PriorityOutOfRangeError(QueueError):
     """Raised when a priority cannot be represented by the queue."""
 
 
+class CounterStatsMixin:
+    """``as_dict()`` for counter dataclasses (reflects over the fields).
+
+    Shared by :class:`QueueStats` and the runtime-layer counter dataclasses
+    (mailbox, sharding, shard-worker stats) so the snapshot shape stays in
+    one place.
+    """
+
+    def as_dict(self) -> dict[str, int]:
+        """Return a plain-dict snapshot of the counters."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}  # type: ignore[attr-defined]
+
+
 @dataclass
-class QueueStats:
+class QueueStats(CounterStatsMixin):
     """Operation counters shared by all queue implementations.
 
     The counters are intentionally cheap (plain integer increments) and map
@@ -67,14 +80,36 @@ class QueueStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
-    def as_dict(self) -> dict[str, int]:
-        """Return a plain-dict snapshot of the counters."""
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
-
     def merge(self, other: "QueueStats") -> None:
         """Accumulate the counters of ``other`` into this instance."""
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> "QueueStats":
+        """Return an independent copy of the current counters.
+
+        Consumers that charge cost-model deltas (qdiscs, shard workers,
+        benchmarks) take a snapshot before a phase and :meth:`diff` against
+        it afterwards instead of hand-rolling dict arithmetic.
+        """
+        return QueueStats(**{name: getattr(self, name) for name in self.__dataclass_fields__})
+
+    def diff(self, earlier: "QueueStats") -> "QueueStats":
+        """Counters accumulated since ``earlier`` (``self - earlier``)."""
+        return QueueStats(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    @classmethod
+    def aggregate(cls, stats: Iterable["QueueStats"]) -> "QueueStats":
+        """Sum a collection of stats (e.g. one per shard) into a new instance."""
+        total = cls()
+        for item in stats:
+            total.merge(item)
+        return total
 
 
 @dataclass(frozen=True)
@@ -244,6 +279,7 @@ def validate_priority(priority: int) -> int:
 
 __all__ = [
     "BucketSpec",
+    "CounterStatsMixin",
     "EmptyQueueError",
     "IntegerPriorityQueue",
     "PriorityOutOfRangeError",

@@ -246,11 +246,10 @@ class CircularQueueAdapter(IntegerPriorityQueue):
 
     def merged_stats(self) -> dict[str, int]:
         """Adapter counters plus both windows' counters, for cost accounting."""
-        merged = self.stats.as_dict()
-        for window in (self._primary, self._secondary):
-            for key, value in window.stats.as_dict().items():
-                merged[key] = merged.get(key, 0) + value
-        return merged
+        merged = self.stats.snapshot()
+        merged.merge(self._primary.stats)
+        merged.merge(self._secondary.stats)
+        return merged.as_dict()
 
 
 class CircularGradientQueue(CircularQueueAdapter):

@@ -23,7 +23,7 @@ from .fq_pacing import charge_stats_delta
 from .qdisc import Qdisc
 from ..core.model.packet import Packet
 from ..core.model.transactions import RateLimit, ShapingTransaction
-from ..core.queues import BucketSpec, CircularFFSQueue, IntegerPriorityQueue
+from ..core.queues import BucketSpec, CircularFFSQueue, IntegerPriorityQueue, QueueStats
 
 
 class EiffelQdisc(Qdisc):
@@ -60,7 +60,7 @@ class EiffelQdisc(Qdisc):
         self._queue = queue or CircularFFSQueue(
             BucketSpec(num_buckets=num_buckets, granularity=granularity)
         )
-        self._queue_snapshot: Dict[str, int] = {}
+        self._queue_snapshot = QueueStats()
         self._shapers: Dict[int, ShapingTransaction] = {}
         self._backlog = 0
 
@@ -91,7 +91,7 @@ class EiffelQdisc(Qdisc):
         self._queue.enqueue(send_at, packet)
         self._backlog += 1
         self._queue_snapshot = charge_stats_delta(
-            self.system_cost, self._queue.stats.as_dict(), self._queue_snapshot
+            self.system_cost, self._queue.stats, self._queue_snapshot
         )
 
     def dequeue_due(self, now_ns: int, budget: int = 1 << 30) -> List[Packet]:
@@ -103,7 +103,7 @@ class EiffelQdisc(Qdisc):
         self._backlog -= len(released)
         self.stats.dequeued += len(released)
         self._queue_snapshot = charge_stats_delta(
-            self.softirq_cost, self._queue.stats.as_dict(), self._queue_snapshot
+            self.softirq_cost, self._queue.stats, self._queue_snapshot
         )
         return released
 

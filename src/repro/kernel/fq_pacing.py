@@ -23,26 +23,24 @@ from typing import Deque, Dict, List, Optional
 
 from .qdisc import Qdisc
 from ..core.model.packet import Packet
-from ..core.queues import RBTreeQueue
+from ..core.queues import QueueStats, RBTreeQueue
 from ..cpu import CostModel
 from ..cpu.cost_model import QUEUE_STATS_COSTS
 
 
 def charge_stats_delta(
     cost: CostModel,
-    stats_dict: Dict[str, int],
-    snapshot: Dict[str, int],
+    stats: QueueStats,
+    snapshot: QueueStats,
     overrides: Dict[str, str] | None = None,
-) -> Dict[str, int]:
-    """Charge the difference between a queue's counters and a prior snapshot.
+) -> QueueStats:
+    """Charge the counters accumulated since ``snapshot``; returns the new one.
 
     ``overrides`` remaps a counter to a different cost-table operation; the
     FQ qdisc uses it to charge red-black tree node visits as cache-missing
     pointer chases rather than array bucket lookups.
     """
-    delta = {
-        key: stats_dict.get(key, 0) - snapshot.get(key, 0) for key in stats_dict
-    }
+    delta = stats.diff(snapshot).as_dict()
     mapping = dict(QUEUE_STATS_COSTS)
     if overrides:
         mapping.update(overrides)
@@ -50,7 +48,7 @@ def charge_stats_delta(
         count = delta.get(counter, 0)
         if count > 0:
             cost.charge(operation, count)
-    return dict(stats_dict)
+    return stats.snapshot()
 
 
 #: Counter remapping for red-black tree structures: a node visit is a pointer
@@ -101,7 +99,7 @@ class FQPacingQdisc(Qdisc):
         self._flows: Dict[int, _FQFlow] = {}
         self._tree = RBTreeQueue()
         self._in_tree: Dict[int, bool] = {}
-        self._tree_snapshot: Dict[str, int] = {}
+        self._tree_snapshot = QueueStats()
         self._backlog = 0
         self._since_gc = 0
 
@@ -152,7 +150,7 @@ class FQPacingQdisc(Qdisc):
             self._in_tree[flow.flow_id] = True
             self._tree_snapshot = charge_stats_delta(
                 self.system_cost,
-                self._tree.stats.as_dict(),
+                self._tree.stats,
                 self._tree_snapshot,
                 overrides=RB_TREE_COST_OVERRIDES,
             )
@@ -188,7 +186,7 @@ class FQPacingQdisc(Qdisc):
                 self._in_tree[flow.flow_id] = True
         self._tree_snapshot = charge_stats_delta(
             self.softirq_cost,
-            self._tree.stats.as_dict(),
+            self._tree.stats,
             self._tree_snapshot,
             overrides=RB_TREE_COST_OVERRIDES,
         )

@@ -16,13 +16,14 @@ from .experiment import (
     run_fabric_experiment,
     run_figure19,
 )
-from .simulator import Simulator
+from .simulator import EventHandle, Simulator
 from .topology import FabricConfig, LeafSpineFabric
 from .transport import DctcpTransport, FlowRecord, PFabricTransport
 
 __all__ = [
     "DctcpTransport",
     "DropTailEcnQueue",
+    "EventHandle",
     "FabricConfig",
     "FabricExperimentConfig",
     "FabricRunResult",

@@ -1,0 +1,57 @@
+"""Sharded multi-core scheduling runtime (the horizontal-scaling layer).
+
+The paper's queues and shaping pipeline are single-core constructs; this
+package scales them out the way production deployments do — one scheduler
+instance per core, flows spread across instances by an RSS-style hash:
+
+* :class:`~repro.runtime.sharder.FlowSharder` — flow-to-shard placement
+  (hash / sticky round-robin policies, explicit pins) plus the load window
+  the skew-aware :class:`~repro.runtime.sharder.ShardRebalancer` inspects to
+  migrate hot flows off overloaded shards.
+* :class:`~repro.runtime.mailbox.Mailbox` — the batched SPSC ingress-to-shard
+  handoff.
+* :class:`~repro.runtime.worker.ShardWorker` — one simulated core: a cFFS
+  timestamp queue + per-flow pacing drained one batch per scheduling quantum
+  through PR 1's ``enqueue_batch`` / ``extract_due`` surface.
+* :class:`~repro.runtime.runtime.ShardedRuntime` — the driver multiplexing
+  every shard's worker loop onto one simulator clock, with per-shard
+  cycle/queue accounting rolled up into runtime telemetry.
+* :class:`~repro.runtime.adapters.ShardedPortQueue` /
+  :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
+  for the netsim and kernel substrates.
+
+``benchmarks/bench_sharding.py`` sweeps shard counts over uniform and
+Zipf-skewed workloads and writes ``BENCH_sharding.json``, the scaling-axis
+perf artifact.
+"""
+
+from .adapters import MultiQueueQdisc, ShardedPortQueue
+from .mailbox import Mailbox, MailboxStats
+from .runtime import RuntimeTelemetry, ShardTelemetry, ShardedRuntime
+from .sharder import (
+    DEFAULT_HASH_SEED,
+    FlowSharder,
+    Migration,
+    ShardRebalancer,
+    ShardingStats,
+    rss_hash,
+)
+from .worker import ShardWorker, ShardWorkerStats
+
+__all__ = [
+    "DEFAULT_HASH_SEED",
+    "FlowSharder",
+    "Mailbox",
+    "MailboxStats",
+    "Migration",
+    "MultiQueueQdisc",
+    "RuntimeTelemetry",
+    "ShardRebalancer",
+    "ShardTelemetry",
+    "ShardWorker",
+    "ShardWorkerStats",
+    "ShardedPortQueue",
+    "ShardedRuntime",
+    "ShardingStats",
+    "rss_hash",
+]

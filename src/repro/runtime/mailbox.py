@@ -1,0 +1,103 @@
+"""Batched SPSC mailboxes: the ingress-to-shard handoff.
+
+On real multi-core schedulers the dispatching core never touches another
+core's queue structures directly — it posts packets into a single-producer /
+single-consumer ring (a BESS queue module, a kernel per-CPU backlog) and the
+owning core drains the ring in batches at the top of its scheduling loop.
+That handoff is what keeps the hot data structures core-local.
+
+:class:`Mailbox` models that ring: the ingress side pushes (bounded, with
+drop accounting, like a real ring that overflows), the shard side drains one
+batch per scheduling quantum.  In simulation both sides run on one thread,
+so there is no locking — the SPSC discipline survives as the API shape:
+exactly one producer calls ``push``/``push_batch`` and exactly one consumer
+calls ``drain``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+from ..core.queues.base import CounterStatsMixin
+
+T = TypeVar("T")
+
+
+@dataclass
+class MailboxStats(CounterStatsMixin):
+    """Counters kept by one mailbox."""
+
+    pushed: int = 0
+    dropped: int = 0
+    drained: int = 0
+    drain_calls: int = 0
+    peak_occupancy: int = 0
+
+
+class Mailbox(Generic[T]):
+    """Bounded FIFO handoff between one producer and one consumer.
+
+    Args:
+        capacity: maximum resident items; ``None`` means unbounded (the
+            simulation default — backpressure is then the runtime's problem,
+            as it is for an unbounded qdisc backlog).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self.stats = MailboxStats()
+        self._items: Deque[T] = deque()
+
+    # -- producer side -----------------------------------------------------
+
+    def push(self, item: T) -> bool:
+        """Post one item; returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.stats.dropped += 1
+            return False
+        self._items.append(item)
+        self.stats.pushed += 1
+        if len(self._items) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self._items)
+        return True
+
+    def push_batch(self, items: Iterable[T]) -> int:
+        """Post a burst of items; returns how many were accepted.
+
+        Items beyond the free space are dropped (tail drop), matching ring
+        overflow semantics: earlier items of the burst are kept.
+        """
+        return sum(1 for item in items if self.push(item))
+
+    # -- consumer side -----------------------------------------------------
+
+    def drain(self, limit: Optional[int] = None) -> List[T]:
+        """Remove and return up to ``limit`` items in FIFO order.
+
+        One call per scheduling quantum is the intended pattern; the whole
+        available batch is returned when ``limit`` is ``None``.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative")
+        take = len(self._items) if limit is None else min(limit, len(self._items))
+        batch = [self._items.popleft() for _ in range(take)]
+        self.stats.drained += take
+        self.stats.drain_calls += 1
+        return batch
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        """True when no items await the consumer."""
+        return not self._items
+
+
+__all__ = ["Mailbox", "MailboxStats"]

@@ -1,0 +1,440 @@
+"""The sharded multi-core scheduling runtime driver.
+
+:class:`ShardedRuntime` multiplexes N :class:`~repro.runtime.worker.ShardWorker`
+loops onto one :class:`~repro.netsim.simulator.Simulator` clock, the way a
+multi-core scheduler runs one worker loop per CPU against shared wall time:
+
+* **ingress** (:meth:`submit` / :meth:`submit_batch`) routes each packet to a
+  shard via the :class:`~repro.runtime.sharder.FlowSharder` and posts it into
+  that shard's batched SPSC mailbox;
+* each shard **ticks** once per scheduling quantum — one batched mailbox
+  drain + stamp + ``enqueue_batch``, then one batched ``extract_due`` — and
+  re-programs its own wake-up timer (a cancellable simulator event) for the
+  next quantum, or jumps ahead to its soonest deadline when the queue is
+  paced far into the future;
+* a periodic **rebalancing** sweep (optional) asks the skew-aware
+  :class:`~repro.runtime.sharder.ShardRebalancer` for hot-flow migrations.
+
+Per-flow FIFO under migration
+-----------------------------
+
+Migrating a flow while it still has packets inside its old shard would let
+the new shard transmit newer packets first.  The runtime therefore routes on
+*residency*, not placement: while a flow has in-flight packets (mailbox or
+queue) its packets keep following them to the same shard; only once the flow
+fully drains does the sharder's (possibly re-pinned) placement take effect.
+Migration is thus applied lazily at the first safe moment — the same reason
+kernel ``mq``/RPS only re-steer a flow on an empty queue (out-of-order
+avoidance), and the property tests assert exactly this invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .mailbox import MailboxStats
+from .sharder import FlowSharder, ShardRebalancer
+from .worker import QueueFactory, ShardWorker
+from ..core.model.packet import Packet
+from ..core.queues import QueueStats
+from ..netsim.simulator import EventHandle, Simulator
+
+
+@dataclass
+class ShardTelemetry:
+    """Telemetry of one shard, as collected by :meth:`ShardedRuntime.telemetry`."""
+
+    shard_id: int
+    ingested: int
+    transmitted: int
+    ticks: int
+    idle_ticks: int
+    backlog_peak: int
+    cycles: float
+    queue_stats: QueueStats
+    mailbox: MailboxStats
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot."""
+        return {
+            "shard_id": self.shard_id,
+            "ingested": self.ingested,
+            "transmitted": self.transmitted,
+            "ticks": self.ticks,
+            "idle_ticks": self.idle_ticks,
+            "backlog_peak": self.backlog_peak,
+            "cycles": self.cycles,
+            "queue_stats": self.queue_stats.as_dict(),
+            "mailbox": self.mailbox.as_dict(),
+        }
+
+
+@dataclass
+class RuntimeTelemetry:
+    """Runtime-level roll-up of every shard's accounting.
+
+    ``max_shard_cycles`` is the modelled bottleneck core: on real hardware
+    every shard runs concurrently, so aggregate throughput is limited by the
+    busiest core, and that is the number the scaling benchmark converts into
+    aggregate ops/sec.
+    """
+
+    shards: List[ShardTelemetry]
+    queue_stats: QueueStats
+    total_cycles: float
+    max_shard_cycles: float
+    transmitted: int
+    ingress_drops: int
+    migrations_applied: int
+    rebalance_rounds: int
+
+    @property
+    def imbalance(self) -> float:
+        """Max-to-mean ratio of per-shard transmitted packets (1.0 = even)."""
+        counts = [shard.transmitted for shard in self.shards]
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        return max(counts) / (total / len(counts))
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot."""
+        return {
+            "shards": [shard.as_dict() for shard in self.shards],
+            "queue_stats": self.queue_stats.as_dict(),
+            "total_cycles": self.total_cycles,
+            "max_shard_cycles": self.max_shard_cycles,
+            "transmitted": self.transmitted,
+            "ingress_drops": self.ingress_drops,
+            "migrations_applied": self.migrations_applied,
+            "rebalance_rounds": self.rebalance_rounds,
+            "imbalance": self.imbalance,
+        }
+
+
+class ShardedRuntime:
+    """N shard workers multiplexed onto one simulated clock.
+
+    Args:
+        num_shards: worker (virtual core) count.
+        simulator: shared clock; a private one is created when omitted.
+        sharder: flow placement; defaults to RSS-style hashing.
+        quantum_ns: scheduling quantum — each active shard runs one batched
+            ingest + drain per quantum.
+        batch_per_quantum: drain budget per tick (the "one batch per
+            quantum" of the worker loop); the mailbox is drained fully.
+        flow_rates / default_rate_bps: per-flow pacing configuration handed
+            to every shard (flows are disjoint across shards, so sharing the
+            mapping is safe).
+        horizon_ns / num_buckets / queue_factory / mailbox_capacity: per
+            shard worker configuration (see :class:`ShardWorker`).
+        rebalancer: optional skew-aware rebalancer; requires
+            ``rebalance_interval_ns``.
+        rebalance_interval_ns: period of the rebalancing sweep; when set
+            without an explicit ``rebalancer`` a default one is built.
+        on_transmit: callback ``(packet, now_ns)`` run for every released
+            packet (the NIC side).
+        record_transmits: keep ``(now_ns, packet)`` in :attr:`transmit_log`
+            (tests and small examples; benchmarks switch it off).
+        gc_interval_packets: sweep idle per-flow state (flow homes, sharder
+            pins/sticky entries, expired shard shapers) every this many
+            transmitted packets, so memory scales with *concurrent* flows
+            rather than every flow ever seen — the FQ qdisc's flow-GC
+            pattern.  ``None`` disables the sweep.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        simulator: Optional[Simulator] = None,
+        sharder: Optional[FlowSharder] = None,
+        quantum_ns: int = 50_000,
+        batch_per_quantum: int = 64,
+        flow_rates: Optional[Dict[int, float]] = None,
+        default_rate_bps: Optional[float] = None,
+        horizon_ns: int = 2_000_000_000,
+        num_buckets: int = 20_000,
+        queue_factory: Optional[QueueFactory] = None,
+        mailbox_capacity: Optional[int] = None,
+        rebalancer: Optional[ShardRebalancer] = None,
+        rebalance_interval_ns: Optional[int] = None,
+        on_transmit: Optional[Callable[[Packet, int], None]] = None,
+        record_transmits: bool = True,
+        gc_interval_packets: Optional[int] = 4096,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if quantum_ns <= 0:
+            raise ValueError("quantum_ns must be positive")
+        if batch_per_quantum <= 0:
+            raise ValueError("batch_per_quantum must be positive")
+        if rebalancer is not None and rebalance_interval_ns is None:
+            raise ValueError("rebalancer requires rebalance_interval_ns")
+        if rebalance_interval_ns is not None and rebalance_interval_ns <= 0:
+            raise ValueError("rebalance_interval_ns must be positive")
+        if gc_interval_packets is not None and gc_interval_packets <= 0:
+            raise ValueError("gc_interval_packets must be positive")
+        self.num_shards = num_shards
+        self.simulator = simulator or Simulator()
+        self.sharder = sharder or FlowSharder(num_shards)
+        if self.sharder.num_shards != num_shards:
+            raise ValueError("sharder.num_shards must match num_shards")
+        self.quantum_ns = quantum_ns
+        self.batch_per_quantum = batch_per_quantum
+        self.rebalance_interval_ns = rebalance_interval_ns
+        if rebalance_interval_ns is not None and rebalancer is None:
+            rebalancer = ShardRebalancer(self.sharder)
+        self.rebalancer = rebalancer
+        self.on_transmit = on_transmit
+        self.record_transmits = record_transmits
+        self.workers: List[ShardWorker] = [
+            ShardWorker(
+                shard_id,
+                flow_rates=flow_rates,
+                default_rate_bps=default_rate_bps,
+                horizon_ns=horizon_ns,
+                num_buckets=num_buckets,
+                queue_factory=queue_factory,
+                mailbox_capacity=mailbox_capacity,
+            )
+            for shard_id in range(num_shards)
+        ]
+        self.transmit_log: List[tuple[int, Packet]] = []
+        self.ingress_drops = 0
+        self.migrations_applied = 0
+        self.gc_interval_packets = gc_interval_packets
+        self._since_gc = 0
+        self._flow_home: Dict[int, int] = {}
+        self._flow_pending: Dict[int, int] = {}
+        self._tick_handles: List[Optional[EventHandle]] = [None] * num_shards
+        self._rebalance_handle: Optional[EventHandle] = None
+
+    # -- ingress -----------------------------------------------------------
+
+    def _route(self, flow_id: int) -> int:
+        """Shard for the next packet of ``flow_id`` (residency beats placement).
+
+        Pure lookup — home/migration state only changes once a packet is
+        actually accepted (:meth:`_commit_route`), so a dropped packet never
+        registers a migration.
+        """
+        home = self._flow_home.get(flow_id)
+        if home is not None and self._flow_pending.get(flow_id, 0) > 0:
+            return home
+        return self.sharder.shard_for(flow_id)
+
+    def _commit_route(self, flow_id: int, shard: int) -> None:
+        """Record one accepted packet of ``flow_id`` on ``shard``.
+
+        The first packet landing on a new home completes the migration: the
+        flow's pacing state moves with it (an RFS-style flow-state handoff),
+        so ``_next_free_ns`` and the remaining burst credit survive and the
+        flow cannot exceed its configured rate by hopping shards.
+        """
+        home = self._flow_home.get(flow_id)
+        if home is not None and home != shard:
+            self.migrations_applied += 1
+            shaper = self.workers[home].release_shaper(flow_id)
+            if shaper is not None:
+                self.workers[shard].adopt_shaper(flow_id, shaper)
+        self._flow_home[flow_id] = shard
+        self._flow_pending[flow_id] = self._flow_pending.get(flow_id, 0) + 1
+        self.sharder.record(flow_id, shard)
+
+    def submit(self, packet: Packet) -> bool:
+        """Offer one packet to the runtime; False when the mailbox dropped it."""
+        shard = self._route(packet.flow_id)
+        if not self.workers[shard].mailbox.push(packet):
+            self.ingress_drops += 1
+            return False
+        self._commit_route(packet.flow_id, shard)
+        self._wake_shard(shard)
+        self._arm_rebalance()
+        return True
+
+    def submit_batch(self, packets: List[Packet]) -> int:
+        """Offer a burst; routing stays per-flow, pushes are batched per shard.
+
+        Returns the number of packets accepted.
+        """
+        by_shard: Dict[int, List[Packet]] = {}
+        for packet in packets:
+            by_shard.setdefault(self._route(packet.flow_id), []).append(packet)
+        accepted = 0
+        for shard, group in by_shard.items():
+            mailbox = self.workers[shard].mailbox
+            before = len(mailbox)
+            taken = mailbox.push_batch(group)
+            accepted += taken
+            self.ingress_drops += len(group) - taken
+            # Tail drop keeps the accepted prefix, so pending counts follow
+            # the prefix of each flow's packets within this shard's group.
+            for packet in group[:taken]:
+                self._commit_route(packet.flow_id, shard)
+            if taken or before:
+                self._wake_shard(shard)
+        if accepted:
+            self._arm_rebalance()
+        return accepted
+
+    # -- shard scheduling --------------------------------------------------
+
+    def _wake_shard(self, shard: int) -> None:
+        """Guarantee the shard ticks within one quantum of new work."""
+        handle = self._tick_handles[shard]
+        now = self.simulator.now_ns
+        if handle is not None and handle.active:
+            if handle.time_ns <= now + self.quantum_ns:
+                return
+            # The shard is sleeping until a far-off deadline; pull its next
+            # tick forward so the new packet is stamped promptly.
+            self.simulator.cancel(handle)
+        self._tick_handles[shard] = self.simulator.schedule_at(
+            now, lambda shard=shard: self._tick(shard)
+        )
+
+    def _tick(self, shard: int) -> None:
+        worker = self.workers[shard]
+        now = self.simulator.now_ns
+        self._tick_handles[shard] = None
+        released = worker.tick(now, ingest_limit=None, drain_limit=self.batch_per_quantum)
+        for packet in released:
+            packet.departure_ns = now
+            pending = self._flow_pending.get(packet.flow_id, 1) - 1
+            if pending > 0:
+                self._flow_pending[packet.flow_id] = pending
+            else:
+                self._flow_pending.pop(packet.flow_id, None)
+            if self.record_transmits:
+                self.transmit_log.append((now, packet))
+            if self.on_transmit is not None:
+                self.on_transmit(packet, now)
+        if released and self.gc_interval_packets is not None:
+            self._since_gc += len(released)
+            if self._since_gc >= self.gc_interval_packets:
+                self._since_gc = 0
+                self._gc_flow_state(now)
+        self._schedule_next_tick(shard, now)
+
+    def _schedule_next_tick(self, shard: int, now: int) -> None:
+        if (handle := self._tick_handles[shard]) is not None and handle.active:
+            # A re-entrant submit() during this tick (an on_transmit callback
+            # feeding packets back) already woke the shard; scheduling a
+            # second tick here would fork a duplicate self-perpetuating
+            # timer chain.
+            return
+        worker = self.workers[shard]
+        if worker.pending == 0:
+            return  # idle: the next submit() wakes the shard
+        next_ns = now + self.quantum_ns
+        if not len(worker.mailbox):
+            soonest = worker.soonest_deadline_ns(now)
+            if soonest is not None and soonest > next_ns:
+                # Deep-paced queue: sleep straight to the soonest deadline
+                # instead of burning an idle tick per quantum (the cFFS
+                # SoonestDeadline() timer programming of the Eiffel qdisc).
+                next_ns = soonest
+        self._tick_handles[shard] = self.simulator.schedule_at(
+            next_ns, lambda shard=shard: self._tick(shard)
+        )
+
+    def _gc_flow_state(self, now_ns: int) -> None:
+        """Reclaim per-flow state of flows with nothing in flight.
+
+        A flow is reclaimed only when its shard holds no live pacing state
+        for it (see :meth:`ShardWorker.gc_flow`); flows mid-pacing keep
+        their home so a returning packet cannot jump ahead of the rate
+        limit.
+        """
+        for flow_id in [
+            flow for flow in self._flow_home if flow not in self._flow_pending
+        ]:
+            if self.workers[self._flow_home[flow_id]].gc_flow(flow_id, now_ns):
+                del self._flow_home[flow_id]
+                self.sharder.forget(flow_id)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _arm_rebalance(self) -> None:
+        if self.rebalancer is None or self.rebalance_interval_ns is None:
+            return
+        if self._rebalance_handle is not None and self._rebalance_handle.active:
+            return
+        self._rebalance_handle = self.simulator.schedule(
+            self.rebalance_interval_ns, self._rebalance_tick
+        )
+
+    def _rebalance_tick(self) -> None:
+        assert self.rebalancer is not None
+        self._rebalance_handle = None
+        for migration in self.rebalancer.plan():
+            # Re-pin now; routing applies it once the flow drains (FIFO).
+            self.sharder.pin(migration.flow_id, migration.dst_shard)
+        self.sharder.reset_window()
+        # Keep sweeping only while traffic is in flight; submit() re-arms.
+        if any(worker.pending for worker in self.workers):
+            self._arm_rebalance()
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drive the shared clock; returns events processed.
+
+        Without a horizon this runs until every shard drains (worker ticks
+        self-perpetuate only while work is pending).
+        """
+        return self.simulator.run(until_ns=until_ns, max_events=max_events)
+
+    def stop(self) -> None:
+        """Cancel every outstanding shard timer and rebalancing sweep."""
+        for shard, handle in enumerate(self._tick_handles):
+            if handle is not None and handle.active:
+                self.simulator.cancel(handle)
+            self._tick_handles[shard] = None
+        if self._rebalance_handle is not None and self._rebalance_handle.active:
+            self.simulator.cancel(self._rebalance_handle)
+        self._rebalance_handle = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Packets in flight across all shards (mailboxes + queues)."""
+        return sum(worker.pending for worker in self.workers)
+
+    @property
+    def transmitted(self) -> int:
+        """Packets released by all shards."""
+        return sum(worker.stats.transmitted for worker in self.workers)
+
+    def telemetry(self) -> RuntimeTelemetry:
+        """Aggregate per-shard accounting into runtime-level telemetry."""
+        shards = [
+            ShardTelemetry(
+                shard_id=worker.shard_id,
+                ingested=worker.stats.ingested,
+                transmitted=worker.stats.transmitted,
+                ticks=worker.stats.ticks,
+                idle_ticks=worker.stats.idle_ticks,
+                backlog_peak=worker.stats.backlog_peak,
+                cycles=worker.cost.total_cycles,
+                queue_stats=worker.queue_stats_snapshot(),
+                mailbox=worker.mailbox.stats,
+            )
+            for worker in self.workers
+        ]
+        cycles = [shard.cycles for shard in shards]
+        return RuntimeTelemetry(
+            shards=shards,
+            queue_stats=QueueStats.aggregate(shard.queue_stats for shard in shards),
+            total_cycles=sum(cycles),
+            max_shard_cycles=max(cycles),
+            transmitted=self.transmitted,
+            ingress_drops=self.ingress_drops,
+            migrations_applied=self.migrations_applied,
+            rebalance_rounds=self.rebalancer.rounds if self.rebalancer else 0,
+        )
+
+
+__all__ = ["RuntimeTelemetry", "ShardTelemetry", "ShardedRuntime"]

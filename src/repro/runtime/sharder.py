@@ -1,0 +1,283 @@
+"""Flow-to-shard placement: RSS-style hashing, affinity pins, rebalancing.
+
+Real multi-core deployments of software schedulers spread flows over per-core
+scheduler instances — the kernel's ``mq`` qdisc hashes skbs to per-CPU child
+qdiscs, BESS pins traffic classes to per-core workers, and NIC RSS hashes the
+5-tuple to a receive queue.  :class:`FlowSharder` reproduces that layer for
+the simulated runtime: a stateless hash policy (the RSS analogue), a sticky
+first-seen round-robin policy (connection steering), and explicit pins that
+override either — which is also the mechanism the skew-aware
+:class:`ShardRebalancer` uses to migrate hot flows off overloaded shards.
+
+Hashing quality matters here the same way it does for RSS: the benchmark's
+uniform workload relies on the mix below spreading dense integer flow ids
+evenly, while the Zipf workload demonstrates that no hash can fix popularity
+skew — only migration can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.queues.base import CounterStatsMixin
+
+#: Default hash seed (the golden ratio in 32 bits, à la Linux ``hash_32``).
+DEFAULT_HASH_SEED = 0x9E3779B9
+
+_MASK32 = 0xFFFFFFFF
+
+
+def rss_hash(flow_id: int, seed: int = DEFAULT_HASH_SEED) -> int:
+    """A 32-bit avalanche mix of ``flow_id`` (stand-in for Toeplitz RSS).
+
+    Dense integer flow ids (0, 1, 2, ...) must land on different shards, so a
+    plain modulo is not enough; this is the finalizer of MurmurHash3, which
+    avalanches every input bit across the word.
+    """
+    h = (flow_id ^ seed) & _MASK32
+    h = (h ^ (h >> 16)) * 0x85EBCA6B & _MASK32
+    h = (h ^ (h >> 13)) * 0xC2B2AE35 & _MASK32
+    return (h ^ (h >> 16)) & _MASK32
+
+
+@dataclass
+class ShardingStats(CounterStatsMixin):
+    """Placement counters kept by the sharder."""
+
+    lookups: int = 0
+    pins: int = 0
+    migrations: int = 0
+    window_packets: int = 0
+
+
+class FlowSharder:
+    """Maps flow ids onto ``num_shards`` workers.
+
+    Args:
+        num_shards: number of shard workers.
+        policy: ``"hash"`` (stateless RSS-style placement, the default) or
+            ``"round_robin"`` (sticky first-seen assignment rotating over
+            shards, which guarantees perfect flow-count balance but no
+            packet-count balance).
+        hash_seed: seed for the RSS hash, so experiments can draw different
+            placements of the same flow population.
+
+    Explicit pins (:meth:`pin`) always win over the policy; the rebalancer
+    migrates flows exclusively through pins so the underlying policy keeps
+    steering the cold tail.
+
+    The sharder also keeps a sliding load window (:meth:`record` /
+    :meth:`reset_window`): per-flow and per-shard packet counts since the
+    last reset, which is exactly the signal the rebalancer inspects.
+    """
+
+    POLICIES = ("hash", "round_robin")
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: str = "hash",
+        hash_seed: int = DEFAULT_HASH_SEED,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {self.POLICIES}")
+        self.num_shards = num_shards
+        self.policy = policy
+        self.hash_seed = hash_seed
+        self.stats = ShardingStats()
+        self._pins: Dict[int, int] = {}
+        self._sticky: Dict[int, int] = {}
+        self._next_rr = 0
+        # Sliding window of packet counts, reset each rebalancing round.
+        self._window_flow_packets: Dict[int, int] = {}
+        self._window_flow_shard: Dict[int, int] = {}
+        self._window_shard_packets: List[int] = [0] * num_shards
+
+    # -- placement ---------------------------------------------------------
+
+    def shard_for(self, flow_id: int) -> int:
+        """Shard index for ``flow_id`` (pins beat the policy)."""
+        self.stats.lookups += 1
+        pinned = self._pins.get(flow_id)
+        if pinned is not None:
+            return pinned
+        if self.policy == "round_robin":
+            shard = self._sticky.get(flow_id)
+            if shard is None:
+                shard = self._next_rr
+                self._next_rr = (self._next_rr + 1) % self.num_shards
+                self._sticky[flow_id] = shard
+            return shard
+        return rss_hash(flow_id, self.hash_seed) % self.num_shards
+
+    def pin(self, flow_id: int, shard: int) -> None:
+        """Force ``flow_id`` onto ``shard`` (overrides the policy)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError("shard out of range")
+        self.stats.pins += 1
+        self._pins[flow_id] = shard
+
+    def unpin(self, flow_id: int) -> None:
+        """Remove an explicit pin; the policy takes over again."""
+        self._pins.pop(flow_id, None)
+
+    def pinned_shard(self, flow_id: int) -> Optional[int]:
+        """The pinned shard of ``flow_id``, or ``None``."""
+        return self._pins.get(flow_id)
+
+    def forget(self, flow_id: int) -> None:
+        """Expire all per-flow placement state (pin and sticky assignment).
+
+        Called by flow-state garbage collection for long-idle flows; if the
+        flow returns it is placed afresh by the policy, and the rebalancer
+        re-pins it should it become hot again.
+        """
+        self._pins.pop(flow_id, None)
+        self._sticky.pop(flow_id, None)
+
+    # -- load window -------------------------------------------------------
+
+    def record(self, flow_id: int, shard: int, packets: int = 1) -> None:
+        """Account ``packets`` of ``flow_id`` handled by ``shard``.
+
+        ``shard`` is where the packets actually ran (residency), which can
+        lag the placement while a re-pinned flow waits to drain; the window
+        keeps the residency view so the rebalancer reasons about the load
+        each shard really carried.
+        """
+        self.stats.window_packets += packets
+        self._window_flow_packets[flow_id] = (
+            self._window_flow_packets.get(flow_id, 0) + packets
+        )
+        self._window_flow_shard[flow_id] = shard
+        self._window_shard_packets[shard] += packets
+
+    def shard_loads(self) -> List[int]:
+        """Packets per shard since the last window reset."""
+        return list(self._window_shard_packets)
+
+    def flow_loads(self) -> Dict[int, int]:
+        """Packets per flow since the last window reset."""
+        return dict(self._window_flow_packets)
+
+    def flow_residency(self) -> Dict[int, int]:
+        """Shard each flow's window packets last ran on."""
+        return dict(self._window_flow_shard)
+
+    def reset_window(self) -> None:
+        """Start a fresh load window (called after each rebalancing round)."""
+        self._window_flow_packets.clear()
+        self._window_flow_shard.clear()
+        self._window_shard_packets = [0] * self.num_shards
+        self.stats.window_packets = 0
+
+    def imbalance(self) -> float:
+        """Max-to-mean shard load ratio over the current window (1.0 = even)."""
+        total = sum(self._window_shard_packets)
+        if total == 0:
+            return 1.0
+        mean = total / self.num_shards
+        return max(self._window_shard_packets) / mean
+
+
+@dataclass
+class Migration:
+    """One planned flow migration."""
+
+    flow_id: int
+    src_shard: int
+    dst_shard: int
+    window_packets: int
+
+
+@dataclass
+class ShardRebalancer:
+    """Skew-aware rebalancer: migrate hot flows off overloaded shards.
+
+    Looks at the sharder's load window and, when the hottest shard exceeds
+    ``imbalance_threshold`` times the mean, plans migrations of its hottest
+    flows onto the coldest shards.  A migration is only worthwhile when it
+    actually reduces the maximum: a flow bigger than the gap between the two
+    shards would just move the hot spot, so such flows are skipped (an
+    elephant flow that *is* the imbalance cannot be split — that is work
+    stealing, a noted follow-on, not flow migration).
+
+    The plan only *decides*; applying it is the runtime's job, because only
+    the runtime knows when a flow's in-flight packets have drained (migrating
+    earlier would reorder the flow).
+    """
+
+    sharder: FlowSharder
+    imbalance_threshold: float = 1.25
+    max_migrations_per_round: int = 4
+    rounds: int = 0
+    planned_migrations: int = 0
+    history: List[Migration] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.imbalance_threshold < 1.0:
+            raise ValueError("imbalance_threshold must be >= 1.0")
+        if self.max_migrations_per_round <= 0:
+            raise ValueError("max_migrations_per_round must be positive")
+
+    def plan(self) -> List[Migration]:
+        """Plan up to ``max_migrations_per_round`` migrations for this window."""
+        self.rounds += 1
+        loads = self.sharder.shard_loads()
+        total = sum(loads)
+        if total == 0 or self.sharder.num_shards == 1:
+            return []
+        mean = total / len(loads)
+        flow_loads = self.sharder.flow_loads()
+        # Group flows by residency — where their packets actually ran — so
+        # the plan's arithmetic matches the recorded per-shard loads even for
+        # flows whose earlier re-pin has not taken effect yet (a pinned-but-
+        # undrained flow is still load on its old shard, and moving it again
+        # from there is what helps).
+        residency = self.sharder.flow_residency()
+        flows_by_shard: Dict[int, List[int]] = {}
+        for flow_id in flow_loads:
+            flows_by_shard.setdefault(residency[flow_id], []).append(flow_id)
+        plan: List[Migration] = []
+        working = list(loads)
+        for _ in range(self.max_migrations_per_round):
+            src = max(range(len(working)), key=working.__getitem__)
+            dst = min(range(len(working)), key=working.__getitem__)
+            if src == dst or working[src] <= self.imbalance_threshold * mean:
+                break
+            # Best-fit: the ideal migration halves the src/dst gap, so pick
+            # the movable flow closest to gap/2 (hottest-first would bounce
+            # an elephant back and forth between rounds).
+            gap = working[src] - working[dst]
+            best: Optional[int] = None
+            for flow_id in flows_by_shard.get(src, ()):
+                load = flow_loads[flow_id]
+                # Moving the flow must strictly shrink the src/dst spread.
+                if load == 0 or load >= gap:
+                    continue
+                if best is None or abs(load - gap / 2) < abs(flow_loads[best] - gap / 2):
+                    best = flow_id
+            if best is None:
+                break
+            load = flow_loads[best]
+            plan.append(Migration(best, src, dst, load))
+            working[src] -= load
+            working[dst] += load
+            flows_by_shard[src].remove(best)
+            flows_by_shard.setdefault(dst, []).append(best)
+        self.planned_migrations += len(plan)
+        self.history.extend(plan)
+        return plan
+
+
+__all__ = [
+    "DEFAULT_HASH_SEED",
+    "FlowSharder",
+    "Migration",
+    "ShardRebalancer",
+    "ShardingStats",
+    "rss_hash",
+]

@@ -1,0 +1,217 @@
+"""One shard of the multi-core runtime: a core-local Eiffel queue + shaper.
+
+A :class:`ShardWorker` is the simulated analogue of one CPU core running one
+scheduler instance — what a per-CPU child of the ``mq`` qdisc or a pinned
+BESS worker is in a real deployment.  It owns, privately:
+
+* a batched SPSC :class:`~repro.runtime.mailbox.Mailbox` the ingress side
+  posts packets into;
+* a cFFS timestamp queue (PR 1's batched ``enqueue_batch`` /
+  ``extract_due`` surface) holding the shard's shaped packets;
+* per-flow pacing state (``SO_MAX_PACING_RATE``-style shaping transactions,
+  the same stamping the Eiffel qdisc performs);
+* a :class:`~repro.cpu.cost_model.CostModel` account charging the shard's
+  data-structure work, so runtime telemetry can locate the bottleneck core.
+
+Each scheduling quantum the owning runtime calls :meth:`ingest` (drain the
+mailbox, stamp, one batched enqueue) and :meth:`drain_due` (one batched
+release of everything whose timestamp passed).  The worker performs no
+global coordination — all cross-shard decisions live in the sharder and the
+runtime driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .mailbox import Mailbox
+from ..core.model.packet import Packet
+from ..core.model.transactions import RateLimit, ShapingTransaction
+from ..core.queues import BucketSpec, CircularFFSQueue, IntegerPriorityQueue, QueueStats
+from ..core.queues.base import CounterStatsMixin
+from ..cpu import CostModel
+
+#: Builds a shard's backing queue from a spec (cFFS by default).
+QueueFactory = Callable[[BucketSpec], IntegerPriorityQueue]
+
+
+@dataclass
+class ShardWorkerStats(CounterStatsMixin):
+    """Packet counters of one shard worker."""
+
+    ingested: int = 0
+    transmitted: int = 0
+    ticks: int = 0
+    idle_ticks: int = 0
+    backlog_peak: int = 0
+
+
+class ShardWorker:
+    """A single-core scheduler instance owning one Eiffel queue + shaper.
+
+    Args:
+        shard_id: index of this shard within the runtime.
+        flow_rates: per-flow pacing rates (bits/second).
+        default_rate_bps: pacing rate for unconfigured flows (``None`` sends
+            packets at their ingest time, i.e. pure work conservation).
+        horizon_ns / num_buckets: shaping horizon and bucket count of the
+            timestamp queue (paper defaults: 2 s over 20k buckets).
+        queue_factory: alternative backing queue (ablations).
+        mailbox_capacity: bound on the ingress mailbox (``None`` unbounded).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        flow_rates: Optional[Dict[int, float]] = None,
+        default_rate_bps: Optional[float] = None,
+        horizon_ns: int = 2_000_000_000,
+        num_buckets: int = 20_000,
+        queue_factory: Optional[QueueFactory] = None,
+        mailbox_capacity: Optional[int] = None,
+    ) -> None:
+        if horizon_ns <= 0 or num_buckets <= 0:
+            raise ValueError("horizon_ns and num_buckets must be positive")
+        self.shard_id = shard_id
+        self.flow_rates = dict(flow_rates or {})
+        self.default_rate_bps = default_rate_bps
+        granularity = max(1, horizon_ns // num_buckets)
+        self.granularity_ns = granularity
+        factory = queue_factory or (lambda spec: CircularFFSQueue(spec))
+        self.queue = factory(BucketSpec(num_buckets=num_buckets, granularity=granularity))
+        self.mailbox: Mailbox[Packet] = Mailbox(capacity=mailbox_capacity)
+        self.cost = CostModel()
+        self.stats = ShardWorkerStats()
+        self._queue_snapshot = QueueStats()
+        self._shapers: Dict[int, ShapingTransaction] = {}
+        self._backlog = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def set_flow_rate(self, flow_id: int, rate_bps: float) -> None:
+        """Configure the pacing rate of ``flow_id`` on this shard."""
+        self.flow_rates[flow_id] = rate_bps
+        self._shapers.pop(flow_id, None)
+
+    def _shaper_for(self, flow_id: int) -> Optional[ShapingTransaction]:
+        rate = self.flow_rates.get(flow_id, self.default_rate_bps)
+        if rate is None:
+            return None
+        shaper = self._shapers.get(flow_id)
+        if shaper is None:
+            shaper = ShapingTransaction(f"shard{self.shard_id}-flow-{flow_id}", RateLimit(rate))
+            self._shapers[flow_id] = shaper
+        return shaper
+
+    def release_shaper(self, flow_id: int) -> Optional[ShapingTransaction]:
+        """Detach and return the flow's pacing state (``None`` if stateless).
+
+        Used by the runtime when a flow migrates away: the destination shard
+        adopts the transaction so ``_next_free_ns`` and the burst credit
+        survive the move — otherwise every migration would silently regrant
+        the flow a fresh burst and break its configured rate.
+        """
+        return self._shapers.pop(flow_id, None)
+
+    def adopt_shaper(self, flow_id: int, shaper: ShapingTransaction) -> None:
+        """Install pacing state handed over from the flow's previous shard."""
+        self._shapers[flow_id] = shaper
+
+    def gc_flow(self, flow_id: int, now_ns: int) -> bool:
+        """Drop the flow's pacing state if it no longer matters.
+
+        Returns True when the flow holds no state on this shard: either it
+        never had a shaper, or its ``next_free_ns`` has passed, in which
+        case a future re-created transaction stamps identically (an expired
+        flow regains its initial burst credit, the same expiry semantics the
+        FQ qdisc's flow GC has).  Charged like FQ's per-flow GC scan.
+        """
+        self.cost.charge("gc_scan")
+        shaper = self._shapers.get(flow_id)
+        if shaper is None:
+            return True
+        if shaper.next_free_ns <= now_ns:
+            del self._shapers[flow_id]
+            return True
+        return False
+
+    def _charge_queue_delta(self) -> None:
+        delta = self.queue.stats.diff(self._queue_snapshot)
+        self.cost.charge_queue_stats(delta.as_dict())
+        self._queue_snapshot = self.queue.stats.snapshot()
+
+    # -- the per-quantum worker loop ---------------------------------------
+
+    def ingest(self, now_ns: int, limit: Optional[int] = None) -> int:
+        """Drain the mailbox, stamp timestamps, one batched enqueue.
+
+        Returns the number of packets moved into the shard's queue.
+        """
+        batch = self.mailbox.drain(limit)
+        if not batch:
+            return 0
+        pairs = []
+        for packet in batch:
+            self.cost.charge("flow_lookup")
+            shaper = self._shaper_for(packet.flow_id)
+            send_at = now_ns if shaper is None else shaper.stamp(packet, now_ns)
+            packet.metadata["send_at_ns"] = send_at
+            packet.metadata["shard"] = self.shard_id
+            pairs.append((send_at, packet))
+        self.queue.enqueue_batch(pairs)
+        self._backlog += len(pairs)
+        self.stats.ingested += len(pairs)
+        if self._backlog > self.stats.backlog_peak:
+            self.stats.backlog_peak = self._backlog
+        self._charge_queue_delta()
+        return len(pairs)
+
+    def drain_due(self, now_ns: int, limit: Optional[int] = None) -> List[Packet]:
+        """Release every packet whose timestamp passed (one batched drain)."""
+        drained = self.queue.extract_due(now_ns, limit=limit)
+        released = [packet for _send_at, packet in drained]
+        self._backlog -= len(released)
+        self.stats.transmitted += len(released)
+        self._charge_queue_delta()
+        return released
+
+    def tick(self, now_ns: int, ingest_limit: Optional[int], drain_limit: Optional[int]) -> List[Packet]:
+        """One scheduling quantum: batched ingest then batched drain.
+
+        Charges the fixed per-invocation cost a real worker loop pays
+        (module call, prefetch, loop setup) on top of the per-packet work.
+        """
+        self.stats.ticks += 1
+        self.cost.charge("batch_overhead")
+        ingested = self.ingest(now_ns, ingest_limit)
+        released = self.drain_due(now_ns, drain_limit)
+        if not ingested and not released:
+            self.stats.idle_ticks += 1
+        return released
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Packets currently held in this shard's timestamp queue."""
+        return self._backlog
+
+    @property
+    def pending(self) -> int:
+        """Packets in flight on this shard (mailbox + queue)."""
+        return self._backlog + len(self.mailbox)
+
+    def soonest_deadline_ns(self, now_ns: int) -> Optional[int]:
+        """Next time this shard has queue work (``None`` when queue empty)."""
+        if self._backlog == 0:
+            return None
+        send_at, _packet = self.queue.peek_min()
+        return max(send_at, now_ns)
+
+    def queue_stats_snapshot(self) -> QueueStats:
+        """Copy of the backing queue's operation counters."""
+        return self.queue.stats.snapshot()
+
+
+__all__ = ["QueueFactory", "ShardWorker", "ShardWorkerStats"]

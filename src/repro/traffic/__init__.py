@@ -6,6 +6,7 @@ from .distributions import (
     FlowSizeDistribution,
     PoissonArrivals,
     WEBSEARCH_SIZE_CDF,
+    ZipfFlowSampler,
     load_for_fabric,
 )
 from .generators import (
@@ -29,5 +30,6 @@ __all__ = [
     "RoundRobinAnnotator",
     "SyntheticPacketGenerator",
     "WEBSEARCH_SIZE_CDF",
+    "ZipfFlowSampler",
     "load_for_fabric",
 ]

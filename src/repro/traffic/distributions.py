@@ -166,6 +166,65 @@ class PoissonArrivals:
         return times
 
 
+class ZipfFlowSampler:
+    """Samples flow ids with Zipf-distributed popularity.
+
+    Flow ``k`` (0-based) is drawn with probability proportional to
+    ``1 / (k + 1) ** skew`` — the classic heavy-head model of datacenter and
+    CDN traffic where a handful of elephant flows carry most packets.  The
+    sharding benchmarks use this to build the adversarial case for RSS-style
+    flow hashing: a uniform hash places the hot flows on whichever shards
+    they land on, creating load imbalance that a skew-aware rebalancer must
+    repair.
+
+    Seeding contract mirrors :class:`~repro.traffic.generators.FlowWorkload`:
+    pass ``seed`` for standalone determinism, ``rng`` to chain off a caller's
+    generator, or neither for OS entropy.
+    """
+
+    def __init__(
+        self,
+        num_flows: int,
+        skew: float = 1.2,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        if seed is not None and rng is not None:
+            raise ValueError("pass either seed or rng, not both")
+        self.num_flows = num_flows
+        self.skew = skew
+        self.rng = rng if rng is not None else random.Random(seed)
+        weights = [1.0 / (rank + 1) ** skew for rank in range(num_flows)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0
+
+    def sample_flow(self) -> int:
+        """One flow id in ``[0, num_flows)``, hot flows first."""
+        return min(
+            bisect.bisect_left(self._cdf, self.rng.random()), self.num_flows - 1
+        )
+
+    def sample_flows(self, count: int) -> List[int]:
+        """A sequence of ``count`` flow ids."""
+        return [self.sample_flow() for _ in range(count)]
+
+    def probability(self, flow_id: int) -> float:
+        """Probability mass of ``flow_id``."""
+        if not 0 <= flow_id < self.num_flows:
+            raise ValueError("flow_id out of range")
+        lo = self._cdf[flow_id - 1] if flow_id else 0.0
+        return self._cdf[flow_id] - lo
+
+
 def load_for_fabric(
     target_load: float,
     link_bps: float,
@@ -188,6 +247,7 @@ def load_for_fabric(
 
 __all__ = [
     "DATAMINING_SIZE_CDF",
+    "ZipfFlowSampler",
     "EmpiricalCDF",
     "FlowSizeDistribution",
     "PoissonArrivals",

@@ -195,6 +195,20 @@ class FlowWorkload:
     of the edge-link capacity; sizes come from the named empirical
     distribution; sources and destinations are picked uniformly among
     distinct hosts.
+
+    Seeding contract (three independent random streams feed the workload —
+    flow sizes, inter-arrival gaps, and src/dst picks):
+
+    * ``seed=<int>`` — every stream is derived deterministically from the
+      seed (``seed``, ``seed + 1``, ``seed + 2``); two workloads built with
+      the same arguments generate identical flows, run after run.
+    * ``rng=<random.Random>`` — the sub-stream seeds are drawn from ``rng``
+      instead, so reproducibility follows from the *caller's* generator
+      state; this is how the sharding benchmarks keep multi-workload sweeps
+      reproducible without hand-assigning a seed per configuration.
+    * both ``None`` — streams are seeded from OS entropy (non-reproducible).
+
+    ``seed`` and ``rng`` are mutually exclusive.
     """
 
     def __init__(
@@ -204,11 +218,18 @@ class FlowWorkload:
         target_load: float,
         workload: str = "websearch",
         seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if num_hosts < 2:
             raise ValueError("need at least two hosts")
+        if seed is not None and rng is not None:
+            raise ValueError("pass either seed or rng, not both")
         from .distributions import load_for_fabric
 
+        if rng is not None:
+            # Derive one master seed from the caller's generator so all three
+            # sub-streams are pinned by its state (see the seeding contract).
+            seed = rng.randrange(1 << 62)
         self.num_hosts = num_hosts
         self.link_bps = link_bps
         self.target_load = target_load

@@ -174,3 +174,103 @@ class TestEiffelSpecifics:
             **qdisc.softirq_cost.breakdown(),
         }
         assert breakdown.get("ffs_word", 0) > 0
+
+
+class TestMultiQueueQdisc:
+    def _mq(self, num_shards=4, rate_bps=1e9):
+        from repro.runtime import MultiQueueQdisc
+
+        return MultiQueueQdisc(
+            num_shards,
+            lambda shard: EiffelQdisc(default_rate_bps=rate_bps),
+        )
+
+    def test_hashes_packets_to_children(self):
+        mq = self._mq()
+        for flow in range(64):
+            mq.enqueue_packet(Packet(flow_id=flow % 16, size_bytes=1500), now_ns=0)
+        assert mq.backlog == 64
+        backlogs = [child.backlog for child in mq.children]
+        assert sum(backlogs) == 64
+        assert sum(1 for backlog in backlogs if backlog) > 1
+
+    def test_same_flow_same_child(self):
+        mq = self._mq()
+        for _ in range(8):
+            mq.enqueue_packet(Packet(flow_id=3, size_bytes=1500), now_ns=0)
+        occupied = [child.backlog for child in mq.children]
+        assert occupied.count(0) == len(mq.children) - 1
+
+    def test_dequeue_due_drains_all_children(self):
+        mq = self._mq()
+        for flow in range(32):
+            mq.enqueue_packet(Packet(flow_id=flow, size_bytes=1500), now_ns=0)
+        released = mq.dequeue_due(1_000_000_000)
+        assert len(released) == 32
+        assert mq.backlog == 0
+        assert mq.stats.dequeued == 32
+
+    def test_budget_is_shared_across_children(self):
+        mq = self._mq()
+        for flow in range(32):
+            mq.enqueue_packet(Packet(flow_id=flow, size_bytes=1500), now_ns=0)
+        released = mq.dequeue_due(1_000_000_000, budget=10)
+        assert len(released) == 10
+        assert mq.backlog == 22
+
+    def test_soonest_deadline_is_min_over_children(self):
+        mq = self._mq()
+        assert mq.soonest_deadline_ns(0) is None
+        mq.enqueue_packet(Packet(flow_id=1, size_bytes=1500), now_ns=0)
+        mq.enqueue_packet(Packet(flow_id=2, size_bytes=1500), now_ns=0)
+        deadline = mq.soonest_deadline_ns(0)
+        children = [
+            child.soonest_deadline_ns(0)
+            for child in mq.children
+            if child.backlog
+        ]
+        assert deadline == min(children)
+
+    def test_per_flow_fifo_through_mq(self):
+        mq = self._mq()
+        packets = [Packet(flow_id=flow % 6, size_bytes=1500) for flow in range(48)]
+        for packet in packets:
+            mq.enqueue_packet(packet, now_ns=0)
+        released = mq.dequeue_due(10_000_000_000)
+        per_flow = {}
+        for packet in released:
+            per_flow.setdefault(packet.flow_id, []).append(packet.packet_id)
+        for flow, ids in per_flow.items():
+            assert ids == sorted(ids), f"flow {flow} reordered"
+
+    def test_cycle_accounting_views(self):
+        mq = self._mq()
+        for flow in range(32):
+            mq.enqueue_packet(Packet(flow_id=flow, size_bytes=1500), now_ns=0)
+        mq.dequeue_due(1_000_000_000)
+        total = mq.total_cycles()
+        bottleneck = mq.max_child_cycles()
+        assert total > 0
+        assert 0 < bottleneck < total
+        # The root's accounts mirror every child delta, so the root view
+        # equals the sum of the children's own accounts.
+        assert total == pytest.approx(
+            sum(child.total_cycles() for child in mq.children)
+        )
+        mq.reset_costs()
+        assert mq.total_cycles() == 0
+
+    def test_runs_under_kernel_simulation(self):
+        from repro.kernel import KernelSimulation
+
+        mq = self._mq(num_shards=2, rate_bps=40e6)
+        simulation = KernelSimulation(mq, tsq_limit=2)
+        sample = simulation.run_closed_loop_interval(
+            flow_ids=list(range(8)), start_ns=0, duration_ns=2_000_000
+        )
+        assert simulation.transmitted > 0
+        assert sample.total_cycles > 0
+        # The interval sample must include the children's per-core work, not
+        # just the mq root's driver charges.
+        assert sample.total_cycles == pytest.approx(mq.total_cycles())
+        assert sample.total_cycles > mq.max_child_cycles()

@@ -5,6 +5,7 @@ import pytest
 from repro.core.model import Packet
 from repro.netsim import (
     DropTailEcnQueue,
+    Link,
     FabricConfig,
     FabricExperimentConfig,
     LeafSpineFabric,
@@ -161,3 +162,151 @@ class TestFabricExperiment:
     def test_unknown_scheme_rejected(self, small_config):
         with pytest.raises(ValueError):
             run_fabric_experiment("tcp-reno", 0.5, small_config)
+
+
+class TestEventCancellation:
+    def test_cancelled_event_never_fires(self):
+        simulator = Simulator()
+        hits = []
+        handle = simulator.schedule(10, lambda: hits.append("a"))
+        simulator.schedule(20, lambda: hits.append("b"))
+        assert simulator.cancel(handle)
+        simulator.run()
+        assert hits == ["b"]
+        assert handle.cancelled and not handle.active
+
+    def test_cancel_after_fire_returns_false(self):
+        simulator = Simulator()
+        handle = simulator.schedule(5, lambda: None)
+        simulator.run()
+        assert not simulator.cancel(handle)
+        assert not handle.cancel()
+
+    def test_pending_events_excludes_cancelled(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(10 + i, lambda: None) for i in range(4)]
+        simulator.cancel(handles[0])
+        simulator.cancel(handles[2])
+        assert simulator.pending_events == 2
+
+    def test_cancel_from_within_callback(self):
+        simulator = Simulator()
+        hits = []
+        later = simulator.schedule(50, lambda: hits.append("later"))
+        simulator.schedule(10, lambda: simulator.cancel(later))
+        simulator.run()
+        assert hits == []
+        assert simulator.now_ns == 10
+
+    def test_reprogramming_pattern(self):
+        # Cancel + reschedule earlier: the classic timer re-arm.
+        simulator = Simulator()
+        hits = []
+        handle = simulator.schedule(100, lambda: hits.append("late"))
+        simulator.cancel(handle)
+        simulator.schedule(10, lambda: hits.append("early"))
+        simulator.run()
+        assert hits == ["early"]
+
+    def test_heavy_cancellation_compacts_heap(self):
+        simulator = Simulator()
+        handles = [simulator.schedule(1000 + i, lambda: None) for i in range(300)]
+        for handle in handles[:299]:
+            simulator.cancel(handle)
+        assert simulator.pending_events == 1
+        assert simulator.run() == 1
+
+    def test_fired_handle_is_not_cancelled(self):
+        simulator = Simulator()
+        handle = simulator.schedule(5, lambda: None)
+        simulator.run()
+        assert handle.fired
+        assert not handle.cancelled
+        assert not handle.active
+        cancelled = simulator.schedule(5, lambda: None)
+        simulator.cancel(cancelled)
+        simulator.run()
+        assert cancelled.cancelled and not cancelled.fired
+
+    def test_handle_cancel_maintains_simulator_accounting(self):
+        # Cancelling through the handle's own API (not Simulator.cancel)
+        # must keep pending_events exact and still trigger compaction.
+        simulator = Simulator()
+        handles = [simulator.schedule(1000 + i, lambda: None) for i in range(300)]
+        for handle in handles[:299]:
+            assert handle.cancel()
+        assert simulator.pending_events == 1
+        assert simulator.run() == 1
+
+
+class TestShardedPortQueue:
+    def _port(self, num_shards=4, capacity=16):
+        from repro.runtime import ShardedPortQueue
+
+        return ShardedPortQueue(
+            num_shards,
+            lambda shard: DropTailEcnQueue(capacity_packets=capacity),
+        )
+
+    def test_routes_by_flow_and_counts(self):
+        port = self._port()
+        packets = [Packet(flow_id=flow % 8) for flow in range(32)]
+        for packet in packets:
+            assert port.enqueue(packet)
+        assert len(port) == 32
+        assert port.enqueued == 32
+        # Same flow always lands in the same sub-queue.
+        shard_of = {}
+        for packet in packets:
+            shard = port.shard_for(packet)
+            assert shard_of.setdefault(packet.flow_id, shard) == shard
+
+    def test_dequeue_round_robins_nonempty_shards(self):
+        port = self._port()
+        for flow in range(8):
+            port.enqueue_batch([Packet(flow_id=flow) for _ in range(4)])
+        occupied = [shard for shard, queue in enumerate(port.shards) if len(queue)]
+        pulled = port.dequeue_batch(len(port))
+        assert len(pulled) == 32
+        assert len(port) == 0
+        # A single pull visits every occupied sub-queue (per-pass quotas),
+        # rather than draining one ring fully before touching the next.
+        quota = max(1, 32 // port.num_shards)
+        first_pass = [port.shard_for(packet) for packet in pulled[: quota * len(occupied)]]
+        assert set(first_pass) == set(occupied)
+
+    def test_per_flow_fifo_within_port(self):
+        port = self._port()
+        for sequence in range(6):
+            for flow in range(6):
+                port.enqueue(Packet(flow_id=flow, metadata={"sequence": sequence}))
+        drained = port.dequeue_batch(len(port))
+        per_flow = {}
+        for packet in drained:
+            per_flow.setdefault(packet.flow_id, []).append(packet.metadata["sequence"])
+        for flow, sequences in per_flow.items():
+            assert sequences == sorted(sequences), f"flow {flow} reordered"
+
+    def test_drops_aggregate_from_subqueues(self):
+        port = self._port(num_shards=2, capacity=2)
+        accepted = port.enqueue_batch([Packet(flow_id=1) for _ in range(5)])
+        assert accepted < 5
+        assert port.drops == 5 - accepted
+
+    def test_behind_link_burst_pull(self):
+        simulator = Simulator()
+        delivered = []
+        port = self._port()
+        link = Link(
+            simulator,
+            rate_bps=10e9,
+            propagation_ns=100,
+            deliver=delivered.append,
+            queue=port,
+            burst_packets=8,
+        )
+        for flow in range(24):
+            link.send(Packet(flow_id=flow % 6, size_bytes=1500))
+        simulator.run()
+        assert len(delivered) == 24
+        assert link.transmitted_packets == 24

@@ -1,0 +1,103 @@
+"""Property-based tests for the sharded runtime.
+
+The load-bearing invariant of the whole subsystem: **sharding and
+rebalancing never reorder a flow** — whatever the flow mix, shard count,
+pacing rate, submission pattern, or migration schedule, each flow's packets
+leave in exactly the order they were submitted (the Eiffel per-flow
+primitive's contract, now across cores).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model.packet import Packet
+from repro.runtime import FlowSharder, ShardedRuntime
+
+QUANTUM_NS = 10_000
+
+
+@st.composite
+def workloads(draw):
+    """A random submission schedule: bursts of flow ids over time."""
+    num_flows = draw(st.integers(min_value=1, max_value=12))
+    num_bursts = draw(st.integers(min_value=1, max_value=8))
+    bursts = [
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_flows - 1),
+                min_size=1,
+                max_size=30,
+            )
+        )
+        for _ in range(num_bursts)
+    ]
+    return bursts
+
+
+@given(
+    bursts=workloads(),
+    num_shards=st.integers(min_value=1, max_value=8),
+    rate_kind=st.sampled_from(["unpaced", "fast", "slow"]),
+    rebalance=st.booleans(),
+    hash_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_per_flow_fifo_never_violated(bursts, num_shards, rate_kind, rebalance, hash_seed):
+    rate = {"unpaced": None, "fast": 10e9, "slow": 50e6}[rate_kind]
+    runtime = ShardedRuntime(
+        num_shards,
+        sharder=FlowSharder(num_shards, hash_seed=hash_seed),
+        default_rate_bps=rate,
+        quantum_ns=QUANTUM_NS,
+        batch_per_quantum=16,
+        rebalance_interval_ns=3 * QUANTUM_NS if rebalance else None,
+    )
+    submitted = {}
+    total = 0
+    for burst in bursts:
+        packets = [Packet(flow_id=flow_id, size_bytes=1500) for flow_id in burst]
+        for packet in packets:
+            submitted.setdefault(packet.flow_id, []).append(packet.packet_id)
+        runtime.submit_batch(packets)
+        # Interleave submission with partial progress so migrations can land
+        # between bursts of the same flow.
+        runtime.run(until_ns=runtime.simulator.now_ns + 2 * QUANTUM_NS)
+        total += len(packets)
+    runtime.run()
+
+    assert runtime.transmitted == total
+    observed = {}
+    for _now, packet in runtime.transmit_log:
+        observed.setdefault(packet.flow_id, []).append(packet.packet_id)
+    # Per-flow FIFO: transmit order equals submission order, exactly.
+    assert observed == submitted
+
+
+@given(
+    num_shards=st.sampled_from([2, 4, 8]),
+    hash_seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_uniform_hash_spreads_many_flows(num_shards, hash_seed):
+    sharder = FlowSharder(num_shards, hash_seed=hash_seed)
+    placements = [sharder.shard_for(flow_id) for flow_id in range(512)]
+    counts = [placements.count(shard) for shard in range(num_shards)]
+    # Every shard takes some flows, and no shard takes the majority of a
+    # 512-flow population (an extremely weak bound any decent mix passes).
+    assert min(counts) > 0
+    assert max(counts) < 512 * 0.6
+
+
+@given(bursts=workloads(), num_shards=st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_conservation_no_loss_no_duplication(bursts, num_shards):
+    runtime = ShardedRuntime(
+        num_shards, default_rate_bps=1e9, quantum_ns=QUANTUM_NS
+    )
+    all_ids = []
+    for burst in bursts:
+        packets = [Packet(flow_id=flow_id, size_bytes=1500) for flow_id in burst]
+        all_ids.extend(packet.packet_id for packet in packets)
+        runtime.submit_batch(packets)
+    runtime.run()
+    released_ids = [packet.packet_id for _now, packet in runtime.transmit_log]
+    assert sorted(released_ids) == sorted(all_ids)

@@ -133,3 +133,92 @@ class TestGenerators:
     def test_flow_workload_requires_two_hosts(self):
         with pytest.raises(ValueError):
             FlowWorkload(num_hosts=1, link_bps=10e9, target_load=0.5)
+
+
+class TestSeedingContract:
+    def test_flow_workload_seed_reproducible(self):
+        make = lambda: FlowWorkload(num_hosts=8, link_bps=10e9, target_load=0.5, seed=42)
+        flows_a = make().generate(50)
+        flows_b = make().generate(50)
+        assert [
+            (f.size_bytes, f.arrival_ns, f.src, f.dst) for f in flows_a
+        ] == [(f.size_bytes, f.arrival_ns, f.src, f.dst) for f in flows_b]
+
+    def test_flow_workload_rng_reproducible_without_seed(self):
+        import random
+
+        def build(seed):
+            return FlowWorkload(
+                num_hosts=8,
+                link_bps=10e9,
+                target_load=0.5,
+                rng=random.Random(seed),
+            )
+
+        flows_a = build(7).generate(50)
+        flows_b = build(7).generate(50)
+        flows_c = build(8).generate(50)
+        key = lambda flows: [(f.size_bytes, f.arrival_ns, f.src, f.dst) for f in flows]
+        assert key(flows_a) == key(flows_b)
+        assert key(flows_a) != key(flows_c)
+
+    def test_flow_workload_rejects_seed_and_rng(self):
+        import random
+
+        with pytest.raises(ValueError):
+            FlowWorkload(
+                num_hosts=8,
+                link_bps=10e9,
+                target_load=0.5,
+                seed=1,
+                rng=random.Random(2),
+            )
+
+
+class TestZipfFlowSampler:
+    def test_hot_flows_dominate(self):
+        from repro.traffic import ZipfFlowSampler
+
+        sampler = ZipfFlowSampler(num_flows=64, skew=1.2, seed=5)
+        samples = sampler.sample_flows(5000)
+        assert all(0 <= flow < 64 for flow in samples)
+        hot_share = sum(1 for flow in samples if flow < 4) / len(samples)
+        assert hot_share > 0.35  # the head carries a large share
+
+    def test_probability_sums_to_one(self):
+        from repro.traffic import ZipfFlowSampler
+
+        sampler = ZipfFlowSampler(num_flows=16, skew=1.0, seed=0)
+        total = sum(sampler.probability(flow) for flow in range(16))
+        assert total == pytest.approx(1.0)
+        assert sampler.probability(0) > sampler.probability(15)
+
+    def test_zero_skew_is_uniform(self):
+        from repro.traffic import ZipfFlowSampler
+
+        sampler = ZipfFlowSampler(num_flows=10, skew=0.0, seed=0)
+        for flow in range(10):
+            assert sampler.probability(flow) == pytest.approx(0.1)
+
+    def test_rng_chaining_reproducible(self):
+        import random
+
+        from repro.traffic import ZipfFlowSampler
+
+        samples_a = ZipfFlowSampler(32, seed=None, rng=random.Random(3)).sample_flows(64)
+        samples_b = ZipfFlowSampler(32, rng=random.Random(3)).sample_flows(64)
+        assert samples_a == samples_b
+
+    def test_validation(self):
+        import random
+
+        from repro.traffic import ZipfFlowSampler
+
+        with pytest.raises(ValueError):
+            ZipfFlowSampler(0)
+        with pytest.raises(ValueError):
+            ZipfFlowSampler(4, skew=-1)
+        with pytest.raises(ValueError):
+            ZipfFlowSampler(4, seed=1, rng=random.Random(2))
+        with pytest.raises(ValueError):
+            ZipfFlowSampler(4).probability(9)
