@@ -8,8 +8,18 @@ workloads:
   improve monotonically with shard count;
 * **zipf** — Zipf-skewed flow popularity (a few elephant flows carry most
   packets), the adversarial case: the shard that drew the hottest flows
-  becomes the bottleneck core, and only the skew-aware rebalancer (run with
-  and without) can repair the imbalance that hashing cannot.
+  becomes the bottleneck core, and hashing cannot repair it.
+
+Each workload runs under the full cross of the two skew-repair policies:
+the skew-aware **rebalancer** (whole-flow migration) and **work stealing**
+(an idle shard takes over a busy sibling's due window under an
+order-preserving flow lease) — four policy keys per distribution.  The two
+mechanisms attack different halves of the problem: migration spreads the
+flow *population*, stealing splits a single elephant flow *in time*, so the
+Zipf bottleneck imbalance should be strictly lower with stealing stacked on
+rebalancing than with rebalancing alone, while the uniform rows stay
+untouched within noise (stealing's thief/victim gates keep balanced shards
+from churning work back and forth).
 
 Throughput is *modelled* the way a real multi-core deployment is limited:
 every shard is one core, all cores run concurrently, so the run's wall time
@@ -46,14 +56,27 @@ RATE_BPS = 10e9  # per-flow pacing rate (10G access links)
 PACKET_BYTES = 1500
 QUANTUM_NS = 10_000
 BATCH_PER_QUANTUM = 64
-# Ingress rate is set so flows drain between bursts (1500 B at 10 Gbps is
-# 1.2 us, ~8 packets per quantum per flow): idle gaps are what allow the
-# FIFO-safe rebalancer to land its migrations, exactly as kernel RPS/mq only
-# re-steer a flow whose queue went empty.
-INGRESS_BATCH = 16  # packets offered per quantum of simulated ingress
+# Ingress arrives in NIC RX bursts (interrupt-coalesced pulls), at an
+# average rate — INGRESS_BURST packets every INGRESS_BURST_QUANTA quanta,
+# i.e. 16 packets per quantum — chosen so flows drain between bursts
+# (1500 B at 10 Gbps is 1.2 us): the idle gaps are what allow the FIFO-safe
+# rebalancer to land its migrations, exactly as kernel RPS/mq only re-steer
+# a flow whose queue went empty, and the burst heads are where the skewed
+# shard piles up the deep stamped window that work stealing leases out.
+INGRESS_BURST = 128  # packets offered per simulated RX pull
+INGRESS_BURST_QUANTA = 8  # quanta between RX pulls
 ZIPF_SKEW = 1.2
 REBALANCE_INTERVAL_NS = 16 * QUANTUM_NS
+STEAL_MIN_BACKLOG = 8
 SEED = 20_190_226  # NSDI'19
+
+#: The policy axes: (rebalance, steal) in a full cross.
+POLICIES = {
+    "rebalance_off_steal_off": (False, False),
+    "rebalance_on_steal_off": (True, False),
+    "rebalance_off_steal_on": (False, True),
+    "rebalance_on_steal_on": (True, True),
+}
 
 FULL_PACKETS = 20_000
 SMOKE_PACKETS = 4_000
@@ -72,7 +95,7 @@ def _flow_sequence(distribution: str, num_packets: int) -> list:
     raise ValueError(f"unknown distribution {distribution!r}")
 
 
-def _run_one(num_shards: int, flow_ids: list, rebalance: bool) -> dict:
+def _run_one(num_shards: int, flow_ids: list, rebalance: bool, steal: bool) -> dict:
     """One configuration: drive the runtime to completion, report telemetry."""
     runtime = ShardedRuntime(
         num_shards,
@@ -80,15 +103,17 @@ def _run_one(num_shards: int, flow_ids: list, rebalance: bool) -> dict:
         quantum_ns=QUANTUM_NS,
         batch_per_quantum=BATCH_PER_QUANTUM,
         rebalance_interval_ns=REBALANCE_INTERVAL_NS if rebalance else None,
+        steal_enabled=steal,
+        steal_min_backlog=STEAL_MIN_BACKLOG,
         record_transmits=False,
     )
     simulator = runtime.simulator
 
-    # Open-loop ingress: INGRESS_BATCH packets per quantum, as a NIC RX loop
-    # would hand bursts to the dispatching core.
-    for index in range(0, len(flow_ids), INGRESS_BATCH):
-        chunk = flow_ids[index : index + INGRESS_BATCH]
-        when_ns = (index // INGRESS_BATCH) * QUANTUM_NS
+    # Open-loop ingress: INGRESS_BURST packets per RX pull, as a NIC RX loop
+    # would hand interrupt-coalesced bursts to the dispatching core.
+    for index in range(0, len(flow_ids), INGRESS_BURST):
+        chunk = flow_ids[index : index + INGRESS_BURST]
+        when_ns = (index // INGRESS_BURST) * INGRESS_BURST_QUANTA * QUANTUM_NS
 
         def offer(chunk=chunk) -> None:
             runtime.submit_batch(
@@ -116,6 +141,10 @@ def _run_one(num_shards: int, flow_ids: list, rebalance: bool) -> dict:
         "imbalance": telemetry.imbalance,
         "migrations": telemetry.migrations_applied,
         "rebalance_rounds": telemetry.rebalance_rounds,
+        "steals_attempted": telemetry.steals_attempted,
+        "steals_succeeded": telemetry.steals_succeeded,
+        "packets_stolen": telemetry.packets_stolen,
+        "steal_cycles": telemetry.steal_cycles,
         "per_shard_transmitted": [
             shard.transmitted for shard in telemetry.shards
         ],
@@ -125,24 +154,24 @@ def _run_one(num_shards: int, flow_ids: list, rebalance: bool) -> dict:
 
 
 def run_sharding_sweep(num_packets: int = FULL_PACKETS) -> dict:
-    """Full sweep: shard counts x {uniform, zipf} x {rebalance off, on}."""
+    """Full sweep: shard counts x {uniform, zipf} x {rebalance, steal} cross."""
     scenarios: dict = {}
     for distribution in ("uniform", "zipf"):
         flow_ids = _flow_sequence(distribution, num_packets)
         scenarios[distribution] = {}
-        for rebalance in (False, True):
-            key = "rebalance_on" if rebalance else "rebalance_off"
+        for key, (rebalance, steal) in POLICIES.items():
             scenarios[distribution][key] = {
-                str(shards): _run_one(shards, flow_ids, rebalance)
+                str(shards): _run_one(shards, flow_ids, rebalance, steal)
                 for shards in SHARD_COUNTS
             }
     return {
         "benchmark": "sharding_scaling",
         "description": (
             "Sharded runtime throughput vs shard count under uniform and "
-            "Zipf-skewed flow hashes, with and without the skew-aware "
-            "rebalancer.  aggregate_ops_per_sec models concurrent per-core "
-            "execution: packets * clock / bottleneck-shard cycles."
+            "Zipf-skewed flow hashes, across the {rebalancer} x {work "
+            "stealing} policy cross.  aggregate_ops_per_sec models "
+            "concurrent per-core execution: packets * clock / "
+            "bottleneck-shard cycles."
         ),
         "workload": {
             "num_packets": num_packets,
@@ -151,9 +180,11 @@ def run_sharding_sweep(num_packets: int = FULL_PACKETS) -> dict:
             "packet_bytes": PACKET_BYTES,
             "quantum_ns": QUANTUM_NS,
             "batch_per_quantum": BATCH_PER_QUANTUM,
-            "ingress_batch": INGRESS_BATCH,
+            "ingress_burst": INGRESS_BURST,
+            "ingress_burst_quanta": INGRESS_BURST_QUANTA,
             "zipf_skew": ZIPF_SKEW,
             "rebalance_interval_ns": REBALANCE_INTERVAL_NS,
+            "steal_min_backlog": STEAL_MIN_BACKLOG,
             "seed": SEED,
             "modelled_clock_hz": METER.cycles_per_second,
         },
@@ -198,7 +229,7 @@ def test_sharding_scaling_sweep(benchmark, tmp_path):
     report("Sharding sweep — aggregate throughput vs shard count", _format_sweep(results))
     benchmark.extra_info["artifact"] = str(path)
 
-    uniform = results["scenarios"]["uniform"]["rebalance_off"]
+    uniform = results["scenarios"]["uniform"]["rebalance_off_steal_off"]
     # The acceptance gate: aggregate throughput improves monotonically from
     # 1 -> 4 shards under the uniform hash, and 4 shards beat 1 outright.
     assert (
@@ -207,9 +238,33 @@ def test_sharding_scaling_sweep(benchmark, tmp_path):
         < uniform["4"]["aggregate_ops_per_sec"]
     ), _format_sweep(results)
     assert uniform["4"]["aggregate_ops_per_sec"] > uniform["1"]["aggregate_ops_per_sec"]
+    # Stealing must leave the uniform rows untouched within noise: balanced
+    # shards have nothing worth robbing, so the thief/victim gates should
+    # keep the handoff machinery out of the way.
+    uniform_steal = results["scenarios"]["uniform"]["rebalance_off_steal_on"]
+    for shards in SHARD_COUNTS:
+        off = uniform["%d" % shards]["aggregate_ops_per_sec"]
+        on = uniform_steal["%d" % shards]["aggregate_ops_per_sec"]
+        assert 0.93 <= on / off <= 1.10, (
+            f"uniform throughput moved beyond noise at {shards} shards: "
+            f"{off / 1e6:.2f} -> {on / 1e6:.2f} Mops/s\n" + _format_sweep(results)
+        )
+    # The tentpole gate: stacking work stealing on the rebalancer strictly
+    # lowers the Zipf bottleneck imbalance at 4 and 8 shards — stealing
+    # splits the elephant flow in time, which migration alone cannot.
+    zipf_rebalance = results["scenarios"]["zipf"]["rebalance_on_steal_off"]
+    zipf_both = results["scenarios"]["zipf"]["rebalance_on_steal_on"]
+    for shards in (4, 8):
+        off = zipf_rebalance[str(shards)]
+        on = zipf_both[str(shards)]
+        assert on["packets_stolen"] > 0, f"no steals landed at {shards} shards"
+        assert on["imbalance"] < off["imbalance"], (
+            f"stealing did not lower the Zipf imbalance at {shards} shards: "
+            f"{off['imbalance']:.3f} -> {on['imbalance']:.3f}\n" + _format_sweep(results)
+        )
     # Conservation at every point of the sweep.
-    for by_rebalance in results["scenarios"].values():
-        for by_shards in by_rebalance.values():
+    for by_policy in results["scenarios"].values():
+        for by_shards in by_policy.values():
             for run in by_shards.values():
                 assert run["transmitted"] == SMOKE_PACKETS
 
@@ -219,8 +274,8 @@ def test_zipf_rebalancing_repairs_imbalance(benchmark):
 
     def run_pair():
         return (
-            _run_one(4, flow_ids, rebalance=False),
-            _run_one(4, flow_ids, rebalance=True),
+            _run_one(4, flow_ids, rebalance=False, steal=False),
+            _run_one(4, flow_ids, rebalance=True, steal=False),
         )
 
     static, rebalanced = benchmark.pedantic(run_pair, rounds=1, iterations=1)
@@ -239,6 +294,36 @@ def test_zipf_rebalancing_repairs_imbalance(benchmark):
     assert (
         rebalanced["aggregate_ops_per_sec"]
         >= static["aggregate_ops_per_sec"] * 0.95
+    )
+
+
+def test_zipf_stealing_beats_rebalance_only(benchmark):
+    """Work stealing stacked on rebalancing: strictly lower Zipf imbalance."""
+    flow_ids = _flow_sequence("zipf", SMOKE_PACKETS)
+
+    def run_pair():
+        return (
+            _run_one(8, flow_ids, rebalance=True, steal=False),
+            _run_one(8, flow_ids, rebalance=True, steal=True),
+        )
+
+    rebalanced, stolen = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    report(
+        "Zipf skew, 8 shards — rebalance-only vs rebalance+steal",
+        (
+            f"rebalance only:  imbalance={rebalanced['imbalance']:.2f} "
+            f"agg={rebalanced['aggregate_ops_per_sec'] / 1e6:.2f} Mops/s\n"
+            f"rebalance+steal: imbalance={stolen['imbalance']:.2f} "
+            f"agg={stolen['aggregate_ops_per_sec'] / 1e6:.2f} Mops/s "
+            f"({stolen['steals_succeeded']} leases, "
+            f"{stolen['packets_stolen']} packets stolen)"
+        ),
+    )
+    assert stolen["packets_stolen"] > 0, "work stealing never landed a lease"
+    assert stolen["imbalance"] < rebalanced["imbalance"]
+    assert (
+        stolen["aggregate_ops_per_sec"]
+        >= rebalanced["aggregate_ops_per_sec"] * 0.95
     )
 
 

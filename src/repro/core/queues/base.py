@@ -36,16 +36,50 @@ class PriorityOutOfRangeError(QueueError):
 
 
 class CounterStatsMixin:
-    """``as_dict()`` for counter dataclasses (reflects over the fields).
+    """Shared arithmetic for counter dataclasses (reflects over the fields).
 
     Shared by :class:`QueueStats` and the runtime-layer counter dataclasses
-    (mailbox, sharding, shard-worker stats) so the snapshot shape stays in
-    one place.
+    (mailbox, sharding, stealing, shard-worker stats) so the snapshot /
+    delta / merge surface stays in one place: consumers that charge
+    cost-model deltas take a :meth:`snapshot` before a phase and
+    :meth:`diff` against it afterwards instead of hand-rolling dict
+    arithmetic.
     """
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, Any]:
         """Return a plain-dict snapshot of the counters."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}  # type: ignore[attr-defined]
+
+    def snapshot(self):
+        """Return an independent copy of the current counters."""
+        return type(self)(**self.as_dict())
+
+    def diff(self, earlier):
+        """Counters accumulated since ``earlier`` (``self - earlier``)."""
+        return type(self)(
+            **{
+                name: getattr(self, name) - getattr(earlier, name)
+                for name in self.__dataclass_fields__  # type: ignore[attr-defined]
+            }
+        )
+
+    def merge(self, other) -> None:
+        """Accumulate the counters of ``other`` into this instance."""
+        for name in self.__dataclass_fields__:  # type: ignore[attr-defined]
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def reset(self) -> None:
+        """Restore every counter to its dataclass default."""
+        for name, spec in self.__dataclass_fields__.items():  # type: ignore[attr-defined]
+            setattr(self, name, spec.default)
+
+    @classmethod
+    def aggregate(cls, stats: Iterable["CounterStatsMixin"]):
+        """Sum a collection of stats (e.g. one per shard) into a new instance."""
+        total = cls()
+        for item in stats:
+            total.merge(item)
+        return total
 
 
 @dataclass
@@ -74,42 +108,6 @@ class QueueStats(CounterStatsMixin):
     rotations: int = 0
     overflow_enqueues: int = 0
     selection_errors: int = 0
-
-    def reset(self) -> None:
-        """Zero every counter in place."""
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-    def merge(self, other: "QueueStats") -> None:
-        """Accumulate the counters of ``other`` into this instance."""
-        for name in self.__dataclass_fields__:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-
-    def snapshot(self) -> "QueueStats":
-        """Return an independent copy of the current counters.
-
-        Consumers that charge cost-model deltas (qdiscs, shard workers,
-        benchmarks) take a snapshot before a phase and :meth:`diff` against
-        it afterwards instead of hand-rolling dict arithmetic.
-        """
-        return QueueStats(**{name: getattr(self, name) for name in self.__dataclass_fields__})
-
-    def diff(self, earlier: "QueueStats") -> "QueueStats":
-        """Counters accumulated since ``earlier`` (``self - earlier``)."""
-        return QueueStats(
-            **{
-                name: getattr(self, name) - getattr(earlier, name)
-                for name in self.__dataclass_fields__
-            }
-        )
-
-    @classmethod
-    def aggregate(cls, stats: Iterable["QueueStats"]) -> "QueueStats":
-        """Sum a collection of stats (e.g. one per shard) into a new instance."""
-        total = cls()
-        for item in stats:
-            total.merge(item)
-        return total
 
 
 @dataclass(frozen=True)

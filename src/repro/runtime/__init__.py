@@ -7,22 +7,54 @@ instance per core, flows spread across instances by an RSS-style hash:
 * :class:`~repro.runtime.sharder.FlowSharder` — flow-to-shard placement
   (hash / sticky round-robin policies, explicit pins) plus the load window
   the skew-aware :class:`~repro.runtime.sharder.ShardRebalancer` inspects to
-  migrate hot flows off overloaded shards.
+  migrate hot flows off overloaded shards, and the *ownership view* that
+  records which flows are on loan to a work-stealing thief.
 * :class:`~repro.runtime.mailbox.Mailbox` — the batched SPSC ingress-to-shard
   handoff.
+* :class:`~repro.runtime.stealing.StealChannel` /
+  :class:`~repro.runtime.stealing.FlowLease` — the bounded steal-request
+  ring an idle shard parks a request in, and the atomic flow-ownership
+  lease that carries a victim's due window (packets, stamps, pacing state)
+  to the thief.
 * :class:`~repro.runtime.worker.ShardWorker` — one simulated core: a cFFS
   timestamp queue + per-flow pacing drained one batch per scheduling quantum
-  through PR 1's ``enqueue_batch`` / ``extract_due`` surface.
+  through PR 1's ``enqueue_batch`` / ``extract_due`` surface, plus the donor
+  (``grant_lease`` / ``end_lease``) and acceptor (``accept_lease``) ends of
+  the stealing protocol.
 * :class:`~repro.runtime.runtime.ShardedRuntime` — the driver multiplexing
   every shard's worker loop onto one simulator clock, with per-shard
-  cycle/queue accounting rolled up into runtime telemetry.
+  cycle/queue/steal accounting rolled up into runtime telemetry.
 * :class:`~repro.runtime.adapters.ShardedPortQueue` /
   :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
   for the netsim and kernel substrates.
 
+The lease / per-flow FIFO invariant
+-----------------------------------
+
+Everything in this package upholds one contract, across every combination
+of sharding, rebalancing, and stealing: **a flow's packets leave the
+runtime in exactly the order they were submitted.**  The three mechanisms
+compose because each one only ever moves a flow at a provably safe point:
+
+* *routing* follows residency — packets chase the flow's in-flight
+  packets, so a re-pin takes effect only once the flow fully drains;
+* *rebalancing* migrates whole flows and only through lazy re-pins, never
+  touching a flow whose due window is on loan;
+* *stealing* takes a stamp-ordered **prefix** of a flow's queued packets
+  atomically under a :class:`~repro.runtime.stealing.FlowLease`; while the
+  lease is out the victim defers its own drains and stamping of that flow
+  (the pacing state travelled with the lease), and the lease returns only
+  after the thief released the last stolen packet — so the deferred
+  packets still depart after everything the thief sent, in order.
+
+``tests/runtime/test_runtime_properties.py`` asserts the invariant under
+randomized workloads with all mechanisms enabled, and the differential
+tests in ``tests/runtime/test_stealing.py`` check that stealing changes
+*where and when* packets are released but never *in what order*.
+
 ``benchmarks/bench_sharding.py`` sweeps shard counts over uniform and
-Zipf-skewed workloads and writes ``BENCH_sharding.json``, the scaling-axis
-perf artifact.
+Zipf-skewed workloads — rebalancing and stealing each on/off — and writes
+``BENCH_sharding.json``, the scaling-axis perf artifact.
 """
 
 from .adapters import MultiQueueQdisc, ShardedPortQueue
@@ -36,10 +68,12 @@ from .sharder import (
     ShardingStats,
     rss_hash,
 )
+from .stealing import FlowLease, StealChannel, StealChannelStats, StealRequest, StealStats
 from .worker import ShardWorker, ShardWorkerStats
 
 __all__ = [
     "DEFAULT_HASH_SEED",
+    "FlowLease",
     "FlowSharder",
     "Mailbox",
     "MailboxStats",
@@ -53,5 +87,9 @@ __all__ = [
     "ShardedPortQueue",
     "ShardedRuntime",
     "ShardingStats",
+    "StealChannel",
+    "StealChannelStats",
+    "StealRequest",
+    "StealStats",
     "rss_hash",
 ]

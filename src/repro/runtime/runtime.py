@@ -13,10 +13,18 @@ multi-core scheduler runs one worker loop per CPU against shared wall time:
   next quantum, or jumps ahead to its soonest deadline when the queue is
   paced far into the future;
 * a periodic **rebalancing** sweep (optional) asks the skew-aware
-  :class:`~repro.runtime.sharder.ShardRebalancer` for hot-flow migrations.
+  :class:`~repro.runtime.sharder.ShardRebalancer` for hot-flow migrations;
+* **work stealing** (optional): a shard that goes idle parks a bounded
+  :class:`~repro.runtime.stealing.StealRequest` at the busiest sibling; at
+  that victim's next safe point the driver hands the thief a
+  :class:`~repro.runtime.stealing.FlowLease` — the victim's imminent due
+  window, flow ownership and pacing state included — and the thief releases
+  it through its own paced drain.  Rebalancing splits the *flow population*
+  across cores; stealing splits a single elephant flow *in time*, which is
+  the one imbalance migration cannot repair.
 
-Per-flow FIFO under migration
------------------------------
+Per-flow FIFO under migration and stealing
+------------------------------------------
 
 Migrating a flow while it still has packets inside its old shard would let
 the new shard transmit newer packets first.  The runtime therefore routes on
@@ -26,15 +34,26 @@ fully drains does the sharder's (possibly re-pinned) placement take effect.
 Migration is thus applied lazily at the first safe moment — the same reason
 kernel ``mq``/RPS only re-steer a flow on an empty queue (out-of-order
 avoidance), and the property tests assert exactly this invariant.
+
+Work stealing threads the same needle with explicit ownership leases: the
+stolen window is a stamp-ordered prefix of each touched flow, the victim
+defers its own drains and stamping of those flows until the lease returns
+(right after the thief releases the last stolen packet), and the sharder's
+ownership view keeps routing and the rebalancer pointed at the victim for
+the lease's whole lifetime.  The shard's deadline sleep stays steal-aware
+throughout: an arriving lease re-programs the sleeping thief's tick timer
+through :meth:`ShardedRuntime._wake_shard`, exactly like fresh ingress.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .mailbox import MailboxStats
 from .sharder import FlowSharder, ShardRebalancer
+from .stealing import FlowLease, StealChannel, StealRequest, StealStats
 from .worker import QueueFactory, ShardWorker
 from ..core.model.packet import Packet
 from ..core.queues import QueueStats
@@ -54,6 +73,7 @@ class ShardTelemetry:
     cycles: float
     queue_stats: QueueStats
     mailbox: MailboxStats
+    steals: StealStats = field(default_factory=StealStats)
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot."""
@@ -67,6 +87,7 @@ class ShardTelemetry:
             "cycles": self.cycles,
             "queue_stats": self.queue_stats.as_dict(),
             "mailbox": self.mailbox.as_dict(),
+            "steals": self.steals.as_dict(),
         }
 
 
@@ -88,6 +109,10 @@ class RuntimeTelemetry:
     ingress_drops: int
     migrations_applied: int
     rebalance_rounds: int
+    steals_attempted: int = 0
+    steals_succeeded: int = 0
+    packets_stolen: int = 0
+    steal_cycles: float = 0.0
 
     @property
     def imbalance(self) -> float:
@@ -109,6 +134,10 @@ class RuntimeTelemetry:
             "ingress_drops": self.ingress_drops,
             "migrations_applied": self.migrations_applied,
             "rebalance_rounds": self.rebalance_rounds,
+            "steals_attempted": self.steals_attempted,
+            "steals_succeeded": self.steals_succeeded,
+            "packets_stolen": self.packets_stolen,
+            "steal_cycles": self.steal_cycles,
             "imbalance": self.imbalance,
         }
 
@@ -133,6 +162,19 @@ class ShardedRuntime:
             ``rebalance_interval_ns``.
         rebalance_interval_ns: period of the rebalancing sweep; when set
             without an explicit ``rebalancer`` a default one is built.
+        steal_enabled: turn on cross-shard work stealing — an idle shard
+            parks a steal request at the busiest sibling and takes over its
+            next due window under an order-preserving flow lease.
+        steal_batch: largest number of packets one lease may carry.
+        steal_horizon_ns: how far ahead of "now" a window counts as
+            stealable (defaults to one quantum: the batch the victim would
+            have released at its very next tick).
+        steal_min_backlog: smallest victim backlog worth stealing from —
+            below this the handoff overhead outweighs the relief, and under
+            balanced load it keeps shards from churning work back and forth.
+        steal_channel_capacity: bound on each shard's parked steal requests
+            (the bounded cross-core request ring; overflow is dropped and
+            counted, never blocked on).
         on_transmit: callback ``(packet, now_ns)`` run for every released
             packet (the NIC side).
         record_transmits: keep ``(now_ns, packet)`` in :attr:`transmit_log`
@@ -159,6 +201,11 @@ class ShardedRuntime:
         mailbox_capacity: Optional[int] = None,
         rebalancer: Optional[ShardRebalancer] = None,
         rebalance_interval_ns: Optional[int] = None,
+        steal_enabled: bool = False,
+        steal_batch: int = 64,
+        steal_horizon_ns: Optional[int] = None,
+        steal_min_backlog: int = 8,
+        steal_channel_capacity: int = 8,
         on_transmit: Optional[Callable[[Packet, int], None]] = None,
         record_transmits: bool = True,
         gc_interval_packets: Optional[int] = 4096,
@@ -173,6 +220,14 @@ class ShardedRuntime:
             raise ValueError("rebalancer requires rebalance_interval_ns")
         if rebalance_interval_ns is not None and rebalance_interval_ns <= 0:
             raise ValueError("rebalance_interval_ns must be positive")
+        if steal_batch <= 0:
+            raise ValueError("steal_batch must be positive")
+        if steal_horizon_ns is not None and steal_horizon_ns < 0:
+            raise ValueError("steal_horizon_ns must be non-negative")
+        if steal_min_backlog <= 0:
+            raise ValueError("steal_min_backlog must be positive")
+        if steal_channel_capacity <= 0:
+            raise ValueError("steal_channel_capacity must be positive")
         if gc_interval_packets is not None and gc_interval_packets <= 0:
             raise ValueError("gc_interval_packets must be positive")
         self.num_shards = num_shards
@@ -204,6 +259,16 @@ class ShardedRuntime:
         self.ingress_drops = 0
         self.migrations_applied = 0
         self.gc_interval_packets = gc_interval_packets
+        self.steal_enabled = steal_enabled
+        self.steal_batch = steal_batch
+        self.steal_horizon_ns = quantum_ns if steal_horizon_ns is None else steal_horizon_ns
+        self.steal_min_backlog = steal_min_backlog
+        self._steal_channels: List[StealChannel] = [
+            StealChannel(capacity=steal_channel_capacity) for _ in range(num_shards)
+        ]
+        self._loan_inbox: List[List[FlowLease]] = [[] for _ in range(num_shards)]
+        self._open_leases: Dict[int, list] = {}
+        self._lease_seq = itertools.count()
         self._since_gc = 0
         self._flow_home: Dict[int, int] = {}
         self._flow_pending: Dict[int, int] = {}
@@ -217,8 +282,14 @@ class ShardedRuntime:
 
         Pure lookup — home/migration state only changes once a packet is
         actually accepted (:meth:`_commit_route`), so a dropped packet never
-        registers a migration.
+        registers a migration.  A flow whose due window is on loan to a
+        thief stays owned by the victim that granted the lease, even in the
+        instant its in-flight count touches zero mid-delivery — migrating
+        right then would strand the pacing state travelling with the lease.
         """
+        loan = self.sharder.loan_shard(flow_id)
+        if loan is not None:
+            return loan
         home = self._flow_home.get(flow_id)
         if home is not None and self._flow_pending.get(flow_id, 0) > 0:
             return home
@@ -250,6 +321,7 @@ class ShardedRuntime:
             return False
         self._commit_route(packet.flow_id, shard)
         self._wake_shard(shard)
+        self._wake_idle_thieves(shard)
         self._arm_rebalance()
         return True
 
@@ -274,11 +346,33 @@ class ShardedRuntime:
                 self._commit_route(packet.flow_id, shard)
             if taken or before:
                 self._wake_shard(shard)
+                self._wake_idle_thieves(shard)
         if accepted:
             self._arm_rebalance()
         return accepted
 
     # -- shard scheduling --------------------------------------------------
+
+    def _wake_idle_thieves(self, loaded_shard: int) -> None:
+        """Give empty shards a tick so they can park steal requests.
+
+        A shard with nothing in flight has no timer armed and would
+        otherwise never volunteer — the scheduling analogue of kicking an
+        idle core with an IPI when work lands somewhere on the package.
+        The tick is on an idle core, so it never adds to the bottleneck,
+        and the kick only fires when the shard that just received work is
+        loaded enough to clear the steal floor — below that no victim can
+        qualify, so a woken thief could only park a request and go back to
+        sleep.
+        """
+        if not self.steal_enabled or self.num_shards == 1:
+            return
+        loaded = self.workers[loaded_shard]
+        if loaded.backlog + len(loaded.mailbox) < self.steal_min_backlog:
+            return
+        for shard, worker in enumerate(self.workers):
+            if not worker.pending and not worker.leases_held and not worker.flows_on_loan:
+                self._wake_shard(shard)
 
     def _wake_shard(self, shard: int) -> None:
         """Guarantee the shard ticks within one quantum of new work."""
@@ -298,7 +392,24 @@ class ShardedRuntime:
         worker = self.workers[shard]
         now = self.simulator.now_ns
         self._tick_handles[shard] = None
+        inbox = self._loan_inbox[shard]
+        if inbox:
+            # Thief role, first: splice freshly granted leases into this
+            # shard's queue before the drain below, so due stolen packets
+            # release this very tick.
+            self._loan_inbox[shard] = []
+            for lease in inbox:
+                worker.accept_lease(lease, now)
         released = worker.tick(now, ingest_limit=None, drain_limit=self.batch_per_quantum)
+        self._deliver(released, now)
+        if self.steal_enabled and self.num_shards > 1:
+            self._grant_steals(shard, now)
+            self._maybe_request_steal(shard, now)
+        self._schedule_next_tick(shard, now)
+
+    def _deliver(self, released: List[Packet], now: int) -> None:
+        """Hand released packets to the NIC side; settle leases they close."""
+        finished: List[FlowLease] = []
         for packet in released:
             packet.departure_ns = now
             pending = self._flow_pending.get(packet.flow_id, 1) - 1
@@ -310,12 +421,134 @@ class ShardedRuntime:
                 self.transmit_log.append((now, packet))
             if self.on_transmit is not None:
                 self.on_transmit(packet, now)
+            if self._open_leases:
+                lease_id = packet.metadata.get("lease_id")
+                if lease_id is not None:
+                    entry = self._open_leases.get(lease_id)
+                    if entry is not None:
+                        entry[1] -= 1
+                        if entry[1] == 0:
+                            del self._open_leases[lease_id]
+                            finished.append(entry[0])
+        for lease in finished:
+            self._finish_lease(lease, now)
         if released and self.gc_interval_packets is not None:
             self._since_gc += len(released)
             if self._since_gc >= self.gc_interval_packets:
                 self._since_gc = 0
                 self._gc_flow_state(now)
-        self._schedule_next_tick(shard, now)
+
+    # -- work stealing -----------------------------------------------------
+
+    def _grant_steals(self, shard: int, now: int) -> None:
+        """Victim role: hand due windows to the thieves parked at ``shard``.
+
+        Runs after the shard's own drain, so stealing only ever takes work
+        the victim could not clear within its own quantum budget.  Requests
+        park until the victim actually has a stealable window — the
+        standing "work wanted" token of message-passing work stealing.
+        """
+        worker = self.workers[shard]
+        channel = self._steal_channels[shard]
+        cutoff = now + self.steal_horizon_ns
+        while len(channel):
+            if worker.flows_on_loan or worker.leases_held or not worker.has_work_by(cutoff):
+                break  # one lease out at a time / holding stolen work / nothing stealable
+            if worker.backlog < self.steal_min_backlog:
+                # The victim drained below the steal floor since the request
+                # parked: a lease now would move work it can clear itself
+                # next tick.  The request stays parked for the next burst.
+                break
+            request = channel.peek()
+            assert request is not None
+            thief_worker = self.workers[request.thief_shard]
+            if (
+                thief_worker.pending
+                or thief_worker.leases_held
+                or thief_worker.flows_on_loan
+                or self._loan_inbox[request.thief_shard]
+            ):
+                # The thief found its own work since parking the request —
+                # or already has a lease granted (possibly still sitting in
+                # its inbox) or its own flows out on loan: one window per
+                # idle thief at a time.
+                channel.pop()
+                thief_worker.steal.requests_stale += 1
+                continue
+            lease = worker.grant_lease(
+                next(self._lease_seq), request.thief_shard, now, self.steal_batch,
+                self.steal_horizon_ns,
+            )
+            if lease is None:
+                # The donor refused despite the loop-top checks (kept
+                # deliberately equivalent; this is the belt to those
+                # braces): leave the request parked for a later tick.
+                break
+            channel.pop()
+            for flow_id in lease.flow_ids:
+                self.sharder.lend(flow_id, shard)
+            self._open_leases[lease.lease_id] = [lease, len(lease.packets)]
+            self._loan_inbox[request.thief_shard].append(lease)
+            self._wake_shard(request.thief_shard)
+
+    def _maybe_request_steal(self, shard: int, now: int) -> None:
+        """Thief role: when empty, park a steal request at the busiest sibling.
+
+        Only a shard with *nothing at all* in flight volunteers — a shard
+        with merely no work due yet still owns future-paced backlog, and
+        letting it steal would move load toward loaded cores (the hot shard
+        is "idle right now" between its own paced releases most of the
+        time).  The empty shard then sleeps with no timer armed; its sleep
+        stays steal-aware because an arriving lease re-programs the tick
+        through :meth:`_wake_shard`, exactly like fresh ingress.
+        """
+        worker = self.workers[shard]
+        if worker.pending or worker.leases_held or worker.flows_on_loan:
+            # Nothing at all may be in flight — and a donor whose flows are
+            # out on lease is about to take back a deferred flush plus
+            # re-ingested arrivals, so it is not idle either.
+            return
+        # Volunteer only while this core has done less than its fair share
+        # of the run's work: an empty-but-cumulatively-hot shard (e.g. the
+        # elephant's home at a burst tail) grabbing more work would deepen
+        # the very bottleneck stealing exists to relieve.
+        mean_cycles = sum(candidate.cost.total_cycles for candidate in self.workers) / self.num_shards
+        if worker.cost.total_cycles > mean_cycles:
+            return
+        loads = [candidate.backlog + len(candidate.mailbox) for candidate in self.workers]
+        # Only a shard loaded well beyond its siblings is worth robbing:
+        # stealing between near-equal shards just churns handoff overhead,
+        # ticks, and bitmap scans without relieving any bottleneck.
+        floor = max(self.steal_min_backlog, 2 * sum(loads) // self.num_shards)
+        victim = None
+        victim_pending = floor - 1
+        for other, pending in enumerate(loads):
+            if other == shard:
+                continue
+            if pending > victim_pending:
+                victim, victim_pending = other, pending
+        if victim is None:
+            return
+        # Park the request without waking the victim: a shard loaded enough
+        # to rob keeps its own tick chain alive, and one that sleeps toward
+        # a far deadline has nothing stealable inside the horizon anyway.
+        # The grant lands at the victim's next natural safe point.
+        outcome = self._steal_channels[victim].post(StealRequest(shard, now))
+        if outcome == "accepted":
+            worker.steal.requests_posted += 1
+        elif outcome == "full":
+            worker.steal.requests_dropped += 1
+
+    def _finish_lease(self, lease: FlowLease, now: int) -> None:
+        """The thief released the last stolen packet: return the lease."""
+        self.workers[lease.thief_shard].finish_held_lease()
+        victim = self.workers[lease.victim_shard]
+        flushed = victim.end_lease(lease, now)
+        for flow_id in lease.flow_ids:
+            self.sharder.restore(flow_id)
+        self._deliver(flushed, now)
+        if victim.pending:
+            self._wake_shard(lease.victim_shard)
 
     def _schedule_next_tick(self, shard: int, now: int) -> None:
         if (handle := self._tick_handles[shard]) is not None and handle.active:
@@ -325,8 +558,12 @@ class ShardedRuntime:
             # timer chain.
             return
         worker = self.workers[shard]
-        if worker.pending == 0:
-            return  # idle: the next submit() wakes the shard
+        if worker.backlog == 0 and not len(worker.mailbox):
+            # Idle — the next submit() wakes the shard.  This deliberately
+            # ignores lease-deferred packets: they can only move when the
+            # lease returns, and _finish_lease wakes this shard then, so a
+            # quantum-cadence timer would just burn bottleneck cycles.
+            return
         next_ns = now + self.quantum_ns
         if not len(worker.mailbox):
             soonest = worker.soonest_deadline_ns(now)
@@ -350,6 +587,11 @@ class ShardedRuntime:
         for flow_id in [
             flow for flow in self._flow_home if flow not in self._flow_pending
         ]:
+            if self.sharder.loan_shard(flow_id) is not None:
+                # Mid-lease the flow's shaper lives inside the lease, not on
+                # its shard, so the "no live pacing state" probe below would
+                # misfire and orphan the state the lease hands back.
+                continue
             if self.workers[self._flow_home[flow_id]].gc_flow(flow_id, now_ns):
                 del self._flow_home[flow_id]
                 self.sharder.forget(flow_id)
@@ -400,7 +642,7 @@ class ShardedRuntime:
 
     @property
     def pending(self) -> int:
-        """Packets in flight across all shards (mailboxes + queues)."""
+        """Packets in flight across all shards (mailboxes + queues + lease deferrals)."""
         return sum(worker.pending for worker in self.workers)
 
     @property
@@ -421,6 +663,7 @@ class ShardedRuntime:
                 cycles=worker.cost.total_cycles,
                 queue_stats=worker.queue_stats_snapshot(),
                 mailbox=worker.mailbox.stats,
+                steals=worker.steal.snapshot(),
             )
             for worker in self.workers
         ]
@@ -434,6 +677,10 @@ class ShardedRuntime:
             ingress_drops=self.ingress_drops,
             migrations_applied=self.migrations_applied,
             rebalance_rounds=self.rebalancer.rounds if self.rebalancer else 0,
+            steals_attempted=sum(worker.steal.requests_posted for worker in self.workers),
+            steals_succeeded=sum(worker.steal.leases_received for worker in self.workers),
+            packets_stolen=sum(worker.steal.packets_stolen for worker in self.workers),
+            steal_cycles=sum(worker.steal.cycles_stolen for worker in self.workers),
         )
 
 

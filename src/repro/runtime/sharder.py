@@ -49,6 +49,7 @@ class ShardingStats(CounterStatsMixin):
     pins: int = 0
     migrations: int = 0
     window_packets: int = 0
+    loans: int = 0
 
 
 class FlowSharder:
@@ -90,6 +91,7 @@ class FlowSharder:
         self.stats = ShardingStats()
         self._pins: Dict[int, int] = {}
         self._sticky: Dict[int, int] = {}
+        self._loans: Dict[int, int] = {}
         self._next_rr = 0
         # Sliding window of packet counts, reset each rebalancing round.
         self._window_flow_packets: Dict[int, int] = {}
@@ -137,6 +139,34 @@ class FlowSharder:
         """
         self._pins.pop(flow_id, None)
         self._sticky.pop(flow_id, None)
+
+    # -- ownership view (work-stealing leases) -----------------------------
+    #
+    # While a flow's due window is on loan to a thief shard, the flow's
+    # *ownership* is pinned to the victim that granted the lease: ingress
+    # keeps routing its packets home (even if the flow momentarily has
+    # nothing in flight) and the rebalancer must not migrate it — a re-pin
+    # landing mid-lease would strand the pacing state travelling with the
+    # lease.  This registry is how stealing and migration compose.
+
+    def lend(self, flow_id: int, victim_shard: int) -> None:
+        """Record that ``flow_id``'s due window is on loan from ``victim_shard``."""
+        if not 0 <= victim_shard < self.num_shards:
+            raise ValueError("shard out of range")
+        self.stats.loans += 1
+        self._loans[flow_id] = victim_shard
+
+    def restore(self, flow_id: int) -> None:
+        """Clear the loan: the lease returned and the flow is whole again."""
+        self._loans.pop(flow_id, None)
+
+    def loan_shard(self, flow_id: int) -> Optional[int]:
+        """The victim shard that owns ``flow_id`` while on loan, or ``None``."""
+        return self._loans.get(flow_id)
+
+    def loaned_flows(self) -> Dict[int, int]:
+        """Mapping of every on-loan flow id to its owning (victim) shard."""
+        return dict(self._loans)
 
     # -- load window -------------------------------------------------------
 
@@ -202,8 +232,10 @@ class ShardRebalancer:
     flows onto the coldest shards.  A migration is only worthwhile when it
     actually reduces the maximum: a flow bigger than the gap between the two
     shards would just move the hot spot, so such flows are skipped (an
-    elephant flow that *is* the imbalance cannot be split — that is work
-    stealing, a noted follow-on, not flow migration).
+    elephant flow that *is* the imbalance cannot be split by migration —
+    that is what work stealing (:mod:`repro.runtime.stealing`) is for, and
+    flows whose due window is currently on loan to a thief are likewise
+    left alone so the two mechanisms compose).
 
     The plan only *decides*; applying it is the runtime's job, because only
     the runtime knows when a flow's in-flight packets have drained (migrating
@@ -240,6 +272,12 @@ class ShardRebalancer:
         residency = self.sharder.flow_residency()
         flows_by_shard: Dict[int, List[int]] = {}
         for flow_id in flow_loads:
+            if self.sharder.loan_shard(flow_id) is not None:
+                # The flow's due window is executing on another core under a
+                # steal lease; re-pinning it mid-lease would strand the
+                # pacing state travelling with the lease.  It stays put this
+                # round and is reconsidered once the lease returns.
+                continue
             flows_by_shard.setdefault(residency[flow_id], []).append(flow_id)
         plan: List[Migration] = []
         working = list(loads)

@@ -17,7 +17,19 @@ Each scheduling quantum the owning runtime calls :meth:`ingest` (drain the
 mailbox, stamp, one batched enqueue) and :meth:`drain_due` (one batched
 release of everything whose timestamp passed).  The worker performs no
 global coordination — all cross-shard decisions live in the sharder and the
-runtime driver.
+runtime driver — but it does expose the two *ends* of the work-stealing
+protocol (see :mod:`repro.runtime.stealing`):
+
+* the **donor** side (:meth:`grant_lease` / :meth:`end_lease`): hand an
+  imminent due window to an idle sibling, marking each touched flow *on
+  loan*; while a flow is on loan this worker defers its own drains of that
+  flow (due packets park in a side buffer) and defers stamping of new
+  arrivals (the pacing state travelled with the lease), which is what keeps
+  per-flow FIFO intact across the handoff;
+* the **acceptor** side (:meth:`accept_lease`): splice a stolen window into
+  this worker's own timestamp queue — stamps preserved, so the packets
+  release through the normal paced drain — charging the extraction and
+  re-enqueue work to *this* core's cycle account.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .mailbox import Mailbox
+from .stealing import FlowLease, StealStats
 from ..core.model.packet import Packet
 from ..core.model.transactions import RateLimit, ShapingTransaction
 from ..core.queues import BucketSpec, CircularFFSQueue, IntegerPriorityQueue, QueueStats
@@ -83,9 +96,22 @@ class ShardWorker:
         self.mailbox: Mailbox[Packet] = Mailbox(capacity=mailbox_capacity)
         self.cost = CostModel()
         self.stats = ShardWorkerStats()
+        self.steal = StealStats()
         self._queue_snapshot = QueueStats()
         self._shapers: Dict[int, ShapingTransaction] = {}
         self._backlog = 0
+        # Work-stealing donor state: flows currently on loan to a thief, plus
+        # the side buffers that hold this shard's own work on those flows
+        # back until the lease returns (the per-flow FIFO guard).
+        self._on_loan: Dict[int, int] = {}
+        self._deferred_due: Dict[int, List[Packet]] = {}
+        self._deferred_ingest: Dict[int, List[Packet]] = {}
+        self._deferred_count = 0
+        # Acceptor state: foreign leases spliced into this queue and not yet
+        # fully released.  While nonzero this shard must not donate — its
+        # queue holds another shard's packets, and re-lending them would
+        # chain a flow across three cores and lose the original lease.
+        self._leases_held = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -143,16 +169,10 @@ class ShardWorker:
 
     # -- the per-quantum worker loop ---------------------------------------
 
-    def ingest(self, now_ns: int, limit: Optional[int] = None) -> int:
-        """Drain the mailbox, stamp timestamps, one batched enqueue.
-
-        Returns the number of packets moved into the shard's queue.
-        """
-        batch = self.mailbox.drain(limit)
-        if not batch:
-            return 0
+    def _stamp_and_enqueue(self, packets: List[Packet], now_ns: int) -> int:
+        """Stamp ``packets`` with their flows' pacing state, one batched enqueue."""
         pairs = []
-        for packet in batch:
+        for packet in packets:
             self.cost.charge("flow_lookup")
             shaper = self._shaper_for(packet.flow_id)
             send_at = now_ns if shaper is None else shaper.stamp(packet, now_ns)
@@ -167,11 +187,53 @@ class ShardWorker:
         self._charge_queue_delta()
         return len(pairs)
 
+    def ingest(self, now_ns: int, limit: Optional[int] = None) -> int:
+        """Drain the mailbox, stamp timestamps, one batched enqueue.
+
+        Returns the number of packets moved into the shard's queue.
+        Arrivals for a flow that is on loan are deferred unstamped — the
+        flow's pacing state travelled with the lease, and stamping with a
+        fresh shaper would regrant the burst — and are stamped in arrival
+        order when the lease returns (:meth:`end_lease`).
+        """
+        batch = self.mailbox.drain(limit)
+        if not batch:
+            return 0
+        if self._on_loan:
+            ready = []
+            for packet in batch:
+                if packet.flow_id in self._on_loan:
+                    self._deferred_ingest.setdefault(packet.flow_id, []).append(packet)
+                    self._deferred_count += 1
+                    self.steal.ingests_deferred += 1
+                else:
+                    ready.append(packet)
+            batch = ready
+        if not batch:
+            return 0
+        return self._stamp_and_enqueue(batch, now_ns)
+
     def drain_due(self, now_ns: int, limit: Optional[int] = None) -> List[Packet]:
-        """Release every packet whose timestamp passed (one batched drain)."""
+        """Release every packet whose timestamp passed (one batched drain).
+
+        Due packets of a flow that is on loan are *deferred* instead of
+        released — the thief holds earlier packets of that flow, and
+        releasing these now would overtake them.  They flush, still in
+        per-flow FIFO order, when the lease returns (:meth:`end_lease`).
+        """
         drained = self.queue.extract_due(now_ns, limit=limit)
-        released = [packet for _send_at, packet in drained]
-        self._backlog -= len(released)
+        self._backlog -= len(drained)
+        if self._on_loan:
+            released = []
+            for _send_at, packet in drained:
+                if packet.flow_id in self._on_loan:
+                    self._deferred_due.setdefault(packet.flow_id, []).append(packet)
+                    self._deferred_count += 1
+                    self.steal.drains_deferred += 1
+                else:
+                    released.append(packet)
+        else:
+            released = [packet for _send_at, packet in drained]
         self.stats.transmitted += len(released)
         self._charge_queue_delta()
         return released
@@ -184,11 +246,141 @@ class ShardWorker:
         """
         self.stats.ticks += 1
         self.cost.charge("batch_overhead")
+        mailbox_before = len(self.mailbox)
         ingested = self.ingest(now_ns, ingest_limit)
+        # Deferring on-loan arrivals consumes mailbox items without an
+        # enqueue; that is still work, not an idle tick.
+        consumed = ingested or len(self.mailbox) != mailbox_before
         released = self.drain_due(now_ns, drain_limit)
-        if not ingested and not released:
+        if not consumed and not released:
             self.stats.idle_ticks += 1
         return released
+
+    # -- work stealing: the donor side -------------------------------------
+
+    def grant_lease(
+        self,
+        lease_id: int,
+        thief_shard: int,
+        now_ns: int,
+        max_packets: int,
+        horizon_ns: int,
+    ) -> Optional[FlowLease]:
+        """Atomically hand the window due by ``now + horizon`` to a thief.
+
+        Extracts up to ``max_packets`` packets stamped within the steal
+        horizon (for each flow touched, a stamp-ordered prefix of that
+        flow's queued packets), marks every touched flow on loan, and
+        detaches their pacing state into the lease.  At most one lease is
+        outstanding per donor: a second grant while flows are on loan would
+        let two thieves hold adjacent windows of one flow, whose release
+        times could interleave out of order.  A shard currently *holding* a
+        foreign lease may not donate either — its queue contains stolen
+        packets, and re-lending those would chain one flow across three
+        cores (and detach it from its original lease for good).
+
+        The extraction work is measured but **not** charged here — it rides
+        in ``lease.queue_delta`` to the thief, whose core performs the pops
+        on real hardware.  The donor pays only the cross-core handoff.
+
+        Returns ``None`` when nothing is stealable (no due window, or a
+        lease is already out).
+        """
+        if max_packets <= 0 or self._on_loan or self._leases_held:
+            return None
+        cutoff = now_ns + horizon_ns
+        if not self.has_work_by(cutoff):
+            return None
+        self._charge_queue_delta()  # settle this shard's own work first
+        stolen = self.queue.extract_due(cutoff, limit=max_packets)
+        delta = self.queue.stats.diff(self._queue_snapshot)
+        self._queue_snapshot = self.queue.stats.snapshot()
+        self._backlog -= len(stolen)
+        flows: Dict[int, None] = {}
+        for _send_at, packet in stolen:
+            flows.setdefault(packet.flow_id)
+        shapers: Dict[int, ShapingTransaction] = {}
+        for flow_id in flows:
+            self._on_loan[flow_id] = thief_shard
+            shaper = self._shapers.pop(flow_id, None)
+            if shaper is not None:
+                shapers[flow_id] = shaper
+        self.cost.charge("lock")  # cross-core handoff on the donor side
+        self.steal.leases_granted += 1
+        self.steal.packets_lent += len(stolen)
+        return FlowLease(
+            lease_id=lease_id,
+            victim_shard=self.shard_id,
+            thief_shard=thief_shard,
+            packets=stolen,
+            flow_ids=tuple(flows),
+            shapers=shapers,
+            queue_delta=delta,
+            granted_at_ns=now_ns,
+        )
+
+    def end_lease(self, lease: FlowLease, now_ns: int) -> List[Packet]:
+        """Take a lease back: re-adopt pacing state, flush deferred work.
+
+        Returns the due packets that were deferred while the lease was out
+        (all past due — the thief has released every earlier packet of
+        these flows, so they must transmit immediately to stay FIFO).
+        Deferred arrivals are stamped now, in arrival order, with the
+        returned shapers, and re-enter the queue through the normal path.
+        """
+        for flow_id, shaper in lease.shapers.items():
+            self._shapers[flow_id] = shaper
+        released: List[Packet] = []
+        reingest: List[Packet] = []
+        for flow_id in lease.flow_ids:
+            self._on_loan.pop(flow_id, None)
+            deferred = self._deferred_due.pop(flow_id, None)
+            if deferred:
+                released.extend(deferred)
+            arrivals = self._deferred_ingest.pop(flow_id, None)
+            if arrivals:
+                reingest.extend(arrivals)
+        self._deferred_count -= len(released) + len(reingest)
+        self.stats.transmitted += len(released)
+        if reingest:
+            self._stamp_and_enqueue(reingest, now_ns)
+        self.steal.leases_returned += 1
+        return released
+
+    # -- work stealing: the acceptor side ----------------------------------
+
+    def accept_lease(self, lease: FlowLease, now_ns: int) -> int:
+        """Splice a stolen window into this shard's own timestamp queue.
+
+        Stamps are preserved, so the stolen packets release through this
+        worker's normal paced drain at exactly the times the victim would
+        have released them.  The extraction work measured at the victim
+        (``lease.queue_delta``) plus the re-enqueue and handoff costs are
+        charged to *this* core — the cycles that stealing moves off the
+        bottleneck shard.
+        """
+        before = self.cost.total_cycles
+        self.cost.charge("lock")  # cross-core handoff on the acceptor side
+        self.cost.charge_queue_stats(lease.queue_delta.as_dict())
+        for _send_at, packet in lease.packets:
+            packet.metadata["stolen_from"] = lease.victim_shard
+            packet.metadata["lease_id"] = lease.lease_id
+            packet.metadata["shard"] = self.shard_id
+        self.queue.enqueue_batch(lease.packets)
+        self._backlog += len(lease.packets)
+        if self._backlog > self.stats.backlog_peak:
+            self.stats.backlog_peak = self._backlog
+        self._charge_queue_delta()
+        self._leases_held += 1
+        self.steal.cycles_stolen += self.cost.total_cycles - before
+        self.steal.leases_received += 1
+        self.steal.packets_stolen += len(lease.packets)
+        return len(lease.packets)
+
+    def finish_held_lease(self) -> None:
+        """Record that one held lease fully released (donor eligibility back)."""
+        assert self._leases_held > 0
+        self._leases_held -= 1
 
     # -- introspection -----------------------------------------------------
 
@@ -199,8 +391,29 @@ class ShardWorker:
 
     @property
     def pending(self) -> int:
-        """Packets in flight on this shard (mailbox + queue)."""
-        return self._backlog + len(self.mailbox)
+        """Packets in flight on this shard (mailbox + queue + lease deferrals)."""
+        return self._backlog + len(self.mailbox) + self._deferred_count
+
+    @property
+    def flows_on_loan(self) -> int:
+        """Flows whose due window this shard has lent to a thief."""
+        return len(self._on_loan)
+
+    @property
+    def leases_held(self) -> int:
+        """Foreign leases spliced into this queue and not yet fully released."""
+        return self._leases_held
+
+    def loaned_flows(self) -> Dict[int, int]:
+        """Mapping of on-loan flow id to the thief shard holding its lease."""
+        return dict(self._on_loan)
+
+    def has_work_by(self, deadline_ns: int) -> bool:
+        """True when the queue holds a packet stamped at or before ``deadline_ns``."""
+        if self._backlog == 0:
+            return False
+        send_at, _packet = self.queue.peek_min()
+        return send_at <= deadline_ns
 
     def soonest_deadline_ns(self, now_ns: int) -> Optional[int]:
         """Next time this shard has queue work (``None`` when queue empty)."""

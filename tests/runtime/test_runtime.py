@@ -225,7 +225,10 @@ class TestSingleShardEquivalence:
             now = soonest if soonest > next_ns else next_ns
         return schedule
 
-    def test_one_shard_matches_single_core_reference(self):
+    @pytest.mark.parametrize("steal_enabled", [False, True])
+    def test_one_shard_matches_single_core_reference(self, steal_enabled):
+        # With one shard there is no sibling to steal from, so the steal
+        # machinery must be a perfect no-op: same schedule to the tick.
         flow_ids = [flow % 7 for flow in range(200)]
         runtime = ShardedRuntime(
             1,
@@ -234,6 +237,8 @@ class TestSingleShardEquivalence:
             batch_per_quantum=self.BATCH,
             horizon_ns=self.HORIZON_NS,
             num_buckets=self.NUM_BUCKETS,
+            steal_enabled=steal_enabled,
+            steal_min_backlog=1,
         )
         runtime.submit_batch(_packets(flow_ids))
         runtime.run()

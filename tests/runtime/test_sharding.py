@@ -167,6 +167,54 @@ class TestMailbox:
         with pytest.raises(ValueError):
             Mailbox().drain(limit=-1)
 
+    def test_capacity_one_alternates_push_and_drain(self):
+        # The smallest legal ring: one slot, every second push must drop
+        # until the consumer makes room again.
+        mailbox = Mailbox(capacity=1)
+        assert mailbox.push("a")
+        assert not mailbox.push("b")
+        assert mailbox.stats.dropped == 1
+        assert mailbox.drain() == ["a"]
+        assert mailbox.push("c")
+        assert mailbox.drain(limit=1) == ["c"]
+        assert mailbox.empty
+        assert mailbox.stats.pushed == 2
+        assert mailbox.stats.drained == 2
+        assert mailbox.stats.peak_occupancy == 1
+
+    def test_drop_accounting_across_snapshot_and_diff(self):
+        # Consumers charge deltas phase by phase: drops recorded before a
+        # snapshot must never leak into the next phase's diff.
+        mailbox = Mailbox(capacity=2)
+        mailbox.push_batch(range(5))  # 2 accepted, 3 dropped
+        earlier = mailbox.stats.snapshot()
+        assert earlier.dropped == 3
+        mailbox.drain()
+        mailbox.push_batch(range(3))  # 2 accepted, 1 dropped
+        delta = mailbox.stats.diff(earlier)
+        assert delta.dropped == 1
+        assert delta.pushed == 2
+        assert delta.drained == 2
+        # The snapshot is independent of the live counters.
+        assert earlier.dropped == 3
+        assert mailbox.stats.dropped == 4
+
+    def test_peak_occupancy_tracks_batched_pushes(self):
+        mailbox = Mailbox()
+        mailbox.push_batch(range(4))
+        assert mailbox.stats.peak_occupancy == 4
+        mailbox.drain(limit=3)
+        # A later, smaller high-water mark must not lower the peak...
+        mailbox.push_batch(range(2))
+        assert mailbox.stats.peak_occupancy == 4
+        # ...and a larger one raises it, counted mid-batch, not per call.
+        mailbox.push_batch(range(10))
+        assert mailbox.stats.peak_occupancy == 13
+        bounded = Mailbox(capacity=3)
+        bounded.push_batch(range(100))
+        assert bounded.stats.peak_occupancy == 3
+        assert bounded.stats.dropped == 97
+
 
 class TestRebalancerResidency:
     def test_plans_from_residency_not_placement(self):
