@@ -76,52 +76,78 @@ def _modelled_cycles(stats_before, stats_after) -> float:
     return model.total_cycles
 
 
-def _measure_one(factory, batch_size: int, ranks) -> dict:
-    """Enqueue + drain one workload; returns modelled and wall-clock numbers."""
-    queue = factory()
+#: Wall-clock rounds per sweep cell.  The modelled cycles are deterministic
+#: (identical every round, asserted below); the wall clock is not — shared
+#: CI machines throttle and frequency-ramp, so each cell reports the best of
+#: several rounds, the standard way to estimate the code's actual speed
+#: rather than the scheduler's mood.
+WALL_CLOCK_ROUNDS = 5
+
+
+def _measure_one(factory, batch_size: int, ranks, rounds: int = WALL_CLOCK_ROUNDS) -> dict:
+    """Enqueue + drain one workload; returns modelled and wall-clock numbers.
+
+    Runs ``rounds`` rounds on fresh queues: wall-clock numbers are the best
+    round, modelled cycles are asserted identical across rounds.
+    """
     pairs = [(rank, index) for index, rank in enumerate(ranks)]
     horizon = max(ranks) if ranks else 0
+    best_enqueue = float("inf")
+    best_drain = float("inf")
+    enqueue_cycles = drain_cycles = 0.0
+    for round_index in range(max(1, rounds)):
+        queue = factory()
 
-    # Enqueue phase.
-    enqueue_before = queue.stats.snapshot()
-    start = time.perf_counter()
-    if batch_size == 1:
-        for rank, item in pairs:
-            queue.enqueue(rank, item)
-    else:
-        for offset in range(0, len(pairs), batch_size):
-            queue.enqueue_batch(pairs[offset : offset + batch_size])
-    enqueue_elapsed = time.perf_counter() - start
-    enqueue_cycles = _modelled_cycles(enqueue_before, queue.stats)
+        # Enqueue phase.
+        enqueue_before = queue.stats.snapshot()
+        start = time.perf_counter()
+        if batch_size == 1:
+            for rank, item in pairs:
+                queue.enqueue(rank, item)
+        else:
+            for offset in range(0, len(pairs), batch_size):
+                queue.enqueue_batch(pairs[offset : offset + batch_size])
+        enqueue_elapsed = time.perf_counter() - start
+        round_enqueue_cycles = _modelled_cycles(enqueue_before, queue.stats)
 
-    # Drain phase: batch == 1 is the per-packet consumer path (peek + extract
-    # per packet, as a timer fire does without batching); batch > 1 drains
-    # through the amortised ``extract_due`` path in bounded bursts.
-    drain_before = queue.stats.snapshot()
-    drained = 0
-    start = time.perf_counter()
-    if batch_size == 1:
-        while not queue.empty:
-            rank, _item = queue.peek_min()
-            if rank > horizon:  # pragma: no cover - horizon covers all ranks
-                break
-            queue.extract_min()
-            drained += 1
-    else:
-        while not queue.empty:
-            drained += len(queue.extract_due(horizon, limit=batch_size))
-    drain_elapsed = time.perf_counter() - start
-    drain_cycles = _modelled_cycles(drain_before, queue.stats)
+        # Drain phase: batch == 1 is the per-packet consumer path (peek +
+        # extract per packet, as a timer fire does without batching);
+        # batch > 1 drains through the amortised ``extract_due`` path in
+        # bounded bursts.
+        drain_before = queue.stats.snapshot()
+        drained = 0
+        start = time.perf_counter()
+        if batch_size == 1:
+            while not queue.empty:
+                rank, _item = queue.peek_min()
+                if rank > horizon:  # pragma: no cover - horizon covers all ranks
+                    break
+                queue.extract_min()
+                drained += 1
+        else:
+            while not queue.empty:
+                drained += len(queue.extract_due(horizon, limit=batch_size))
+        drain_elapsed = time.perf_counter() - start
+        round_drain_cycles = _modelled_cycles(drain_before, queue.stats)
 
-    assert drained == len(ranks)
+        assert drained == len(ranks)
+        if round_index == 0:
+            enqueue_cycles, drain_cycles = round_enqueue_cycles, round_drain_cycles
+        else:
+            # The cost model's answer must not depend on the round.
+            assert round_enqueue_cycles == enqueue_cycles
+            assert round_drain_cycles == drain_cycles
+        best_enqueue = min(best_enqueue, enqueue_elapsed)
+        best_drain = min(best_drain, drain_elapsed)
+
     packets = max(1, len(ranks))
     return {
         "batch_size": batch_size,
         "enqueue_cycles_per_packet": enqueue_cycles / packets,
         "drain_cycles_per_packet": drain_cycles / packets,
         "cycles_per_packet": (enqueue_cycles + drain_cycles) / packets,
-        "enqueue_ops_per_sec": packets / max(enqueue_elapsed, 1e-9),
-        "drain_ops_per_sec": packets / max(drain_elapsed, 1e-9),
+        "enqueue_ops_per_sec": packets / max(best_enqueue, 1e-9),
+        "drain_ops_per_sec": packets / max(best_drain, 1e-9),
     }
 
 

@@ -201,15 +201,16 @@ def write_artifact(results: dict, path: Path = ARTIFACT_PATH) -> Path:
 
 def _format_sweep(results: dict) -> str:
     lines = []
-    header = f"{'scenario':<24}" + "".join(f"s={shards:<11}" for shards in results["shard_counts"])
-    lines.append(header + " (aggregate Mops/sec | imbalance)")
+    header = f"{'scenario':<24}" + "".join(f"s={shards:<16}" for shards in results["shard_counts"])
+    lines.append(header + " (modelled Mops/s | imbalance | wall Mops/s)")
     for distribution, by_rebalance in results["scenarios"].items():
         for key, by_shards in by_rebalance.items():
             row = f"{distribution + '/' + key:<24}"
             for shards in results["shard_counts"]:
                 run = by_shards[str(shards)]
                 row += (
-                    f"{run['aggregate_ops_per_sec'] / 1e6:5.2f}|{run['imbalance']:4.2f}  "
+                    f"{run['aggregate_ops_per_sec'] / 1e6:5.2f}|{run['imbalance']:4.2f}"
+                    f"|{run['harness_ops_per_sec'] / 1e6:4.2f}w  "
                 )
             lines.append(row)
     return "\n".join(lines)

@@ -20,8 +20,10 @@ Run:  python examples/sharded_runtime.py
 """
 
 import random
+import time
 
 from repro.core.model import Packet
+from repro.cpu import CpuMeter
 from repro.runtime import ShardedRuntime
 from repro.traffic import ZipfFlowSampler
 
@@ -54,11 +56,13 @@ def drive(rebalance: bool, steal: bool = False):
             runtime.submit_batch([Packet(flow_id=f, size_bytes=1500) for f in chunk])
 
         runtime.simulator.schedule_at(when_ns, offer)
+    start = time.perf_counter()
     runtime.run()
-    return runtime.telemetry()
+    elapsed = time.perf_counter() - start
+    return runtime.telemetry(), elapsed
 
 
-def describe(title: str, telemetry) -> None:
+def describe(title: str, telemetry, elapsed: float) -> None:
     print(f"{title}:")
     for shard in telemetry.shards:
         bar = "#" * (shard.transmitted // 60)
@@ -77,6 +81,14 @@ def describe(title: str, telemetry) -> None:
             f"{telemetry.packets_stolen} packets"
         )
     print(line)
+    meter_hz = CpuMeter().cycles_per_second  # the clock the benchmarks model
+    modelled = telemetry.transmitted * meter_hz / telemetry.max_shard_cycles
+    wall = telemetry.transmitted / max(elapsed, 1e-9)
+    print(
+        f"  throughput: modelled {modelled / 1e6:.1f} Mops/s "
+        f"(bottleneck core) | wall-clock {wall / 1e6:.3f} Mops/s "
+        f"(single-threaded harness)"
+    )
     print()
 
 
@@ -85,12 +97,12 @@ def main() -> None:
         f"{NUM_PACKETS} packets, {NUM_FLOWS} Zipf-skewed flows, "
         f"{NUM_SHARDS} shards (one cFFS queue + shaper per shard)\n"
     )
-    static = drive(rebalance=False)
-    describe("static RSS hashing", static)
-    rebalanced = drive(rebalance=True)
-    describe("with skew-aware rebalancing", rebalanced)
-    stolen = drive(rebalance=True, steal=True)
-    describe("with rebalancing + work stealing", stolen)
+    static, static_sec = drive(rebalance=False)
+    describe("static RSS hashing", static, static_sec)
+    rebalanced, rebalanced_sec = drive(rebalance=True)
+    describe("with skew-aware rebalancing", rebalanced, rebalanced_sec)
+    stolen, stolen_sec = drive(rebalance=True, steal=True)
+    describe("with rebalancing + work stealing", stolen, stolen_sec)
     gain = static.max_shard_cycles / stolen.max_shard_cycles
     print(
         "The rebalancer pins hot flows away from the bottleneck shard once\n"

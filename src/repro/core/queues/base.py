@@ -46,6 +46,10 @@ class CounterStatsMixin:
     arithmetic.
     """
 
+    # Counter dataclasses opt into ``slots=True``; an empty-slots mixin keeps
+    # their instances __dict__-free (one per queue/shard on the hot path).
+    __slots__ = ()
+
     def as_dict(self) -> dict[str, Any]:
         """Return a plain-dict snapshot of the counters."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}  # type: ignore[attr-defined]
@@ -82,7 +86,7 @@ class CounterStatsMixin:
         return total
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats(CounterStatsMixin):
     """Operation counters shared by all queue implementations.
 
@@ -110,7 +114,7 @@ class QueueStats(CounterStatsMixin):
     selection_errors: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BucketSpec:
     """Describes the bucket layout of an integer priority queue.
 
@@ -155,7 +159,13 @@ class IntegerPriorityQueue(abc.ABC):
     Concrete implementations differ only in how they locate the minimum
     non-empty bucket; bucket storage (FIFO lists) and range checking are
     shared here.
+
+    Every class in the hierarchy declares ``__slots__``: queue objects are
+    touched per packet, and slot access skips the per-instance ``__dict__``
+    lookup that otherwise dominates the interpreter's hot path.
     """
+
+    __slots__ = ("spec", "stats", "_size")
 
     def __init__(self, spec: BucketSpec) -> None:
         self.spec = spec

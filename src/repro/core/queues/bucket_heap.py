@@ -29,6 +29,8 @@ from .base import (
 class BucketedHeapQueue(IntegerPriorityQueue):
     """Bucketed integer priority queue whose occupancy index is a binary heap."""
 
+    __slots__ = ("_buckets", "_heap", "_in_heap")
+
     def __init__(self, spec: BucketSpec) -> None:
         super().__init__(spec)
         self._buckets: list[Deque[tuple[int, Any]]] = [
@@ -92,28 +94,49 @@ class BucketedHeapQueue(IntegerPriorityQueue):
         self.stats.heap_operations += max(1, len(self._heap).bit_length())
 
     def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
-        """Batched insert: at most one heap push per distinct bucket."""
-        grouped: dict[int, list[tuple[int, Any]]] = {}
+        """Batched insert: at most one heap push per distinct bucket.
+
+        Direct-append shape: a key set tracks distinct buckets for the
+        amortised ``bucket_lookups`` charge, counters settle once, and a
+        mid-batch validation error leaves the inserted prefix enqueued and
+        counted (the base class's per-element behaviour).
+        """
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        hi = base + spec.horizon
+        stats = self.stats
+        buckets = self._buckets
+        in_heap = self._in_heap
+        heap = self._heap
+        heappush = heapq.heappush
+        seen: set[int] = set()
+        seen_add = seen.add
         count = 0
-        for priority, item in pairs:
-            priority = validate_priority(priority)
-            if not self.spec.contains(priority):
-                raise PriorityOutOfRangeError(
-                    f"priority {priority} outside fixed range of BucketedHeapQueue"
-                )
-            grouped.setdefault(self.spec.bucket_for(priority), []).append(
-                (priority, item)
-            )
-            count += 1
-        self.stats.enqueues += count
-        self.stats.bucket_lookups += len(grouped)
-        for bucket, entries in grouped.items():
-            self._buckets[bucket].extend(entries)
-            if not self._in_heap[bucket]:
-                heapq.heappush(self._heap, bucket)
-                self._in_heap[bucket] = True
-                self.stats.heap_operations += max(1, len(self._heap).bit_length())
-        self._size += count
+        heap_ops = 0
+        try:
+            for pair in pairs:
+                priority = pair[0]
+                if type(priority) is not int:
+                    priority = validate_priority(priority)
+                    pair = (priority, pair[1])
+                if priority < base or priority >= hi:
+                    raise PriorityOutOfRangeError(
+                        f"priority {priority} outside fixed range of BucketedHeapQueue"
+                    )
+                bucket = (priority - base) // granularity
+                seen_add(bucket)
+                if not in_heap[bucket]:
+                    heappush(heap, bucket)
+                    in_heap[bucket] = True
+                    heap_ops += max(1, len(heap).bit_length())
+                buckets[bucket].append(pair)
+                count += 1
+        finally:
+            stats.enqueues += count
+            stats.bucket_lookups += len(seen)
+            stats.heap_operations += heap_ops
+            self._size += count
         return count
 
     def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
@@ -121,35 +144,65 @@ class BucketedHeapQueue(IntegerPriorityQueue):
         if n < 0:
             raise ValueError("batch size must be non-negative")
         batch: list[tuple[int, Any]] = []
-        while len(batch) < n and self._size:
+        buckets = self._buckets
+        taken = 0
+        while taken < n and self._size:
             bucket = self._min_bucket()
-            entries = self._buckets[bucket]
-            take = min(n - len(batch), len(entries))
-            for _ in range(take):
-                batch.append(entries.popleft())
-            if not entries:
+            entries = buckets[bucket]
+            space = n - taken
+            if space >= len(entries):
+                take = len(entries)
+                batch.extend(entries)
+                entries.clear()
                 self._drop_min_bucket(bucket)
-            self.stats.dequeues += take
+            else:
+                take = space
+                popleft = entries.popleft
+                for _ in range(take):
+                    batch.append(popleft())
+            taken += take
             self._size -= take
+        self.stats.dequeues += taken
         return batch
 
     def extract_due(
         self, now: int, limit: Optional[int] = None
     ) -> list[tuple[int, Any]]:
         released: list[tuple[int, Any]] = []
-        while self._size and (limit is None or len(released) < limit):
+        buckets = self._buckets
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        size = self._size
+        taken = 0
+        while size and (limit is None or taken < limit):
             bucket = self._min_bucket()
-            entries = self._buckets[bucket]
+            entries = buckets[bucket]
+            # Whole-bucket fast path: bucket ceiling passed means every entry
+            # is due, so one extend replaces the per-element head checks.
+            if (
+                base + (bucket + 1) * granularity - 1 <= now
+                and (limit is None or limit - taken >= len(entries))
+            ):
+                count = len(entries)
+                taken += count
+                size -= count
+                released.extend(entries)
+                entries.clear()
+                self._drop_min_bucket(bucket)
+                continue
             while entries and entries[0][0] <= now:
-                if limit is not None and len(released) >= limit:
+                if limit is not None and taken >= limit:
                     break
                 released.append(entries.popleft())
-                self.stats.dequeues += 1
-                self._size -= 1
+                taken += 1
+                size -= 1
             if not entries:
                 self._drop_min_bucket(bucket)
                 continue
             break
+        self.stats.dequeues += taken
+        self._size = size
         return released
 
 

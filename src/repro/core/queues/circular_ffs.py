@@ -17,12 +17,21 @@ one window.  On rotation the incoming primary's unsorted overflow bucket is
 re-dispatched into the new secondary range, so the ordering approximation
 stays bounded to one window as the paper intends — far-future ranks are
 never dequeued as if they were due.
+
+This is the shard workers' hot queue (20k buckets per shard), so the
+interpreter-level layout matters: both windows draw their bucket FIFOs from
+one shared free list (``_buckets[i] is None`` while bucket ``i`` is empty,
+drained deques are recycled, nothing is preallocated), the bitmap trees
+memoise their minimum (see :class:`~repro.core.queues.hierarchical_ffs.FFSBitmapTree`),
+and the batch paths run on hoisted locals with per-batch stats settlement.
+The modelled operation counts are identical to the straightforward
+implementation — only the interpreter work changed.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterable, Iterator, Optional
+from typing import Any, Deque, Iterable, Iterator, List, Optional
 
 from .base import (
     BucketSpec,
@@ -35,20 +44,34 @@ from .hierarchical_ffs import FFSBitmapTree
 
 
 class _Window:
-    """One of the two rotating halves of a cFFS: buckets + bitmap tree."""
+    """One of the two rotating halves of a cFFS: buckets + bitmap tree.
 
-    __slots__ = ("buckets", "tree", "size")
+    ``buckets[i]`` is ``None`` while bucket ``i`` is empty; deques are
+    acquired from the queue-wide free list on first append and recycled when
+    a bucket drains.
+    """
 
-    def __init__(self, num_buckets: int, word_width: int) -> None:
-        self.buckets: list[Deque[tuple[int, Any]]] = [
-            deque() for _ in range(num_buckets)
-        ]
+    __slots__ = ("buckets", "tree", "size", "free")
+
+    def __init__(
+        self,
+        num_buckets: int,
+        word_width: int,
+        free: List[Deque[tuple[int, Any]]],
+    ) -> None:
+        self.buckets: list[Optional[Deque[tuple[int, Any]]]] = [None] * num_buckets
         self.tree = FFSBitmapTree(num_buckets, word_width)
         self.size = 0
+        self.free = free
 
     @property
     def empty(self) -> bool:
         return self.size == 0
+
+    def recycle(self, bucket: int, entries: Deque[tuple[int, Any]]) -> None:
+        """Return a drained bucket deque to the shared free list."""
+        self.buckets[bucket] = None
+        self.free.append(entries)
 
 
 class CircularFFSQueue(IntegerPriorityQueue):
@@ -65,6 +88,8 @@ class CircularFFSQueue(IntegerPriorityQueue):
             possible.
     """
 
+    __slots__ = ("word_width", "allow_stale", "h_index", "_primary", "_secondary", "_free")
+
     def __init__(
         self,
         spec: BucketSpec,
@@ -75,8 +100,9 @@ class CircularFFSQueue(IntegerPriorityQueue):
         self.word_width = word_width
         self.allow_stale = allow_stale
         self.h_index = spec.base_priority
-        self._primary = _Window(spec.num_buckets, word_width)
-        self._secondary = _Window(spec.num_buckets, word_width)
+        self._free: List[Deque[tuple[int, Any]]] = []
+        self._primary = _Window(spec.num_buckets, word_width, self._free)
+        self._secondary = _Window(spec.num_buckets, word_width, self._free)
 
     # -- range bookkeeping -------------------------------------------------
 
@@ -107,8 +133,9 @@ class CircularFFSQueue(IntegerPriorityQueue):
 
     def enqueue(self, priority: int, item: Any) -> None:
         priority = validate_priority(priority)
-        self.stats.enqueues += 1
-        self.stats.bucket_lookups += 1
+        stats = self.stats
+        stats.enqueues += 1
+        stats.bucket_lookups += 1
         lo, hi = self.primary_range
         if priority < lo:
             if not self.allow_stale:
@@ -130,7 +157,7 @@ class CircularFFSQueue(IntegerPriorityQueue):
             )
             return
         # Beyond both windows: last bucket of the secondary queue, unsorted.
-        self.stats.overflow_enqueues += 1
+        stats.overflow_enqueues += 1
         self._enqueue_window(
             self._secondary, self.spec.num_buckets - 1, priority, item
         )
@@ -138,10 +165,13 @@ class CircularFFSQueue(IntegerPriorityQueue):
     def _enqueue_window(
         self, window: _Window, bucket: int, priority: int, item: Any
     ) -> None:
-        was_empty = not window.buckets[bucket]
-        window.buckets[bucket].append((priority, item))
-        if was_empty:
+        entries = window.buckets[bucket]
+        if entries is None:
+            free = window.free
+            entries = free.pop() if free else deque()
+            window.buckets[bucket] = entries
             self.stats.word_scans += window.tree.set(bucket)
+        entries.append((priority, item))
         window.size += 1
         self._size += 1
 
@@ -165,44 +195,56 @@ class CircularFFSQueue(IntegerPriorityQueue):
         bucket) now that ``h_index`` has advanced.
         """
         last = self.spec.num_buckets - 1
-        entries = self._primary.buckets[last]
-        if not entries:
+        primary = self._primary
+        entries = primary.buckets[last]
+        if entries is None:
             return
         last_floor = self.h_index + last * self.spec.granularity
         _lo, hi = self.primary_range
         if all(last_floor <= priority < hi for priority, _item in entries):
             return  # everything legitimately belongs to the last bucket
-        keep: Deque[tuple[int, Any]] = deque()
+        free = self._free
+        keep: Deque[tuple[int, Any]] = free.pop() if free else deque()
         moved = 0
+        scanned = 0
+        stats = self.stats
         _slo, shi = self.secondary_range
+        secondary = self._secondary
         while entries:
             entry = entries.popleft()
             priority = entry[0]
-            self.stats.linear_scans += 1
+            stats.linear_scans += 1
             if priority < hi:
-                window = self._primary
+                window = primary
                 bucket = self._bucket_in_primary(priority)
+                if bucket == last:
+                    keep.append(entry)
+                    continue
             elif priority < shi:
-                window = self._secondary
+                window = secondary
                 bucket = self._bucket_in_secondary(priority)
             else:
-                window = self._secondary
+                window = secondary
                 bucket = last
-            if window is self._primary and bucket == last:
-                keep.append(entry)
-                continue
-            was_empty = not window.buckets[bucket]
-            window.buckets[bucket].append(entry)
-            if was_empty:
-                self.stats.word_scans += window.tree.set(bucket)
-            if window is self._secondary:
+            target = window.buckets[bucket]
+            if target is None:
+                target = free.pop() if free else deque()
+                window.buckets[bucket] = target
+                scanned += window.tree.set(bucket)
+            target.append(entry)
+            if window is secondary:
                 moved += 1
         if keep:
             entries.extend(keep)
+            keep.clear()
+            free.append(keep)
         else:
-            self.stats.word_scans += self._primary.tree.clear(last)
-        self._primary.size -= moved
-        self._secondary.size += moved
+            free.append(keep)
+            scanned += primary.tree.clear(last)
+            primary.recycle(last, entries)
+        stats.word_scans += scanned
+        primary.size -= moved
+        secondary.size += moved
 
     def _fast_forward_if_overflow_only(self) -> None:
         """Jump ``h_index`` ahead when only far-future overflow ranks remain.
@@ -229,10 +271,10 @@ class CircularFFSQueue(IntegerPriorityQueue):
 
     def _advance_to_nonempty(self) -> _Window:
         """Rotate until the primary window holds the minimum element."""
-        while self._primary.empty and not self._secondary.empty:
+        while self._primary.size == 0 and self._secondary.size != 0:
             self._fast_forward_if_overflow_only()
             self._rotate()
-        if self._primary.empty:
+        if self._primary.size == 0:
             raise EmptyQueueError("circular FFS queue is empty")
         return self._primary
 
@@ -241,12 +283,15 @@ class CircularFFSQueue(IntegerPriorityQueue):
             raise EmptyQueueError("extract_min from empty CircularFFSQueue")
         window = self._advance_to_nonempty()
         bucket, scanned = window.tree.first_set()
-        self.stats.word_scans += scanned
-        entry = window.buckets[bucket].popleft()
+        stats = self.stats
+        stats.word_scans += scanned
+        entries = window.buckets[bucket]
+        entry = entries.popleft()
         window.size -= 1
-        if not window.buckets[bucket]:
-            self.stats.word_scans += window.tree.clear(bucket)
-        self.stats.dequeues += 1
+        if not entries:
+            stats.word_scans += window.tree.clear(bucket)
+            window.recycle(bucket, entries)
+        stats.dequeues += 1
         self._size -= 1
         return entry
 
@@ -261,40 +306,76 @@ class CircularFFSQueue(IntegerPriorityQueue):
     # -- batch operations --------------------------------------------------
 
     def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
-        """Batched insert: one bucket lookup and tree update per bucket."""
-        grouped: dict[tuple[int, int], list[tuple[int, Any]]] = {}
-        count = 0
+        """Batched insert: one bucket lookup and tree update per bucket.
+
+        Packets append straight into their bucket FIFOs (no intermediate
+        grouping lists); the distinct-bucket count that the amortised
+        ``bucket_lookups`` charge needs is tracked with a key set.  Counters
+        settle in one place even if validation rejects a pair mid-batch — in
+        which case the already-inserted prefix stays enqueued and counted,
+        exactly like the base class's per-element default.
+        """
+        stats = self.stats
         lo, hi = self.primary_range
         _slo, shi = self.secondary_range
-        last = self.spec.num_buckets - 1
-        for priority, item in pairs:
-            priority = validate_priority(priority)
-            if priority < lo:
-                if not self.allow_stale:
-                    raise ValueError(
-                        f"priority {priority} precedes queue head index {lo}"
-                    )
-                key = (0, 0)
-            elif priority < hi:
-                key = (0, self._bucket_in_primary(priority))
-            elif priority < shi:
-                key = (1, self._bucket_in_secondary(priority))
-            else:
-                self.stats.overflow_enqueues += 1
-                key = (1, last)
-            grouped.setdefault(key, []).append((priority, item))
-            count += 1
-        self.stats.enqueues += count
-        self.stats.bucket_lookups += len(grouped)
-        windows = (self._primary, self._secondary)
-        for (window_index, bucket), entries in grouped.items():
-            window = windows[window_index]
-            was_empty = not window.buckets[bucket]
-            window.buckets[bucket].extend(entries)
-            if was_empty:
-                self.stats.word_scans += window.tree.set(bucket)
-            window.size += len(entries)
-        self._size += count
+        granularity = self.spec.granularity
+        num_buckets = self.spec.num_buckets
+        last = num_buckets - 1
+        allow_stale = self.allow_stale
+        primary = self._primary
+        secondary = self._secondary
+        primary_buckets = primary.buckets
+        secondary_buckets = secondary.buckets
+        free = self._free
+        seen: set[int] = set()
+        seen_add = seen.add
+        count = 0
+        primary_count = 0
+        overflowed = 0
+        scans = 0
+        try:
+            for pair in pairs:
+                priority = pair[0]
+                if type(priority) is not int:
+                    priority = validate_priority(priority)
+                    pair = (priority, pair[1])
+                if priority < hi:
+                    if priority >= lo:
+                        bucket = (priority - lo) // granularity
+                    elif allow_stale:
+                        bucket = 0  # stale rank: due immediately
+                    else:
+                        raise ValueError(
+                            f"priority {priority} precedes queue head index {lo}"
+                        )
+                    window = primary
+                    buckets = primary_buckets
+                    seen_add(bucket)
+                    primary_count += 1
+                else:
+                    if priority < shi:
+                        bucket = (priority - hi) // granularity
+                    else:
+                        overflowed += 1
+                        bucket = last
+                    window = secondary
+                    buckets = secondary_buckets
+                    seen_add(num_buckets + bucket)
+                entries = buckets[bucket]
+                if entries is None:
+                    entries = free.pop() if free else deque()
+                    buckets[bucket] = entries
+                    scans += window.tree.set(bucket)
+                entries.append(pair)
+                count += 1
+        finally:
+            stats.enqueues += count
+            stats.overflow_enqueues += overflowed
+            stats.bucket_lookups += len(seen)
+            stats.word_scans += scans
+            primary.size += primary_count
+            secondary.size += count - primary_count
+            self._size += count
         return count
 
     def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
@@ -302,19 +383,30 @@ class CircularFFSQueue(IntegerPriorityQueue):
         if n < 0:
             raise ValueError("batch size must be non-negative")
         batch: list[tuple[int, Any]] = []
-        while len(batch) < n and self._size:
+        taken = 0
+        while taken < n and self._size:
             window = self._advance_to_nonempty()
             bucket, scanned = window.tree.first_set()
-            self.stats.word_scans += scanned
+            scans = scanned
             entries = window.buckets[bucket]
-            take = min(n - len(batch), len(entries))
-            for _ in range(take):
-                batch.append(entries.popleft())
-            if not entries:
-                self.stats.word_scans += window.tree.clear(bucket)
+            space = n - taken
+            if space >= len(entries):
+                take = len(entries)
+                batch.extend(entries)
+                entries.clear()
+                scans += window.tree.clear(bucket)
+                window.recycle(bucket, entries)
+            else:
+                take = space
+                popleft = entries.popleft
+                for _ in range(take):
+                    batch.append(popleft())
             window.size -= take
-            self.stats.dequeues += take
+            taken += take
             self._size -= take
+            stats = self.stats
+            stats.word_scans += scans
+            stats.dequeues += take
         return batch
 
     def extract_due(
@@ -325,32 +417,69 @@ class CircularFFSQueue(IntegerPriorityQueue):
         This is the operation a shaping qdisc performs when its timer fires:
         release every packet whose transmission timestamp has passed.  The
         batch implementation walks the bitmap tree once per bucket drained
-        instead of twice per element (peek + extract).
+        instead of twice per element (peek + extract), and a bucket whose
+        whole priority range has passed is released with one extend instead
+        of per-element head checks (the re-bucketing invariant guarantees the
+        primary window holds no beyond-range rank outside bucket 0's stale
+        clamps, which are always due).
         """
         released: list[tuple[int, Any]] = []
-        while self._size and (limit is None or len(released) < limit):
+        granularity = self.spec.granularity
+        stats = self.stats
+        taken = 0
+        while self._size and (limit is None or taken < limit):
             window = self._advance_to_nonempty()
             bucket, scanned = window.tree.first_set()
-            self.stats.word_scans += scanned
+            scans = scanned
             entries = window.buckets[bucket]
+            # Whole-bucket fast path.  Every entry of a primary bucket has a
+            # rank below the bucket ceiling (stale ranks are clamped into
+            # bucket 0 and are older still), so a passed ceiling means the
+            # whole FIFO is due.
+            if (
+                self.h_index + (bucket + 1) * granularity - 1 <= now
+                and (limit is None or limit - taken >= len(entries))
+            ):
+                take = len(entries)
+                released.extend(entries)
+                entries.clear()
+                scans += window.tree.clear(bucket)
+                window.recycle(bucket, entries)
+                window.size -= take
+                taken += take
+                self._size -= take
+                stats.word_scans += scans
+                stats.dequeues += take
+                continue
+            take = 0
             while entries and entries[0][0] <= now:
-                if limit is not None and len(released) >= limit:
+                if limit is not None and taken + take >= limit:
                     break
                 released.append(entries.popleft())
-                window.size -= 1
-                self.stats.dequeues += 1
-                self._size -= 1
+                take += 1
+            window.size -= take
+            taken += take
+            self._size -= take
+            stats.word_scans += scans
+            stats.dequeues += take
             if not entries:
-                self.stats.word_scans += window.tree.clear(bucket)
+                stats.word_scans += window.tree.clear(bucket)
+                window.recycle(bucket, entries)
                 continue
             break  # head not yet due, or the limit was reached
         return released
 
     def remove(self, priority: int, item: Any) -> bool:
-        """Remove a specific ``(priority, item)`` pair; True when found."""
+        """Remove a specific ``(priority, item)`` pair; True when found.
+
+        Candidate buckets that are empty sit behind the free list as ``None``
+        entries, so a miss costs one load per candidate — no deque scan.
+        """
         priority = validate_priority(priority)
         for window, bucket in self._candidate_buckets(priority):
             queue = window.buckets[bucket]
+            if queue is None:
+                continue
             for index, entry in enumerate(queue):
                 if entry[0] == priority and entry[1] is item:
                     del queue[index]
@@ -358,6 +487,7 @@ class CircularFFSQueue(IntegerPriorityQueue):
                     self._size -= 1
                     if not queue:
                         self.stats.word_scans += window.tree.clear(bucket)
+                        window.recycle(bucket, queue)
                     return True
         return False
 

@@ -46,6 +46,8 @@ class CircularQueueAdapter(IntegerPriorityQueue):
             the head of the primary window instead of raising.
     """
 
+    __slots__ = ("allow_stale", "h_index", "_window_spec", "_primary", "_secondary", "_factory")
+
     def __init__(
         self,
         spec: BucketSpec,
@@ -255,6 +257,8 @@ class CircularQueueAdapter(IntegerPriorityQueue):
 class CircularGradientQueue(CircularQueueAdapter):
     """Exact gradient queue over a moving priority range."""
 
+    __slots__ = ()
+
     def __init__(self, spec: BucketSpec, allow_stale: bool = True) -> None:
         super().__init__(spec, GradientQueue, allow_stale=allow_stale)
 
@@ -265,6 +269,8 @@ class CircularApproximateGradientQueue(CircularQueueAdapter):
     The per-window approximate queues share the same ``alpha`` and word
     configuration; see :class:`~repro.core.queues.gradient.ApproximateGradientQueue`.
     """
+
+    __slots__ = ("alpha", "word_bits")
 
     def __init__(
         self,

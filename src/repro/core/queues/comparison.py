@@ -23,6 +23,8 @@ from .base import BucketSpec, EmptyQueueError, IntegerPriorityQueue, validate_pr
 class BinaryHeapQueue(IntegerPriorityQueue):
     """Classic binary min-heap (the C++ ``std::priority_queue`` stand-in)."""
 
+    __slots__ = ("_heap", "_counter")
+
     def __init__(self, spec: Optional[BucketSpec] = None) -> None:
         super().__init__(spec or BucketSpec(num_buckets=1))
         self._heap: list[tuple[int, int, Any]] = []
@@ -136,6 +138,8 @@ class RBTreeQueue(IntegerPriorityQueue):
     with the usual rebalancing; the number of rotations and node visits is
     tracked so the CPU cost model can charge them.
     """
+
+    __slots__ = ("_root", "_node_count")
 
     def __init__(self, spec: Optional[BucketSpec] = None) -> None:
         super().__init__(spec or BucketSpec(num_buckets=1))
@@ -477,6 +481,8 @@ class RBTreeQueue(IntegerPriorityQueue):
 
 class SortedListQueue(IntegerPriorityQueue):
     """Insertion-sorted list baseline (the "linear search" queue in ns-2 pFabric)."""
+
+    __slots__ = ("_entries", "_counter")
 
     def __init__(self, spec: Optional[BucketSpec] = None) -> None:
         super().__init__(spec or BucketSpec(num_buckets=1))

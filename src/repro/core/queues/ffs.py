@@ -36,19 +36,27 @@ def find_first_set(word: int) -> int:
     """Index of the least-significant set bit of ``word``.
 
     Equivalent to the x86 ``BSF`` instruction (and to ``__builtin_ffs() - 1``).
+    The fast path is the two's-complement isolate ``word & -word``; a Python
+    negative int has conceptually infinite sign bits, so negative words are
+    rejected rather than silently returning the isolate of their magnitude.
 
     Raises:
-        ValueError: if ``word`` is zero (no bit set).
+        ValueError: if ``word`` is zero (no bit set) or negative (not a
+            machine word).
     """
-    if word == 0:
-        raise ValueError("find_first_set of zero word")
+    if word <= 0:
+        if word == 0:
+            raise ValueError("find_first_set of zero word")
+        raise ValueError(f"find_first_set of negative word {word}")
     return (word & -word).bit_length() - 1
 
 
 def find_last_set(word: int) -> int:
     """Index of the most-significant set bit of ``word`` (x86 ``BSR``)."""
-    if word == 0:
-        raise ValueError("find_last_set of zero word")
+    if word <= 0:
+        if word == 0:
+            raise ValueError("find_last_set of zero word")
+        raise ValueError(f"find_last_set of negative word {word}")
     return word.bit_length() - 1
 
 
@@ -67,9 +75,21 @@ def test_bit(word: int, index: int) -> bool:
     return bool((word >> index) & 1)
 
 
-def popcount(word: int) -> int:
-    """Number of set bits in ``word`` (x86 ``POPCNT``)."""
+def count_set_bits(word: int) -> int:
+    """Number of set bits in ``word`` (x86 ``POPCNT``).
+
+    Zero is a valid operand (POPCNT of zero is zero); negative words are
+    rejected for the same reason as :func:`find_first_set` — a Python
+    negative int is not a finite machine word.
+    """
+    if word < 0:
+        raise ValueError(f"count_set_bits of negative word {word}")
     return int(word).bit_count()
+
+
+def popcount(word: int) -> int:
+    """Alias of :func:`count_set_bits`, kept for the x86 mnemonic."""
+    return count_set_bits(word)
 
 
 class Bitmap:
@@ -149,6 +169,8 @@ class FFSQueue(IntegerPriorityQueue):
     kernel realtime scheduler class the paper mentions).
     """
 
+    __slots__ = ("word_width", "_bitmap", "_buckets")
+
     def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
         super().__init__(spec)
         if spec.num_buckets > word_width:
@@ -202,27 +224,45 @@ class FFSQueue(IntegerPriorityQueue):
     # -- batch operations -------------------------------------------------
 
     def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
-        """Batched insert: one bucket lookup and bitmap update per bucket."""
-        grouped: dict[int, list[tuple[int, Any]]] = {}
+        """Batched insert: one bucket lookup and bitmap update per bucket.
+
+        Pairs append straight into their bucket FIFOs on hoisted locals; a
+        key set tracks the distinct buckets for the amortised
+        ``bucket_lookups`` charge, and counters settle once per batch.  On a
+        mid-batch validation error the inserted prefix stays enqueued and
+        counted, matching the base class's per-element default.
+        """
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        hi = base + spec.horizon
+        stats = self.stats
+        buckets = self._buckets
+        bitmap_set = self._bitmap.set
+        seen: set[int] = set()
+        seen_add = seen.add
         count = 0
-        for priority, item in pairs:
-            priority = validate_priority(priority)
-            if not self.spec.contains(priority):
-                raise PriorityOutOfRangeError(
-                    f"priority {priority} outside fixed range "
-                    f"[{self.spec.base_priority}, "
-                    f"{self.spec.base_priority + self.spec.horizon})"
-                )
-            grouped.setdefault(self.spec.bucket_for(priority), []).append(
-                (priority, item)
-            )
-            count += 1
-        self.stats.enqueues += count
-        self.stats.bucket_lookups += len(grouped)
-        for bucket, entries in grouped.items():
-            self._buckets[bucket].extend(entries)
-            self._bitmap.set(bucket)
-        self._size += count
+        try:
+            for pair in pairs:
+                priority = pair[0]
+                if type(priority) is not int:
+                    priority = validate_priority(priority)
+                    pair = (priority, pair[1])
+                if priority < base or priority >= hi:
+                    raise PriorityOutOfRangeError(
+                        f"priority {priority} outside fixed range [{base}, {hi})"
+                    )
+                bucket = (priority - base) // granularity
+                seen_add(bucket)
+                entries = buckets[bucket]
+                if not entries:
+                    bitmap_set(bucket)
+                entries.append(pair)
+                count += 1
+        finally:
+            stats.enqueues += count
+            stats.bucket_lookups += len(seen)
+            self._size += count
         return count
 
     def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
@@ -230,37 +270,76 @@ class FFSQueue(IntegerPriorityQueue):
         if n < 0:
             raise ValueError("batch size must be non-negative")
         batch: list[tuple[int, Any]] = []
-        while len(batch) < n and self._size:
-            self.stats.word_scans += 1
-            bucket = self._bitmap.first_set()
-            entries = self._buckets[bucket]
-            take = min(n - len(batch), len(entries))
-            for _ in range(take):
-                batch.append(entries.popleft())
-            if not entries:
-                self._bitmap.clear(bucket)
-            self.stats.dequeues += take
+        buckets = self._buckets
+        bitmap = self._bitmap
+        scans = 0
+        taken = 0
+        while taken < n and self._size:
+            scans += 1
+            bucket = bitmap.first_set()
+            entries = buckets[bucket]
+            space = n - taken
+            if space >= len(entries):
+                take = len(entries)
+                batch.extend(entries)
+                entries.clear()
+                bitmap.clear(bucket)
+            else:
+                take = space
+                popleft = entries.popleft
+                for _ in range(take):
+                    batch.append(popleft())
+            taken += take
             self._size -= take
+        stats = self.stats
+        stats.word_scans += scans
+        stats.dequeues += taken
         return batch
 
     def extract_due(
         self, now: int, limit: Optional[int] = None
     ) -> list[tuple[int, Any]]:
         released: list[tuple[int, Any]] = []
-        while self._size and (limit is None or len(released) < limit):
-            self.stats.word_scans += 1
-            bucket = self._bitmap.first_set()
-            entries = self._buckets[bucket]
+        buckets = self._buckets
+        bitmap = self._bitmap
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        size = self._size
+        scans = 0
+        taken = 0
+        while size and (limit is None or taken < limit):
+            scans += 1
+            bucket = bitmap.first_set()
+            entries = buckets[bucket]
+            # Whole-bucket fast path: every entry in the bucket is due when
+            # the bucket's highest representable priority has passed, so the
+            # per-element head checks collapse into one extend.
+            if (
+                base + (bucket + 1) * granularity - 1 <= now
+                and (limit is None or limit - taken >= len(entries))
+            ):
+                count = len(entries)
+                taken += count
+                size -= count
+                released.extend(entries)
+                entries.clear()
+                bitmap.clear(bucket)
+                continue
             while entries and entries[0][0] <= now:
-                if limit is not None and len(released) >= limit:
+                if limit is not None and taken >= limit:
                     break
                 released.append(entries.popleft())
-                self.stats.dequeues += 1
-                self._size -= 1
+                taken += 1
+                size -= 1
             if not entries:
-                self._bitmap.clear(bucket)
+                bitmap.clear(bucket)
                 continue
             break  # head not yet due, or the limit was reached
+        stats = self.stats
+        stats.word_scans += scans
+        stats.dequeues += taken
+        self._size = size
         return released
 
 
@@ -273,6 +352,8 @@ class MultiWordFFSQueue(IntegerPriorityQueue):
     very small ``M``; included both as a usable queue and as the stepping
     stone to the hierarchical variant.
     """
+
+    __slots__ = ("word_width", "num_words", "_words", "_buckets")
 
     def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
         super().__init__(spec)
@@ -329,26 +410,45 @@ class MultiWordFFSQueue(IntegerPriorityQueue):
         self._words[word_index] = clear_bit(self._words[word_index], bit)
 
     def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
-        """Batched insert: one bucket lookup and bit set per bucket."""
-        grouped: dict[int, list[tuple[int, Any]]] = {}
+        """Batched insert: one bucket lookup and bit set per bucket.
+
+        Same direct-append shape as :meth:`FFSQueue.enqueue_batch`: a key
+        set tracks distinct buckets, counters settle once, and a mid-batch
+        validation error leaves the inserted prefix enqueued and counted.
+        """
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        hi = base + spec.horizon
+        stats = self.stats
+        buckets = self._buckets
+        words = self._words
+        width = self.word_width
+        seen: set[int] = set()
+        seen_add = seen.add
         count = 0
-        for priority, item in pairs:
-            priority = validate_priority(priority)
-            if not self.spec.contains(priority):
-                raise PriorityOutOfRangeError(
-                    f"priority {priority} outside fixed range of MultiWordFFSQueue"
-                )
-            grouped.setdefault(self.spec.bucket_for(priority), []).append(
-                (priority, item)
-            )
-            count += 1
-        self.stats.enqueues += count
-        self.stats.bucket_lookups += len(grouped)
-        for bucket, entries in grouped.items():
-            self._buckets[bucket].extend(entries)
-            word_index, bit = divmod(bucket, self.word_width)
-            self._words[word_index] = set_bit(self._words[word_index], bit)
-        self._size += count
+        try:
+            for pair in pairs:
+                priority = pair[0]
+                if type(priority) is not int:
+                    priority = validate_priority(priority)
+                    pair = (priority, pair[1])
+                if priority < base or priority >= hi:
+                    raise PriorityOutOfRangeError(
+                        f"priority {priority} outside fixed range of MultiWordFFSQueue"
+                    )
+                bucket = (priority - base) // granularity
+                seen_add(bucket)
+                entries = buckets[bucket]
+                if not entries:
+                    word_index, bit = divmod(bucket, width)
+                    words[word_index] |= 1 << bit
+                entries.append(pair)
+                count += 1
+        finally:
+            stats.enqueues += count
+            stats.bucket_lookups += len(seen)
+            self._size += count
         return count
 
     def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
@@ -356,35 +456,63 @@ class MultiWordFFSQueue(IntegerPriorityQueue):
         if n < 0:
             raise ValueError("batch size must be non-negative")
         batch: list[tuple[int, Any]] = []
-        while len(batch) < n and self._size:
+        buckets = self._buckets
+        taken = 0
+        while taken < n and self._size:
             bucket = self._min_bucket()
-            entries = self._buckets[bucket]
-            take = min(n - len(batch), len(entries))
-            for _ in range(take):
-                batch.append(entries.popleft())
-            if not entries:
+            entries = buckets[bucket]
+            space = n - taken
+            if space >= len(entries):
+                take = len(entries)
+                batch.extend(entries)
+                entries.clear()
                 self._clear_bucket_bit(bucket)
-            self.stats.dequeues += take
+            else:
+                take = space
+                popleft = entries.popleft
+                for _ in range(take):
+                    batch.append(popleft())
+            taken += take
             self._size -= take
+        self.stats.dequeues += taken
         return batch
 
     def extract_due(
         self, now: int, limit: Optional[int] = None
     ) -> list[tuple[int, Any]]:
         released: list[tuple[int, Any]] = []
-        while self._size and (limit is None or len(released) < limit):
+        buckets = self._buckets
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        size = self._size
+        taken = 0
+        while size and (limit is None or taken < limit):
             bucket = self._min_bucket()
-            entries = self._buckets[bucket]
+            entries = buckets[bucket]
+            if (
+                base + (bucket + 1) * granularity - 1 <= now
+                and (limit is None or limit - taken >= len(entries))
+            ):
+                count = len(entries)
+                taken += count
+                size -= count
+                released.extend(entries)
+                entries.clear()
+                self._clear_bucket_bit(bucket)
+                continue
             while entries and entries[0][0] <= now:
-                if limit is not None and len(released) >= limit:
+                if limit is not None and taken >= limit:
                     break
                 released.append(entries.popleft())
-                self.stats.dequeues += 1
-                self._size -= 1
+                taken += 1
+                size -= 1
             if not entries:
                 self._clear_bucket_bit(bucket)
                 continue
             break
+        self.stats.dequeues += taken
+        self._size = size
         return released
 
 
@@ -394,6 +522,7 @@ __all__ = [
     "FFSQueue",
     "MultiWordFFSQueue",
     "clear_bit",
+    "count_set_bits",
     "find_first_set",
     "find_last_set",
     "popcount",

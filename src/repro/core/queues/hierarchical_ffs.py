@@ -10,6 +10,18 @@ the queue is configured (six FFS operations cover a billion buckets with
 
 The tree is stored as a flat list of levels; level 0 is the root word(s) and
 the last level has one bit per bucket.
+
+Interpreter-level notes (the modelled costs are unchanged by all of this):
+
+* the tree memoises the minimum occupied bucket, so a ``peek_min`` right
+  after a drain returns without re-walking the levels — the walk is only
+  repeated when the cached minimum was cleared;
+* bucket FIFOs are allocated lazily and recycled through a free list when
+  they drain, so a sparsely occupied queue with a large bucket count (20k
+  buckets per shard in the runtime) neither preallocates thousands of deques
+  nor throws emptied ones to the garbage collector;
+* the batch paths hoist every repeated attribute lookup into locals and
+  settle the stats counters once per batch.
 """
 
 from __future__ import annotations
@@ -24,7 +36,7 @@ from .base import (
     PriorityOutOfRangeError,
     validate_priority,
 )
-from .ffs import DEFAULT_WORD_WIDTH, clear_bit, find_first_set, set_bit
+from .ffs import DEFAULT_WORD_WIDTH
 
 
 class FFSBitmapTree:
@@ -33,7 +45,24 @@ class FFSBitmapTree:
     The structure only stores per-level word arrays; it knows nothing about
     the elements themselves, which keeps it reusable by both the hierarchical
     queue and the circular queue (which swaps two trees).
+
+    ``first_set`` memoises its result: the cached minimum stays valid until
+    that bucket is cleared (or a smaller bucket is set, which updates it in
+    O(1)), so repeated lookups between occupancy changes skip the
+    root-to-leaf walk entirely.  The *reported* word count is always the
+    tree depth — exactly what the uncached walk reads — so cost-model
+    accounting is independent of cache hits.
     """
+
+    __slots__ = (
+        "num_buckets",
+        "word_width",
+        "levels",
+        "depth",
+        "_levels_up",
+        "_cached_min",
+        "_count",
+    )
 
     def __init__(self, num_buckets: int, word_width: int = DEFAULT_WORD_WIDTH) -> None:
         if num_buckets <= 0:
@@ -55,32 +84,51 @@ class FFSBitmapTree:
         for words in reversed(level_sizes):
             self.levels.append([0] * words)
         self.depth = len(self.levels)
+        #: Leaf-to-root view of the same level lists (shared objects), so the
+        #: set/clear propagation loops avoid a ``reversed()`` iterator each call.
+        self._levels_up = self.levels[::-1]
+        self._cached_min = -1
         self._count = 0
 
     def set(self, bucket: int) -> int:
         """Mark ``bucket`` occupied; returns the number of words touched."""
         self._check(bucket)
+        cached = self._cached_min
+        if cached >= 0:
+            if bucket < cached:
+                self._cached_min = bucket
+        elif self.levels[0][0] == 0:
+            # The tree was empty: the new bucket is the minimum by definition.
+            self._cached_min = bucket
         touched = 0
         index = bucket
-        for level in reversed(self.levels):
-            word_index, bit = divmod(index, self.word_width)
+        width = self.word_width
+        for level in self._levels_up:
+            word_index, bit = divmod(index, width)
             touched += 1
-            if (level[word_index] >> bit) & 1:
+            word = level[word_index]
+            mask = 1 << bit
+            if word & mask:
                 break
-            level[word_index] = set_bit(level[word_index], bit)
+            level[word_index] = word | mask
             index = word_index
         return touched
 
     def clear(self, bucket: int) -> int:
         """Mark ``bucket`` empty, propagating up; returns words touched."""
         self._check(bucket)
+        cached = self._cached_min
+        if cached >= 0 and bucket <= cached:
+            self._cached_min = -1
         touched = 0
         index = bucket
-        for level in reversed(self.levels):
-            word_index, bit = divmod(index, self.word_width)
+        width = self.word_width
+        for level in self._levels_up:
+            word_index, bit = divmod(index, width)
             touched += 1
-            level[word_index] = clear_bit(level[word_index], bit)
-            if level[word_index] != 0:
+            word = level[word_index] & ~(1 << bit)
+            level[word_index] = word
+            if word != 0:
                 break
             index = word_index
         return touched
@@ -91,15 +139,21 @@ class FFSBitmapTree:
         Raises:
             EmptyQueueError: when no bucket is occupied.
         """
-        if self.levels[0][0] == 0:
+        cached = self._cached_min
+        if cached >= 0:
+            return cached, self.depth
+        levels = self.levels
+        if levels[0][0] == 0:
             raise EmptyQueueError("bitmap tree is empty")
         index = 0
-        scanned = 0
-        for level in self.levels:
+        width = self.word_width
+        for level in levels:
             word = level[index]
-            scanned += 1
-            index = index * self.word_width + find_first_set(word)
-        return index, scanned
+            # Inlined find_first_set: the occupancy invariant guarantees a
+            # non-zero word on the walk, so no zero check is needed here.
+            index = index * width + (word & -word).bit_length() - 1
+        self._cached_min = index
+        return index, self.depth
 
     def test(self, bucket: int) -> bool:
         """True when ``bucket`` is marked occupied."""
@@ -117,6 +171,7 @@ class FFSBitmapTree:
         for level in self.levels:
             for i in range(len(level)):
                 level[i] = 0
+        self._cached_min = -1
 
     def _check(self, bucket: int) -> None:
         if not 0 <= bucket < self.num_buckets:
@@ -131,15 +186,21 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
     Operates over a *fixed* priority range.  The circular variant
     (:class:`repro.core.queues.circular_ffs.CircularFFSQueue`) reuses this
     structure for a moving range.
+
+    Bucket FIFOs live behind a free list: ``_buckets[i]`` is ``None`` while
+    bucket ``i`` is empty (the invariant the fast paths rely on), a deque is
+    attached on first use, and a drained deque is recycled rather than
+    re-allocated on the next enqueue.
     """
+
+    __slots__ = ("word_width", "_tree", "_buckets", "_free")
 
     def __init__(self, spec: BucketSpec, word_width: int = DEFAULT_WORD_WIDTH) -> None:
         super().__init__(spec)
         self.word_width = word_width
         self._tree = FFSBitmapTree(spec.num_buckets, word_width)
-        self._buckets: list[Deque[tuple[int, Any]]] = [
-            deque() for _ in range(spec.num_buckets)
-        ]
+        self._buckets: list[Optional[Deque[tuple[int, Any]]]] = [None] * spec.num_buckets
+        self._free: list[Deque[tuple[int, Any]]] = []
 
     @property
     def depth(self) -> int:
@@ -153,23 +214,35 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
                 f"priority {priority} outside fixed range of HierarchicalFFSQueue"
             )
         bucket = self.spec.bucket_for(priority)
-        self.stats.enqueues += 1
-        self.stats.bucket_lookups += 1
-        was_empty = not self._buckets[bucket]
-        self._buckets[bucket].append((priority, item))
-        if was_empty:
-            self.stats.word_scans += self._tree.set(bucket)
+        stats = self.stats
+        stats.enqueues += 1
+        stats.bucket_lookups += 1
+        entries = self._buckets[bucket]
+        if entries is None:
+            free = self._free
+            entries = free.pop() if free else deque()
+            self._buckets[bucket] = entries
+            stats.word_scans += self._tree.set(bucket)
+        entries.append((priority, item))
         self._size += 1
+
+    def _recycle(self, bucket: int, entries: Deque[tuple[int, Any]]) -> None:
+        """Return a drained bucket deque to the free list."""
+        self._buckets[bucket] = None
+        self._free.append(entries)
 
     def extract_min(self) -> tuple[int, Any]:
         if self.empty:
             raise EmptyQueueError("extract_min from empty HierarchicalFFSQueue")
         bucket, scanned = self._tree.first_set()
-        self.stats.word_scans += scanned
-        entry = self._buckets[bucket].popleft()
-        if not self._buckets[bucket]:
-            self.stats.word_scans += self._tree.clear(bucket)
-        self.stats.dequeues += 1
+        stats = self.stats
+        stats.word_scans += scanned
+        entries = self._buckets[bucket]
+        entry = entries.popleft()
+        if not entries:
+            stats.word_scans += self._tree.clear(bucket)
+            self._recycle(bucket, entries)
+        stats.dequeues += 1
         self._size -= 1
         return entry
 
@@ -183,27 +256,49 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
     # -- batch operations -------------------------------------------------
 
     def enqueue_batch(self, pairs: Iterable[tuple[int, Any]]) -> int:
-        """Batched insert: one bucket lookup and tree update per bucket."""
-        grouped: dict[int, list[tuple[int, Any]]] = {}
+        """Batched insert: one bucket lookup and tree update per bucket.
+
+        Pairs append straight into their bucket FIFOs; a key set tracks the
+        distinct buckets for the amortised ``bucket_lookups`` charge.  On a
+        mid-batch validation error the inserted prefix stays enqueued and
+        counted, matching the base class's per-element default.
+        """
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        hi = base + spec.horizon
+        stats = self.stats
+        buckets = self._buckets
+        free = self._free
+        tree = self._tree
+        seen: set[int] = set()
+        seen_add = seen.add
         count = 0
-        for priority, item in pairs:
-            priority = validate_priority(priority)
-            if not self.spec.contains(priority):
-                raise PriorityOutOfRangeError(
-                    f"priority {priority} outside fixed range of HierarchicalFFSQueue"
-                )
-            grouped.setdefault(self.spec.bucket_for(priority), []).append(
-                (priority, item)
-            )
-            count += 1
-        self.stats.enqueues += count
-        self.stats.bucket_lookups += len(grouped)
-        for bucket, entries in grouped.items():
-            was_empty = not self._buckets[bucket]
-            self._buckets[bucket].extend(entries)
-            if was_empty:
-                self.stats.word_scans += self._tree.set(bucket)
-        self._size += count
+        scans = 0
+        try:
+            for pair in pairs:
+                priority = pair[0]
+                if type(priority) is not int:
+                    priority = validate_priority(priority)
+                    pair = (priority, pair[1])
+                if priority < base or priority >= hi:
+                    raise PriorityOutOfRangeError(
+                        f"priority {priority} outside fixed range of HierarchicalFFSQueue"
+                    )
+                bucket = (priority - base) // granularity
+                seen_add(bucket)
+                entries = buckets[bucket]
+                if entries is None:
+                    entries = free.pop() if free else deque()
+                    buckets[bucket] = entries
+                    scans += tree.set(bucket)
+                entries.append(pair)
+                count += 1
+        finally:
+            stats.enqueues += count
+            stats.bucket_lookups += len(seen)
+            stats.word_scans += scans
+            self._size += count
         return count
 
     def extract_min_batch(self, n: int) -> list[tuple[int, Any]]:
@@ -211,37 +306,79 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
         if n < 0:
             raise ValueError("batch size must be non-negative")
         batch: list[tuple[int, Any]] = []
-        while len(batch) < n and self._size:
-            bucket, scanned = self._tree.first_set()
-            self.stats.word_scans += scanned
-            entries = self._buckets[bucket]
-            take = min(n - len(batch), len(entries))
-            for _ in range(take):
-                batch.append(entries.popleft())
-            if not entries:
-                self.stats.word_scans += self._tree.clear(bucket)
-            self.stats.dequeues += take
+        buckets = self._buckets
+        tree = self._tree
+        scans = 0
+        taken = 0
+        while taken < n and self._size:
+            bucket, scanned = tree.first_set()
+            scans += scanned
+            entries = buckets[bucket]
+            space = n - taken
+            if space >= len(entries):
+                take = len(entries)
+                batch.extend(entries)
+                entries.clear()
+                scans += tree.clear(bucket)
+                self._recycle(bucket, entries)
+            else:
+                take = space
+                popleft = entries.popleft
+                for _ in range(take):
+                    batch.append(popleft())
+            taken += take
             self._size -= take
+        stats = self.stats
+        stats.word_scans += scans
+        stats.dequeues += taken
         return batch
 
     def extract_due(
         self, now: int, limit: Optional[int] = None
     ) -> list[tuple[int, Any]]:
         released: list[tuple[int, Any]] = []
-        while self._size and (limit is None or len(released) < limit):
-            bucket, scanned = self._tree.first_set()
-            self.stats.word_scans += scanned
-            entries = self._buckets[bucket]
+        buckets = self._buckets
+        tree = self._tree
+        spec = self.spec
+        base = spec.base_priority
+        granularity = spec.granularity
+        size = self._size
+        scans = 0
+        taken = 0
+        while size and (limit is None or taken < limit):
+            bucket, scanned = tree.first_set()
+            scans += scanned
+            entries = buckets[bucket]
+            # Whole-bucket fast path: when the bucket's highest representable
+            # priority has passed, every entry is due and one extend replaces
+            # the per-element head checks.
+            if (
+                base + (bucket + 1) * granularity - 1 <= now
+                and (limit is None or limit - taken >= len(entries))
+            ):
+                count = len(entries)
+                taken += count
+                size -= count
+                released.extend(entries)
+                entries.clear()
+                scans += tree.clear(bucket)
+                self._recycle(bucket, entries)
+                continue
             while entries and entries[0][0] <= now:
-                if limit is not None and len(released) >= limit:
+                if limit is not None and taken >= limit:
                     break
                 released.append(entries.popleft())
-                self.stats.dequeues += 1
-                self._size -= 1
+                taken += 1
+                size -= 1
             if not entries:
-                self.stats.word_scans += self._tree.clear(bucket)
+                scans += tree.clear(bucket)
+                self._recycle(bucket, entries)
                 continue
             break
+        stats = self.stats
+        stats.word_scans += scans
+        stats.dequeues += taken
+        self._size = size
         return released
 
     def remove(self, priority: int, item: Any) -> bool:
@@ -249,7 +386,9 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
 
         Bucketed queues support cheap removal, which pFabric and hClock use
         heavily when a flow's rank changes (Section 2).  Returns True when
-        the element was found and removed.
+        the element was found and removed.  An empty bucket is ``None``
+        behind the free list, so the miss path costs one load — no deque is
+        scanned.
         """
         priority = validate_priority(priority)
         if not self.spec.contains(priority):
@@ -257,12 +396,15 @@ class HierarchicalFFSQueue(IntegerPriorityQueue):
         bucket = self.spec.bucket_for(priority)
         queue = self._buckets[bucket]
         self.stats.bucket_lookups += 1
+        if queue is None:
+            return False
         for index, entry in enumerate(queue):
             if entry[0] == priority and entry[1] is item:
                 del queue[index]
                 self._size -= 1
                 if not queue:
                     self.stats.word_scans += self._tree.clear(bucket)
+                    self._recycle(bucket, queue)
                 return True
         return False
 

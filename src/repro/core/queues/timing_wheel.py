@@ -29,6 +29,19 @@ class TimingWheel:
     placed in the last future slot, mirroring Carousel's behaviour.
     """
 
+    __slots__ = (
+        "num_slots",
+        "granularity",
+        "current_time",
+        "_slots",
+        "_size",
+        "_pending_scratch",
+        "insertions",
+        "slot_advances",
+        "overflow_insertions",
+        "stale_insertions",
+    )
+
     def __init__(
         self, num_slots: int, granularity: int = 1, start_time: int = 0
     ) -> None:
@@ -41,6 +54,9 @@ class TimingWheel:
         self.current_time = start_time
         self._slots: list[Deque[tuple[int, Any]]] = [deque() for _ in range(num_slots)]
         self._size = 0
+        # Reused by advance_to for the not-yet-due holdback of a scanned
+        # slot, so the per-slot visit allocates nothing.
+        self._pending_scratch: Deque[tuple[int, Any]] = deque()
         # Operation counters for the CPU cost model.
         self.insertions = 0
         self.slot_advances = 0
@@ -112,27 +128,34 @@ class TimingWheel:
         released: list[tuple[int, Any]] = []
         if now < self.current_time:
             return released
-        current_slot = (self.current_time // self.granularity) % self.num_slots
+        num_slots = self.num_slots
+        slots = self._slots
+        current_slot = (self.current_time // self.granularity) % num_slots
         slots_to_advance = (now // self.granularity) - (
             self.current_time // self.granularity
         )
-        slots_to_advance = min(slots_to_advance, self.num_slots)
+        slots_to_advance = min(slots_to_advance, num_slots)
+        pending = self._pending_scratch
+        drained = 0
         for step in range(slots_to_advance + 1):
-            slot = (current_slot + step) % self.num_slots
+            slot = (current_slot + step) % num_slots
             self.slot_advances += 1
-            entries = self._slots[slot]
+            entries = slots[slot]
             if not entries:
                 continue
-            pending: Deque[tuple[int, Any]] = deque()
+            held = 0
             while entries:
-                timestamp, item = entries.popleft()
-                if timestamp > now:
-                    pending.append((timestamp, item))
+                entry = entries.popleft()
+                if entry[0] > now:
+                    pending.append(entry)
+                    held += 1
                     continue
-                self._size -= 1
-                released.append((timestamp, item))
-            if pending:
+                drained += 1
+                released.append(entry)
+            if held:
                 entries.extend(pending)
+                pending.clear()
+        self._size -= drained
         self.current_time = now
         return released
 
@@ -165,6 +188,8 @@ class HierarchicalTimingWheel:
     benchmarks to show that extending Carousel's horizon does not remove the
     per-slot polling cost.
     """
+
+    __slots__ = ("levels", "current_time", "_size")
 
     def __init__(
         self,

@@ -331,8 +331,15 @@ class ShardedRuntime:
         Returns the number of packets accepted.
         """
         by_shard: Dict[int, List[Packet]] = {}
+        get_group = by_shard.get
+        route = self._route
         for packet in packets:
-            by_shard.setdefault(self._route(packet.flow_id), []).append(packet)
+            shard = route(packet.flow_id)
+            group = get_group(shard)
+            if group is None:
+                by_shard[shard] = [packet]
+            else:
+                group.append(packet)
         accepted = 0
         for shard, group in by_shard.items():
             mailbox = self.workers[shard].mailbox
@@ -408,27 +415,40 @@ class ShardedRuntime:
         self._schedule_next_tick(shard, now)
 
     def _deliver(self, released: List[Packet], now: int) -> None:
-        """Hand released packets to the NIC side; settle leases they close."""
+        """Hand released packets to the NIC side; settle leases they close.
+
+        This runs once per drained packet for the whole runtime, so every
+        per-packet lookup is hoisted into a local before the loop and the
+        optional branches (transmit log, callback, open leases) are resolved
+        once per call rather than once per packet.
+        """
         finished: List[FlowLease] = []
+        flow_pending = self._flow_pending
+        pending_get = flow_pending.get
+        pending_pop = flow_pending.pop
+        log_append = self.transmit_log.append if self.record_transmits else None
+        on_transmit = self.on_transmit
+        open_leases = self._open_leases
         for packet in released:
             packet.departure_ns = now
-            pending = self._flow_pending.get(packet.flow_id, 1) - 1
+            flow_id = packet.flow_id
+            pending = pending_get(flow_id, 1) - 1
             if pending > 0:
-                self._flow_pending[packet.flow_id] = pending
+                flow_pending[flow_id] = pending
             else:
-                self._flow_pending.pop(packet.flow_id, None)
-            if self.record_transmits:
-                self.transmit_log.append((now, packet))
-            if self.on_transmit is not None:
-                self.on_transmit(packet, now)
-            if self._open_leases:
+                pending_pop(flow_id, None)
+            if log_append is not None:
+                log_append((now, packet))
+            if on_transmit is not None:
+                on_transmit(packet, now)
+            if open_leases:
                 lease_id = packet.metadata.get("lease_id")
                 if lease_id is not None:
-                    entry = self._open_leases.get(lease_id)
+                    entry = open_leases.get(lease_id)
                     if entry is not None:
                         entry[1] -= 1
                         if entry[1] == 0:
-                            del self._open_leases[lease_id]
+                            del open_leases[lease_id]
                             finished.append(entry[0])
         for lease in finished:
             self._finish_lease(lease, now)

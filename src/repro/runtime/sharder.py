@@ -41,7 +41,7 @@ def rss_hash(flow_id: int, seed: int = DEFAULT_HASH_SEED) -> int:
     return (h ^ (h >> 16)) & _MASK32
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardingStats(CounterStatsMixin):
     """Placement counters kept by the sharder."""
 

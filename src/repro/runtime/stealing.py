@@ -42,7 +42,7 @@ from ..core.queues import QueueStats
 from ..core.queues.base import CounterStatsMixin
 
 
-@dataclass
+@dataclass(slots=True)
 class StealStats(CounterStatsMixin):
     """Per-shard stealing counters, split by role.
 
@@ -82,7 +82,7 @@ class StealRequest:
     posted_at_ns: int
 
 
-@dataclass
+@dataclass(slots=True)
 class StealChannelStats(CounterStatsMixin):
     """Counters kept by one steal-request channel."""
 

@@ -49,7 +49,7 @@ from ..cpu import CostModel
 QueueFactory = Callable[[BucketSpec], IntegerPriorityQueue]
 
 
-@dataclass
+@dataclass(slots=True)
 class ShardWorkerStats(CounterStatsMixin):
     """Packet counters of one shard worker."""
 
@@ -73,6 +73,26 @@ class ShardWorker:
         queue_factory: alternative backing queue (ablations).
         mailbox_capacity: bound on the ingress mailbox (``None`` unbounded).
     """
+
+    __slots__ = (
+        "shard_id",
+        "flow_rates",
+        "default_rate_bps",
+        "granularity_ns",
+        "queue",
+        "mailbox",
+        "cost",
+        "stats",
+        "steal",
+        "_queue_snapshot",
+        "_shapers",
+        "_backlog",
+        "_on_loan",
+        "_deferred_due",
+        "_deferred_ingest",
+        "_deferred_count",
+        "_leases_held",
+    )
 
     def __init__(
         self,
@@ -170,22 +190,48 @@ class ShardWorker:
     # -- the per-quantum worker loop ---------------------------------------
 
     def _stamp_and_enqueue(self, packets: List[Packet], now_ns: int) -> int:
-        """Stamp ``packets`` with their flows' pacing state, one batched enqueue."""
+        """Stamp ``packets`` with their flows' pacing state, one batched enqueue.
+
+        RX bursts are bursty *per flow*, so the flow-state lookup is cached
+        across a run of same-flow packets within the batch; the modelled
+        ``flow_lookup`` charge stays per-packet (one batched charge), since
+        the cost model prices the hash-table probe a real per-packet
+        classifier performs, not this interpreter's memoisation.
+        """
         pairs = []
+        append = pairs.append
+        shard_id = self.shard_id
+        shaper_for = self._shaper_for
+        last_flow = None
+        shaper = None
         for packet in packets:
-            self.cost.charge("flow_lookup")
-            shaper = self._shaper_for(packet.flow_id)
+            flow_id = packet.flow_id
+            if flow_id != last_flow:
+                last_flow = flow_id
+                shaper = shaper_for(flow_id)
             send_at = now_ns if shaper is None else shaper.stamp(packet, now_ns)
-            packet.metadata["send_at_ns"] = send_at
-            packet.metadata["shard"] = self.shard_id
-            pairs.append((send_at, packet))
-        self.queue.enqueue_batch(pairs)
-        self._backlog += len(pairs)
-        self.stats.ingested += len(pairs)
-        if self._backlog > self.stats.backlog_peak:
-            self.stats.backlog_peak = self._backlog
-        self._charge_queue_delta()
-        return len(pairs)
+            metadata = packet.metadata
+            metadata["send_at_ns"] = send_at
+            metadata["shard"] = shard_id
+            append((send_at, packet))
+        count = len(pairs)
+        self.cost.charge("flow_lookup", count)
+        queue = self.queue
+        before = len(queue)
+        try:
+            queue.enqueue_batch(pairs)
+        finally:
+            # Track the queue's actual growth: a fixed-range ablation queue
+            # may reject a stamp mid-batch having committed the prefix, and
+            # the backlog must never desync from the queue's real size.
+            count = len(queue) - before
+            self._backlog += count
+            stats = self.stats
+            stats.ingested += count
+            if self._backlog > stats.backlog_peak:
+                stats.backlog_peak = self._backlog
+            self._charge_queue_delta()
+        return count
 
     def ingest(self, now_ns: int, limit: Optional[int] = None) -> int:
         """Drain the mailbox, stamp timestamps, one batched enqueue.
@@ -366,8 +412,11 @@ class ShardWorker:
             packet.metadata["stolen_from"] = lease.victim_shard
             packet.metadata["lease_id"] = lease.lease_id
             packet.metadata["shard"] = self.shard_id
-        self.queue.enqueue_batch(lease.packets)
-        self._backlog += len(lease.packets)
+        before = len(self.queue)
+        try:
+            self.queue.enqueue_batch(lease.packets)
+        finally:
+            self._backlog += len(self.queue) - before
         if self._backlog > self.stats.backlog_peak:
             self.stats.backlog_peak = self._backlog
         self._charge_queue_delta()

@@ -49,6 +49,29 @@ class TestBitPrimitives:
         assert popcount(0) == 0
         assert popcount(0b1011) == 3
 
+    def test_count_set_bits_alias(self):
+        from repro.core.queues.ffs import count_set_bits
+
+        assert count_set_bits(0) == 0
+        assert count_set_bits(0b1011) == 3
+
+    def test_negative_words_rejected(self):
+        # A Python negative int has conceptually infinite sign bits, so the
+        # machine-word primitives must refuse it instead of returning the
+        # two's-complement isolate of its magnitude.
+        from repro.core.queues.ffs import count_set_bits
+
+        with pytest.raises(ValueError):
+            find_first_set(-1)
+        with pytest.raises(ValueError):
+            find_first_set(-(1 << 63))
+        with pytest.raises(ValueError):
+            find_last_set(-1)
+        with pytest.raises(ValueError):
+            popcount(-1)
+        with pytest.raises(ValueError):
+            count_set_bits(-(1 << 40))
+
 
 class TestBitmap:
     def test_set_and_first(self):

@@ -1,0 +1,248 @@
+"""Work-stealing knobs on the substrate adapters.
+
+The sharded runtime's work stealing (PR 3) lives behind
+``ShardedRuntime(steal_enabled=True)``; these tests cover the ROADMAP
+follow-on that exposes the knob to the other two substrates:
+
+* ``MultiQueueQdisc(steal_enabled=True)`` — the kernel layer: an idle child
+  qdisc takes over the deepest sibling's imminent due window through the
+  donor/acceptor surface on ``EiffelQdisc``, moving the extraction cycles to
+  the idle core (the bottleneck-core view must drop, packets must be
+  conserved, and per-flow release order must follow the stamps).
+* ``ShardedPortQueue(steal_enabled=True)`` — the netsim layer: empty rings
+  donate their pull quota to loaded rings within one arbitration pass; the
+  batch content is identical, the arbitration work is not.
+"""
+
+import pytest
+
+from repro.core.model.packet import Packet
+from repro.kernel.eiffel_qdisc import EiffelQdisc
+from repro.netsim.elements import DropTailEcnQueue
+from repro.runtime import FlowSharder, MultiQueueQdisc, ShardedPortQueue
+
+NUM_FLOWS = 4
+PACKETS_PER_FLOW = 8
+RATE_BPS = 1e9  # 1500 B at 1 Gbps = 12 us between stamps of one flow
+
+
+def _pinned_sharder(num_shards: int, shard: int) -> FlowSharder:
+    sharder = FlowSharder(num_shards)
+    for flow_id in range(NUM_FLOWS):
+        sharder.pin(flow_id, shard)
+    return sharder
+
+
+def _skewed_mq(steal: bool) -> MultiQueueQdisc:
+    """Two Eiffel children with every flow hashed to child 0."""
+    return MultiQueueQdisc(
+        2,
+        lambda shard: EiffelQdisc(default_rate_bps=RATE_BPS),
+        sharder=_pinned_sharder(2, 0),
+        steal_enabled=steal,
+        steal_batch=16,
+        steal_min_backlog=4,
+    )
+
+
+def _drive_to_drain(mq: MultiQueueQdisc) -> list:
+    """Timer-driven release loop: fire at each soonest deadline until empty."""
+    released = []
+    now = 0
+    for _ in range(10_000):
+        released.extend(mq.dequeue_due(now))
+        if mq.backlog == 0:
+            break
+        deadline = mq.soonest_deadline_ns(now)
+        assert deadline is not None
+        now = max(deadline, now + 1)
+    assert mq.backlog == 0, "drive loop failed to drain the mq root"
+    return released
+
+
+def _offered_packets():
+    return [
+        Packet(flow_id=flow_id, size_bytes=1500)
+        for _ in range(PACKETS_PER_FLOW)
+        for flow_id in range(NUM_FLOWS)
+    ]
+
+
+class TestMultiQueueQdiscStealing:
+    def test_steals_move_window_and_conserve_packets(self):
+        mq = _skewed_mq(steal=True)
+        packets = _offered_packets()
+        for packet in packets:
+            mq.enqueue_packet(packet, now_ns=0)
+        assert mq.children[0].backlog == len(packets)
+        released = _drive_to_drain(mq)
+
+        assert mq.steals > 0, "no lease was granted despite an idle child"
+        assert mq.packets_stolen > 0
+        # Conservation: every offered packet released exactly once.
+        assert sorted(p.packet_id for p in released) == sorted(
+            p.packet_id for p in packets
+        )
+        # The stolen window really ran on the thief's core.
+        assert mq.children[1].total_cycles() > 0
+
+    def test_per_flow_release_order_follows_stamps(self):
+        mq = _skewed_mq(steal=True)
+        for packet in _offered_packets():
+            mq.enqueue_packet(packet, now_ns=0)
+        released = _drive_to_drain(mq)
+        assert mq.steals > 0
+        per_flow_stamps = {}
+        for packet in released:
+            per_flow_stamps.setdefault(packet.flow_id, []).append(
+                packet.metadata["send_at_ns"]
+            )
+        for flow_id, stamps in per_flow_stamps.items():
+            assert stamps == sorted(stamps), f"flow {flow_id} released out of order"
+
+    def test_stealing_lowers_bottleneck_core(self):
+        results = {}
+        for steal in (False, True):
+            mq = _skewed_mq(steal=steal)
+            for packet in _offered_packets():
+                mq.enqueue_packet(packet, now_ns=0)
+            _drive_to_drain(mq)
+            results[steal] = mq.max_child_cycles()
+        assert results[True] < results[False], (
+            f"stealing did not lower the bottleneck core: "
+            f"{results[False]:.0f} -> {results[True]:.0f} cycles"
+        )
+
+    def test_coalesced_fire_keeps_per_flow_stamp_order(self):
+        """A catch-up fire spanning stamps on both children must stay sorted.
+
+        After a steal, one flow's due packets can sit on the thief (earlier
+        stamps) and the victim (later stamps) simultaneously.  A timer that
+        fires late — coalescing many deadlines into one ``dequeue_due`` —
+        drains both children in one call; the root must merge by stamp, not
+        return raw round-robin child order.
+        """
+        mq = _skewed_mq(steal=True)
+        for packet in _offered_packets():
+            mq.enqueue_packet(packet, now_ns=0)
+        released = mq.dequeue_due(0)          # due head + the steal happens here
+        released += mq.dequeue_due(12_000)    # one exact fire (moves the RR cursor)
+        released += mq.dequeue_due(10_000_000)  # coalesced catch-up over everything
+        assert mq.steals > 0
+        assert mq.backlog == 0
+        per_flow = {}
+        for packet in released:
+            per_flow.setdefault(packet.flow_id, []).append(
+                packet.metadata["send_at_ns"]
+            )
+        for flow_id, stamps in per_flow.items():
+            assert stamps == sorted(stamps), (
+                f"flow {flow_id} reordered under a coalesced fire: {stamps}"
+            )
+
+    def test_knob_off_never_touches_idle_child(self):
+        mq = _skewed_mq(steal=False)
+        for packet in _offered_packets():
+            mq.enqueue_packet(packet, now_ns=0)
+        _drive_to_drain(mq)
+        assert mq.steals == 0
+        assert mq.children[1].total_cycles() == 0
+
+    def test_no_steal_between_balanced_children(self):
+        # Every child loaded: nobody is idle, so the pass must do nothing.
+        mq = MultiQueueQdisc(
+            2,
+            lambda shard: EiffelQdisc(default_rate_bps=RATE_BPS),
+            steal_enabled=True,
+            steal_min_backlog=4,
+        )
+        for flow_id in range(16):
+            for _ in range(4):
+                mq.enqueue_packet(Packet(flow_id=flow_id, size_bytes=1500), now_ns=0)
+        assert all(child.backlog for child in mq.children)
+        _drive_to_drain(mq)
+        assert mq.steals == 0
+
+
+class _CountingRing(DropTailEcnQueue):
+    """DropTail ring that counts how many NIC pulls it services."""
+
+    def __init__(self, capacity_packets: int = 64) -> None:
+        super().__init__(capacity_packets=capacity_packets)
+        self.pulls = 0
+
+    def dequeue_batch(self, n):
+        self.pulls += 1
+        return super().dequeue_batch(n)
+
+
+def _skewed_port(steal: bool) -> ShardedPortQueue:
+    return ShardedPortQueue(
+        2,
+        lambda shard: _CountingRing(),
+        sharder=_pinned_sharder(2, 0),
+        steal_enabled=steal,
+    )
+
+
+class TestShardedPortQueueQuotaStealing:
+    def test_identical_batch_with_fewer_arbitration_passes(self):
+        pulls = {}
+        batches = {}
+        for steal in (False, True):
+            port = _skewed_port(steal)
+            port.enqueue_batch([Packet(flow_id=0) for _ in range(30)])
+            batch = port.dequeue_batch(16)
+            batches[steal] = [packet.packet_id for packet in batch]
+            pulls[steal] = sum(ring.pulls for ring in port.shards)
+        # Work conservation is untouched: the pull takes the same count
+        # (here from one deep ring, so FIFO fixes the order too; with
+        # several loaded rings only per-ring FIFO is contractual — the
+        # inter-ring interleaving is the arbiter's latitude).
+        assert len(batches[True]) == 16
+        assert len(batches[False]) == len(batches[True])
+        # The empty ring's quota was donated: fewer shrinking passes.
+        assert pulls[True] < pulls[False], (
+            f"quota stealing did not reduce arbitration passes: "
+            f"{pulls[False]} -> {pulls[True]}"
+        )
+        assert port.quota_steals > 0
+
+    def test_fifo_preserved_with_steal_enabled(self):
+        port = _skewed_port(steal=True)
+        packets = [Packet(flow_id=0, metadata={"seq": index}) for index in range(20)]
+        port.enqueue_batch(packets)
+        drained = port.dequeue_batch(20)
+        assert [packet.metadata["seq"] for packet in drained] == list(range(20))
+
+    def test_balanced_rings_never_count_a_steal(self):
+        port = ShardedPortQueue(
+            2, lambda shard: _CountingRing(), steal_enabled=True
+        )
+        # Load both rings.
+        for flow_id in range(8):
+            port.enqueue_batch([Packet(flow_id=flow_id) for _ in range(4)])
+        assert all(len(ring) for ring in port.shards)
+        # A bounded pull that no ring can exhaust: every pass sees both
+        # rings loaded, so no quota is ever donated.  (A full drain *should*
+        # count donations once rings start emptying mid-drain.)
+        pulled = port.dequeue_batch(8)
+        assert len(pulled) == 8
+        assert port.quota_steals == 0
+
+    def test_empty_port_short_circuits(self):
+        port = _skewed_port(steal=True)
+        assert port.dequeue_batch(8) == []
+        assert port.quota_steals == 0
+
+
+@pytest.mark.parametrize("steal", [False, True])
+def test_mq_cost_mirroring_still_exact(steal):
+    """The root's mirrored accounts must equal the children's own, steal or not."""
+    mq = _skewed_mq(steal=steal)
+    for packet in _offered_packets():
+        mq.enqueue_packet(packet, now_ns=0)
+    _drive_to_drain(mq)
+    assert mq.total_cycles() == pytest.approx(
+        sum(child.total_cycles() for child in mq.children)
+    )
