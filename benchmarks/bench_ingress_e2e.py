@@ -1,0 +1,532 @@
+"""Ingress-pipeline end-to-end benchmark — the async-RX counterpart of the
+sharding sweep, plus multi-core variants of the paper's headline figures.
+
+Four sections land in ``BENCH_ingress.json``:
+
+* **sweep** — ingress-cores × shards × admission-policy cross at normal
+  load: modelled aggregate ops/sec (``packets * clock / bottleneck-core
+  cycles``, the bottleneck now taken over *both* layers — RX cores and
+  scheduling shards), drop and RX-sojourn columns, and the harness's
+  wall-clock rate.  The headline row pair: at 4 shards a single ingress
+  core is the pipeline bottleneck, and adding a second one raises modelled
+  end-to-end throughput.
+* **overload** — the same pipeline held at 2× its paced drain capacity by
+  an open-loop burst source, once per admission policy.  Pure backpressure
+  (``admission=None``) must lose nothing — the RX ring grows and the pull
+  pauses on mailbox watermarks — at the price of unbounded sojourn;
+  CoDel-style admission trades a bounded drop rate for a strictly lower
+  p99 RX sojourn; tail-drop and flow-fair drop bound the ring instead.
+* **figure9_multicore** — the Figure 9 kernel-shaping reproduction run
+  through ``MultiQueueQdisc`` (one Eiffel child per virtual CPU): total
+  cores rise (every core pays its own timer path — the classic ``mq``
+  cost), while the *bottleneck-core* load drops well below the single-core
+  qdisc, which is the paper's CPU-efficiency claim carried onto multiple
+  cores.
+* **figure19_multicore** — the Figure 19 pFabric FCT reproduction with
+  every switch port a ``ShardedPortQueue`` of pFabric rings under priority
+  TX arbitration: the small-flow FCT curves must track the single-queue
+  port (round-robin arbitration demonstrably collapses them).
+
+Run standalone (``python benchmarks/bench_ingress_e2e.py``) to regenerate
+the committed artifact with full iteration counts; the pytest entry points
+run a smoke-sized version of every section with the acceptance assertions.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.analysis import percentile
+from repro.cpu import CpuMeter
+from repro.kernel import (
+    KernelSimulation,
+    ShapingExperimentConfig,
+    build_multiqueue_eiffel,
+    run_shaping_experiment,
+)
+from repro.netsim import (
+    FabricConfig,
+    FabricExperimentConfig,
+    multiqueue_pfabric_scheme,
+    run_fabric_experiment,
+)
+from repro.runtime import CoDelPolicy, ShardedRuntime
+from repro.traffic import NeperLikeGenerator, OpenLoopBurstSource
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingress.json"
+
+SEED = 20_190_226  # NSDI'19
+METER = CpuMeter()  # 3 GHz modelled cores
+
+# -- the pipeline under test --------------------------------------------------
+
+INGRESS_CORES = [1, 2]
+SHARD_COUNTS = [1, 2, 4]
+NUM_FLOWS = 128
+PACKET_BYTES = 1500
+QUANTUM_NS = 10_000
+BATCH_PER_QUANTUM = 64
+RX_BURST = 64
+RX_RING = 256
+MAILBOX_CAPACITY = 96
+
+# CoDel tuned to the pipeline's timescale (quantum 10 us): sojourn target of
+# five quanta, control interval of ten — aggressive enough to bite within a
+# smoke-sized overload episode, conservative enough never to touch a burst
+# that drains within an interval.
+CODEL_TARGET_NS = 50_000
+CODEL_INTERVAL_NS = 100_000
+
+#: The admission axis.  ``None`` is pure watermark backpressure (loss-free).
+ADMISSION_POLICIES = {
+    "backpressure": None,
+    "tail_drop": "tail_drop",
+    "fair_drop": "fair_drop",
+    "codel": (lambda: CoDelPolicy(CODEL_TARGET_NS, CODEL_INTERVAL_NS)),
+}
+
+# -- overload scenario --------------------------------------------------------
+
+OVERLOAD_FACTOR = 2.0
+OVERLOAD_INGRESS = 1
+OVERLOAD_SHARDS = 2
+OVERLOAD_FLOWS = 16
+OVERLOAD_RATE_BPS = 1e9  # per flow; aggregate drain = 16 Gbps ~ 1.33 Mpps
+SHARD_BACKLOG_LIMIT = 64
+
+FULL_PACKETS = 20_000
+SMOKE_PACKETS = 4_000
+FULL_OVERLOAD_PACKETS = 24_000
+SMOKE_OVERLOAD_PACKETS = 10_000
+
+
+def _run_pipeline(
+    ingress_cores: int,
+    shards: int,
+    admission,
+    num_packets: int,
+    overload: bool = False,
+) -> dict:
+    """Drive one configuration to completion; return its telemetry row."""
+    if overload:
+        capacity_pps = OVERLOAD_FLOWS * OVERLOAD_RATE_BPS / (PACKET_BYTES * 8)
+        source = OpenLoopBurstSource(
+            offered_pps=OVERLOAD_FACTOR * capacity_pps,
+            burst_size=32,
+            packet_bytes=PACKET_BYTES,
+            num_flows=OVERLOAD_FLOWS,
+        )
+        runtime = ShardedRuntime(
+            shards,
+            default_rate_bps=OVERLOAD_RATE_BPS,
+            quantum_ns=QUANTUM_NS,
+            batch_per_quantum=BATCH_PER_QUANTUM,
+            ingress_cores=ingress_cores,
+            admission=admission,
+            rx_ring_capacity=RX_RING,
+            rx_burst=RX_BURST,
+            mailbox_capacity=MAILBOX_CAPACITY,
+            shard_backlog_limit=SHARD_BACKLOG_LIMIT,
+            record_ingress_sojourns=True,
+            record_transmits=False,
+        )
+    else:
+        # Normal load, unpaced flows: the throughput cells measure the
+        # cycle cost of the pipeline itself, uniform flow ids over a burst
+        # cadence of one RX pull per scheduling quantum.
+        rng = random.Random(SEED)
+        source = OpenLoopBurstSource(
+            offered_pps=RX_BURST * 1e9 / QUANTUM_NS,
+            burst_size=RX_BURST,
+            packet_bytes=PACKET_BYTES,
+            flow_sampler=lambda _index: rng.randrange(NUM_FLOWS),
+        )
+        runtime = ShardedRuntime(
+            shards,
+            quantum_ns=QUANTUM_NS,
+            batch_per_quantum=BATCH_PER_QUANTUM,
+            ingress_cores=ingress_cores,
+            admission=admission,
+            rx_ring_capacity=RX_RING,
+            rx_burst=RX_BURST,
+            mailbox_capacity=MAILBOX_CAPACITY,
+            record_ingress_sojourns=True,
+            record_transmits=False,
+        )
+    simulator = runtime.simulator
+    offered = 0
+    for when_ns, burst in source.bursts(num_packets):
+        offered += len(burst)
+
+        def offer(burst=burst) -> None:
+            runtime.submit_batch(burst)
+
+        simulator.schedule_at(when_ns, offer)
+
+    start = time.perf_counter()
+    runtime.run()
+    elapsed = time.perf_counter() - start
+
+    telemetry = runtime.telemetry()
+    packets = telemetry.transmitted
+    sojourns = [
+        sojourn for core in runtime.ingress_cores for sojourn in core.sojourns
+    ]
+    return {
+        "ingress_cores": ingress_cores,
+        "shards": shards,
+        "offered": offered,
+        "transmitted": packets,
+        "admission_drops": telemetry.admission_drops,
+        "mailbox_drops": telemetry.ingress_drops,
+        "aggregate_ops_per_sec": packets
+        * METER.cycles_per_second
+        / max(1.0, telemetry.bottleneck_cycles),
+        "bottleneck_cycles": telemetry.bottleneck_cycles,
+        "max_shard_cycles": telemetry.max_shard_cycles,
+        "max_ingress_cycles": telemetry.max_ingress_cycles,
+        "ingress_stalled_ticks": sum(c.stats.stalled_ticks for c in telemetry.ingress),
+        "ingress_stall_cycles": sum(c.stats.stall_cycles for c in telemetry.ingress),
+        "rx_ring_peak": max((c.ring_peak for c in telemetry.ingress), default=0),
+        "rx_sojourn_p50_ns": percentile(sojourns, 50) if sojourns else 0,
+        "rx_sojourn_p99_ns": percentile(sojourns, 99) if sojourns else 0,
+        "rx_sojourn_mean_ns": (sum(sojourns) / len(sojourns)) if sojourns else 0,
+        "harness_ops_per_sec": packets / max(elapsed, 1e-9),
+        "elapsed_sec": elapsed,
+    }
+
+
+# -- the figure 9 multi-core block --------------------------------------------
+
+FIG9_MQ_SHARDS = 4
+FIG9_FULL = ShapingExperimentConfig()
+FIG9_SMOKE = ShapingExperimentConfig(
+    num_flows=200,
+    aggregate_rate_bps=1.0e9,
+    num_samples=4,
+    sample_duration_ns=5_000_000,
+    warmup_samples=1,
+)
+
+
+def run_figure9_multicore(config: ShapingExperimentConfig) -> dict:
+    """Figure 9 on multiple cores: single Eiffel vs an ``mq`` of Eiffels.
+
+    The single-core qdisc's median cores-used is the paper's headline; the
+    ``mq`` variant reports both the whole-machine total (which *rises*:
+    every core runs its own timer path) and the bottleneck core's share
+    (which must drop well below the single-core figure — the win that makes
+    multi-queue worth its overhead).  The root's timer/lock charges are the
+    per-CPU work a real ``mq`` would pay on each core, so the per-core view
+    apportions that overhead evenly on top of the busiest child.
+    """
+    meter = CpuMeter(config.cycles_per_second)
+    single = run_shaping_experiment(config, qdisc_filter=lambda name: name == "eiffel")
+    single_median = single.median_cores()["eiffel"]
+
+    generator = NeperLikeGenerator(
+        num_flows=config.num_flows,
+        aggregate_rate_bps=config.aggregate_rate_bps,
+        packet_bytes=config.packet_bytes,
+        seed=config.seed,
+        rate_jitter=config.rate_jitter,
+    )
+    flow_rates = generator.flow_rates()
+    flow_ids = list(flow_rates)
+    mq = build_multiqueue_eiffel(config, flow_rates, FIG9_MQ_SHARDS)
+    simulation = KernelSimulation(mq)
+    totals = []
+    per_core = []
+    interval_seconds = config.sample_duration_ns / 1e9
+    for index in range(config.warmup_samples + config.num_samples):
+        start = index * config.sample_duration_ns
+        sample = simulation.run_closed_loop_interval(
+            flow_ids, start, config.sample_duration_ns, packet_bytes=config.packet_bytes
+        )
+        if index < config.warmup_samples:
+            continue
+        child_cycles = [child.total_cycles() for child in mq.children]
+        overhead = max(0.0, sample.total_cycles - sum(child_cycles))
+        totals.append(sample.cores_used(meter))
+        per_core.append(
+            meter.cores_used(
+                max(child_cycles) + overhead / FIG9_MQ_SHARDS, interval_seconds
+            )
+        )
+    totals.sort()
+    per_core.sort()
+    return {
+        "num_shards": FIG9_MQ_SHARDS,
+        "single_eiffel_median_cores": single_median,
+        "mq_total_median_cores": totals[len(totals) // 2],
+        "mq_bottleneck_core_median_cores": per_core[len(per_core) // 2],
+        "per_core_speedup_vs_single": single_median / max(1e-12, per_core[len(per_core) // 2]),
+    }
+
+
+# -- the figure 19 multi-core block -------------------------------------------
+
+FIG19_MQ_SHARDS = 2
+FIG19_LOAD = 0.6
+FIG19_FULL = FabricExperimentConfig(
+    fabric=FabricConfig(num_leaves=3, num_spines=3, hosts_per_leaf=3),
+    num_flows=120,
+    seed=19,
+)
+FIG19_SMOKE = FabricExperimentConfig(
+    fabric=FabricConfig(num_leaves=3, num_spines=3, hosts_per_leaf=3),
+    num_flows=60,
+    seed=19,
+)
+
+
+def run_figure19_multicore(config: FabricExperimentConfig) -> dict:
+    """Figure 19 with multi-queue switch ports (priority TX arbitration)."""
+    rows = {}
+    for name, impl in (
+        ("pfabric", None),
+        (f"pfabric_mq{FIG19_MQ_SHARDS}", multiqueue_pfabric_scheme(FIG19_MQ_SHARDS)),
+    ):
+        result = run_fabric_experiment(
+            "pfabric" if impl is None else name, FIG19_LOAD, config, scheme_impl=impl
+        )
+        rows[name] = {
+            "small_flow_avg_fct": result.small_flow_avg(),
+            "small_flow_p99_fct": result.small_flow_p99(),
+            "large_flow_avg_fct": result.large_flow_avg(),
+            "completion_rate": result.completion_rate(),
+            "drops": result.drops,
+        }
+    return {"load": FIG19_LOAD, "num_shards": FIG19_MQ_SHARDS, "schemes": rows}
+
+
+# -- the full benchmark -------------------------------------------------------
+
+
+def run_ingress_sweep(num_packets: int = FULL_PACKETS) -> dict:
+    """Ingress-cores × shards × admission cross at normal load."""
+    sweep: dict = {}
+    for policy_key, admission in ADMISSION_POLICIES.items():
+        sweep[policy_key] = {}
+        for cores in INGRESS_CORES:
+            for shards in SHARD_COUNTS:
+                row = _run_pipeline(cores, shards, admission, num_packets)
+                sweep[policy_key][f"i{cores}s{shards}"] = row
+    return sweep
+
+
+def run_overload(num_packets: int = FULL_OVERLOAD_PACKETS) -> dict:
+    """Every admission policy against the same 2× paced overload."""
+    return {
+        policy_key: _run_pipeline(
+            OVERLOAD_INGRESS, OVERLOAD_SHARDS, admission, num_packets, overload=True
+        )
+        for policy_key, admission in ADMISSION_POLICIES.items()
+    }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    packets = SMOKE_PACKETS if smoke else FULL_PACKETS
+    overload_packets = SMOKE_OVERLOAD_PACKETS if smoke else FULL_OVERLOAD_PACKETS
+    return {
+        "benchmark": "ingress_e2e",
+        "description": (
+            "End-to-end sharded pipeline behind asynchronous ingress cores: "
+            "ingress-cores x shards x admission-policy sweep (modelled "
+            "aggregate ops/sec over the bottleneck core of either layer), "
+            "2x-overload admission comparison (drops vs RX-ring sojourn), "
+            "and multi-core variants of the Figure 9 and Figure 19 "
+            "reproductions."
+        ),
+        "workload": {
+            "num_packets": packets,
+            "overload_packets": overload_packets,
+            "num_flows": NUM_FLOWS,
+            "packet_bytes": PACKET_BYTES,
+            "quantum_ns": QUANTUM_NS,
+            "batch_per_quantum": BATCH_PER_QUANTUM,
+            "rx_burst": RX_BURST,
+            "rx_ring_capacity": RX_RING,
+            "mailbox_capacity": MAILBOX_CAPACITY,
+            "overload_factor": OVERLOAD_FACTOR,
+            "overload_flows": OVERLOAD_FLOWS,
+            "overload_rate_bps": OVERLOAD_RATE_BPS,
+            "shard_backlog_limit": SHARD_BACKLOG_LIMIT,
+            "codel_target_ns": CODEL_TARGET_NS,
+            "codel_interval_ns": CODEL_INTERVAL_NS,
+            "seed": SEED,
+            "modelled_clock_hz": METER.cycles_per_second,
+        },
+        "sweep": run_ingress_sweep(packets),
+        "overload": run_overload(overload_packets),
+        "figure9_multicore": run_figure9_multicore(FIG9_SMOKE if smoke else FIG9_FULL),
+        "figure19_multicore": run_figure19_multicore(
+            FIG19_SMOKE if smoke else FIG19_FULL
+        ),
+    }
+
+
+def write_artifact(results: dict, path: Path = ARTIFACT_PATH) -> Path:
+    """Write ``BENCH_ingress.json`` (the ingress-axis perf artifact)."""
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _format_sweep(sweep: dict) -> str:
+    lines = [
+        f"{'policy':<14}"
+        + "".join(
+            f"i{cores}s{shards:<12}" for cores in INGRESS_CORES for shards in SHARD_COUNTS
+        )
+        + " (modelled Mops/s | drops)"
+    ]
+    for policy_key, rows in sweep.items():
+        line = f"{policy_key:<14}"
+        for cores in INGRESS_CORES:
+            for shards in SHARD_COUNTS:
+                row = rows[f"i{cores}s{shards}"]
+                drops = row["admission_drops"] + row["mailbox_drops"]
+                line += f"{row['aggregate_ops_per_sec'] / 1e6:6.2f}|{drops:<6d} "
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _format_overload(overload: dict) -> str:
+    lines = [
+        f"{'policy':<14}{'tx':>7}{'drops':>7}{'p50 us':>9}{'p99 us':>9}{'ring pk':>9}"
+    ]
+    for policy_key, row in overload.items():
+        lines.append(
+            f"{policy_key:<14}{row['transmitted']:>7}{row['admission_drops']:>7}"
+            f"{row['rx_sojourn_p50_ns'] / 1e3:>9.1f}{row['rx_sojourn_p99_ns'] / 1e3:>9.1f}"
+            f"{row['rx_ring_peak']:>9}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+def test_ingress_e2e_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        run_ingress_sweep, kwargs={"num_packets": SMOKE_PACKETS}, rounds=1, iterations=1
+    )
+    report("Ingress e2e — cores x shards x admission sweep", _format_sweep(sweep))
+    # No admission policy triggers at normal load: every cell is loss-free
+    # (the drop columns exist for the overload section).
+    for rows in sweep.values():
+        for row in rows.values():
+            assert row["transmitted"] == row["offered"] == SMOKE_PACKETS
+            assert row["mailbox_drops"] == 0
+    for row in sweep["backpressure"].values():
+        assert row["admission_drops"] == 0
+    # The acceptance gate: at 4 shards a single RX core is the end-to-end
+    # bottleneck, and a second ingress core raises modelled throughput.
+    one = sweep["backpressure"]["i1s4"]
+    two = sweep["backpressure"]["i2s4"]
+    assert one["max_ingress_cycles"] >= one["max_shard_cycles"], _format_sweep(sweep)
+    assert two["aggregate_ops_per_sec"] > one["aggregate_ops_per_sec"], _format_sweep(sweep)
+    # At normal load the watermarks never engage — backpressure is an
+    # overload mechanism, and the overload test asserts it fires there.
+
+
+def test_ingress_overload_admission(benchmark):
+    overload = benchmark.pedantic(
+        run_overload, kwargs={"num_packets": SMOKE_OVERLOAD_PACKETS}, rounds=1, iterations=1
+    )
+    report("Ingress e2e — 2x overload, admission policies", _format_overload(overload))
+    backpressure = overload["backpressure"]
+    codel = overload["codel"]
+    # Pure backpressure loses nothing under 2x overload: the RX ring grows
+    # past its nominal capacity instead.
+    assert backpressure["transmitted"] == backpressure["offered"]
+    assert backpressure["admission_drops"] == 0
+    assert backpressure["mailbox_drops"] == 0
+    assert backpressure["rx_ring_peak"] > RX_RING
+    assert backpressure["ingress_stalled_ticks"] > 0
+    # CoDel-style admission strictly reduces p99 RX sojourn, at the price of
+    # a non-zero drop rate; conservation holds including drops.
+    assert codel["admission_drops"] > 0
+    assert codel["rx_sojourn_p99_ns"] < backpressure["rx_sojourn_p99_ns"], (
+        _format_overload(overload)
+    )
+    assert codel["transmitted"] + codel["admission_drops"] == codel["offered"]
+    # The occupancy-bounding policies cap the ring and drop the excess.
+    for policy_key in ("tail_drop", "fair_drop"):
+        row = overload[policy_key]
+        assert row["admission_drops"] > 0
+        assert row["rx_ring_peak"] <= RX_RING
+        assert row["transmitted"] + row["admission_drops"] == row["offered"]
+        assert row["rx_sojourn_p99_ns"] < backpressure["rx_sojourn_p99_ns"]
+
+
+def test_figure9_multicore(benchmark):
+    result = benchmark.pedantic(
+        run_figure9_multicore, args=(FIG9_SMOKE,), rounds=1, iterations=1
+    )
+    report(
+        "Figure 9, multi-core — Eiffel vs mq(Eiffel x 4)",
+        (
+            f"single eiffel median cores:      {result['single_eiffel_median_cores']:.4f}\n"
+            f"mq4 whole-machine median cores:  {result['mq_total_median_cores']:.4f}\n"
+            f"mq4 bottleneck-core median:      {result['mq_bottleneck_core_median_cores']:.4f}\n"
+            f"per-core speedup vs single:      {result['per_core_speedup_vs_single']:.1f}x"
+        ),
+    )
+    benchmark.extra_info.update(result)
+    # The multi-core claim: the bottleneck core of the mq variant carries
+    # strictly less load than the single-core qdisc.
+    assert (
+        result["mq_bottleneck_core_median_cores"] < result["single_eiffel_median_cores"]
+    )
+
+
+def test_figure19_multicore(benchmark):
+    result = benchmark.pedantic(
+        run_figure19_multicore, args=(FIG19_SMOKE,), rounds=1, iterations=1
+    )
+    rows = result["schemes"]
+    base = rows["pfabric"]
+    mq = rows[f"pfabric_mq{FIG19_MQ_SHARDS}"]
+    report(
+        "Figure 19, multi-core — pFabric vs sharded-port pFabric",
+        "\n".join(
+            f"{name:12} small_avg={row['small_flow_avg_fct']:.2f} "
+            f"small_p99={row['small_flow_p99_fct']:.2f} "
+            f"large_avg={row['large_flow_avg_fct']:.2f} "
+            f"completed={row['completion_rate']:.2f}"
+            for name, row in rows.items()
+        ),
+    )
+    benchmark.extra_info["panels"] = rows
+    # The sharded port must track the single-queue port (the same tolerance
+    # the approximate-queue comparison of Figure 19 uses).
+    assert abs(mq["small_flow_avg_fct"] - base["small_flow_avg_fct"]) <= max(
+        0.5, 0.5 * base["small_flow_avg_fct"]
+    )
+    assert mq["completion_rate"] >= base["completion_rate"] - 0.05
+    assert mq["large_flow_avg_fct"] <= base["large_flow_avg_fct"] * 1.5
+
+
+if __name__ == "__main__":
+    results = run_benchmark(smoke=False)
+    artifact = write_artifact(results)
+    print(_format_sweep(results["sweep"]))
+    print()
+    print(_format_overload(results["overload"]))
+    fig9 = results["figure9_multicore"]
+    print(
+        f"\nfig9 mq{fig9['num_shards']}: single {fig9['single_eiffel_median_cores']:.4f} cores "
+        f"-> bottleneck-core {fig9['mq_bottleneck_core_median_cores']:.4f} "
+        f"({fig9['per_core_speedup_vs_single']:.1f}x per-core)"
+    )
+    fig19 = results["figure19_multicore"]
+    for name, row in fig19["schemes"].items():
+        print(
+            f"fig19 {name:12} small_avg={row['small_flow_avg_fct']:.2f} "
+            f"p99={row['small_flow_p99_fct']:.2f} large_avg={row['large_flow_avg_fct']:.2f}"
+        )
+    print(f"\nwrote {artifact}")

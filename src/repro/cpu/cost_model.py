@@ -69,6 +69,19 @@ DEFAULT_COSTS: dict[str, OperationCost] = {
     "gc_scan": OperationCost("gc_scan", 20.0, "flow garbage-collection step"),
     "flow_lookup": OperationCost("flow_lookup", 30.0, "hash/flow-table lookup"),
     "batch_overhead": OperationCost("batch_overhead", 120.0, "per-batch module call"),
+    # Ingress-core (RX pipeline) operations.  The ratios follow the usual
+    # budget split of a busy-polling RX core: the poll-loop entry costs about
+    # one cache-missy function dispatch per burst, each descriptor read plus
+    # buffer unmap is a couple of cache-line touches, and an admission check
+    # (occupancy compare / sojourn compare) is register arithmetic on state
+    # the loop already holds.
+    "rx_poll": OperationCost("rx_poll", 80.0, "RX poll-loop entry (per burst)"),
+    "rx_descriptor": OperationCost(
+        "rx_descriptor", 18.0, "RX descriptor read + buffer unmap (per packet)"
+    ),
+    "admission_check": OperationCost(
+        "admission_check", 6.0, "admission-policy compare (per packet)"
+    ),
 }
 
 #: Mapping from :class:`repro.core.queues.base.QueueStats` counter names to

@@ -5,6 +5,7 @@ from .eiffel_qdisc import EiffelQdisc
 from .experiment import (
     ShapingExperimentConfig,
     ShapingExperimentResult,
+    build_multiqueue_eiffel,
     build_qdiscs,
     run_shaping_experiment,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "QdiscStats",
     "ShapingExperimentConfig",
     "ShapingExperimentResult",
+    "build_multiqueue_eiffel",
     "build_qdiscs",
     "run_shaping_experiment",
 ]

@@ -126,6 +126,38 @@ def build_qdiscs(
     }
 
 
+def build_multiqueue_eiffel(
+    config: ShapingExperimentConfig,
+    flow_rates: Dict[int, float],
+    num_shards: int,
+):
+    """An ``mq``-rooted Eiffel qdisc: the multi-core variant of Figure 9.
+
+    One Eiffel child per virtual CPU behind the
+    :class:`~repro.runtime.adapters.MultiQueueQdisc` root, flows hashed to
+    children RSS-style — the deployment shape the paper's kernel use case
+    runs in on a multi-queue NIC.  Every child receives the full flow-rate
+    map (it only ever sees its own hash bucket's flows) and charges its own
+    cost accounts, so :meth:`MultiQueueQdisc.max_child_cycles` exposes the
+    bottleneck-core view the multi-core reproduction reports next to the
+    single-core total.
+    """
+    # Imported here: repro.runtime.adapters itself imports the kernel qdisc
+    # base, so a module-level import would cycle during package init.
+    from ..runtime.adapters import MultiQueueQdisc
+
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return MultiQueueQdisc(
+        num_shards,
+        lambda shard: EiffelQdisc(
+            flow_rates=dict(flow_rates),
+            horizon_ns=config.horizon_ns,
+            num_buckets=config.eiffel_buckets,
+        ),
+    )
+
+
 def run_shaping_experiment(
     config: ShapingExperimentConfig = ShapingExperimentConfig(),
     qdisc_filter: Callable[[str], bool] = lambda name: True,
@@ -169,6 +201,7 @@ def run_shaping_experiment(
 __all__ = [
     "ShapingExperimentConfig",
     "ShapingExperimentResult",
+    "build_multiqueue_eiffel",
     "build_qdiscs",
     "run_shaping_experiment",
 ]

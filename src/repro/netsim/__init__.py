@@ -13,6 +13,7 @@ from .experiment import (
     FabricExperimentConfig,
     FabricRunResult,
     SCHEMES,
+    multiqueue_pfabric_scheme,
     run_fabric_experiment,
     run_figure19,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "Simulator",
     "Switch",
     "approx_pfabric_queue_factory",
+    "multiqueue_pfabric_scheme",
     "run_fabric_experiment",
     "run_figure19",
 ]

@@ -173,6 +173,27 @@ class PFabricPortQueue(PortQueue):
                 batch.append(packet)
         return batch
 
+    def head_priority(self) -> Optional[int]:
+        """Priority of the next packet to transmit (``None`` when empty).
+
+        The arbitration hint a priority-aware multi-queue TX arbiter
+        (:class:`~repro.runtime.adapters.ShardedPortQueue` with
+        ``arbiter="priority"``) compares across rings.  Lazily evicted
+        packets surfacing at the index minimum are discarded here, exactly
+        as :meth:`dequeue` discards them — a corpse's stale priority could
+        otherwise outrank the ring's real head and invert the cross-ring
+        priority order the arbiter exists to provide.
+        """
+        if not self._resident:
+            return None
+        while len(self._queue):
+            priority, packet = self._queue.peek_min()
+            if packet.metadata.pop("pfabric_evicted", None):
+                self._queue.extract_min()  # discard the corpse, as dequeue does
+                continue
+            return priority
+        return None
+
     def __len__(self) -> int:
         return len(self._resident)
 

@@ -56,6 +56,36 @@ SCHEMES: Dict[str, tuple] = {
 }
 
 
+def multiqueue_pfabric_scheme(num_shards: int, approx: bool = False) -> tuple:
+    """A multi-queue pFabric scheme: per-port priority rings behind RSS.
+
+    Every switch port becomes a
+    :class:`~repro.runtime.adapters.ShardedPortQueue` of ``num_shards``
+    pFabric sub-queues under **priority TX arbitration**: each ring keeps
+    pFabric's shallowest-remaining-first order internally, and the arbiter
+    serves the ring whose head packet ranks best, so strict priority holds
+    across rings too.  (Round-robin arbitration demonstrably collapses the
+    small-flow FCTs — mice wait behind an elephant's ring turns — which is
+    exactly what the Figure 19 multi-core reproduction guards against.)
+    """
+    # Imported here: repro.runtime.adapters pulls in the kernel qdisc base,
+    # which would cycle if imported while this package initialises.
+    from ..runtime.adapters import ShardedPortQueue
+
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if approx:
+        def sub_queue(shard: int) -> PFabricPortQueue:
+            return PFabricPortQueue(queue_factory=approx_pfabric_queue_factory)
+    else:
+        def sub_queue(shard: int) -> PFabricPortQueue:
+            return PFabricPortQueue()
+    return (
+        lambda: ShardedPortQueue(num_shards, sub_queue, arbiter="priority"),
+        PFabricTransport,
+    )
+
+
 @dataclass
 class FabricRunResult:
     """Completed flow records plus the configuration that produced them."""
@@ -117,12 +147,23 @@ def run_fabric_experiment(
     scheme: str,
     load: float,
     config: FabricExperimentConfig = FabricExperimentConfig(),
+    scheme_impl: Optional[tuple] = None,
 ) -> FabricRunResult:
-    """Run one scheme at one load point and return the flow records."""
-    try:
-        queue_factory, transport_cls = SCHEMES[scheme]
-    except KeyError as exc:
-        raise ValueError(f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}") from exc
+    """Run one scheme at one load point and return the flow records.
+
+    ``scheme_impl`` lets a caller supply an unregistered ``(queue_factory,
+    transport_cls)`` pair (e.g. from :func:`multiqueue_pfabric_scheme`)
+    under an ad-hoc name without mutating the global :data:`SCHEMES` table.
+    """
+    if scheme_impl is not None:
+        queue_factory, transport_cls = scheme_impl
+    else:
+        try:
+            queue_factory, transport_cls = SCHEMES[scheme]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; choose from {sorted(SCHEMES)}"
+            ) from exc
     simulator = Simulator()
     fabric = LeafSpineFabric(simulator, config.fabric, queue_factory)
     workload = FlowWorkload(
@@ -176,6 +217,7 @@ __all__ = [
     "LARGE_FLOW_BYTES",
     "SCHEMES",
     "SMALL_FLOW_BYTES",
+    "multiqueue_pfabric_scheme",
     "run_fabric_experiment",
     "run_figure19",
 ]

@@ -10,7 +10,21 @@ instance per core, flows spread across instances by an RSS-style hash:
   migrate hot flows off overloaded shards, and the *ownership view* that
   records which flows are on loan to a work-stealing thief.
 * :class:`~repro.runtime.mailbox.Mailbox` — the batched SPSC ingress-to-shard
-  handoff.
+  handoff, with high/low watermark hysteresis (pause / resume edges) the
+  ingress backpressure hangs off.
+* :class:`~repro.runtime.ingress.IngressCore` — the asynchronous RX layer:
+  one or more ingress cores, each with its own bounded
+  :class:`~repro.runtime.ingress.RxRing` fed in NIC-style bursts, batched
+  classify + mailbox handoff on an ingress tick cadence, its own cycle
+  account (the ``rx_poll`` / ``rx_descriptor`` / ``flow_lookup`` budget of a
+  busy-polling RX core), watermark backpressure (the pull pauses and the
+  ring grows — loss-free by construction), and pluggable admission control
+  (:class:`~repro.runtime.ingress.TailDropPolicy` /
+  :class:`~repro.runtime.ingress.FlowFairDropPolicy` /
+  :class:`~repro.runtime.ingress.CoDelPolicy`).  Enabled with
+  ``ShardedRuntime(ingress_cores=N, admission=...)``; ingress cycles appear
+  as their own rows in the runtime telemetry and in the
+  ``bottleneck_cycles`` end-to-end view.
 * :class:`~repro.runtime.stealing.StealChannel` /
   :class:`~repro.runtime.stealing.FlowLease` — the bounded steal-request
   ring an idle shard parks a request in, and the atomic flow-ownership
@@ -58,28 +72,55 @@ Zipf-skewed workloads — rebalancing and stealing each on/off — and writes
 """
 
 from .adapters import MultiQueueQdisc, ShardedPortQueue
+from .ingress import (
+    AdmissionPolicy,
+    CoDelPolicy,
+    FlowFairDropPolicy,
+    IngressCore,
+    IngressStats,
+    IngressTelemetry,
+    RxRing,
+    TailDropPolicy,
+    make_admission_factory,
+)
 from .mailbox import Mailbox, MailboxStats
 from .runtime import RuntimeTelemetry, ShardTelemetry, ShardedRuntime
 from .sharder import (
     DEFAULT_HASH_SEED,
+    INGRESS_HASH_SEED,
     FlowSharder,
     Migration,
     ShardRebalancer,
     ShardingStats,
     rss_hash,
 )
-from .stealing import FlowLease, StealChannel, StealChannelStats, StealRequest, StealStats
+from .stealing import (
+    FlowLease,
+    StealChannel,
+    StealChannelStats,
+    StealRequest,
+    StealStats,
+    StealTuner,
+)
 from .worker import ShardWorker, ShardWorkerStats
 
 __all__ = [
+    "AdmissionPolicy",
+    "CoDelPolicy",
     "DEFAULT_HASH_SEED",
+    "FlowFairDropPolicy",
     "FlowLease",
     "FlowSharder",
+    "INGRESS_HASH_SEED",
+    "IngressCore",
+    "IngressStats",
+    "IngressTelemetry",
     "Mailbox",
     "MailboxStats",
     "Migration",
     "MultiQueueQdisc",
     "RuntimeTelemetry",
+    "RxRing",
     "ShardRebalancer",
     "ShardTelemetry",
     "ShardWorker",
@@ -91,5 +132,8 @@ __all__ = [
     "StealChannelStats",
     "StealRequest",
     "StealStats",
+    "StealTuner",
+    "TailDropPolicy",
+    "make_admission_factory",
     "rss_hash",
 ]

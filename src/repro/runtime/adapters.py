@@ -37,6 +37,13 @@ class ShardedPortQueue(PortQueue):
         queue_factory: builds each sub-queue, e.g. ``lambda shard:
             DropTailEcnQueue(capacity_packets=64)``.
         sharder: flow classifier; defaults to RSS-style hashing.
+        arbiter: TX arbitration — ``"rr"`` (round-robin rings, the NIC
+            default; composes with ``steal_enabled``) or ``"priority"``
+            (serve the ring whose head packet ranks best, re-arbitrated per
+            packet; requires every sub-queue to expose ``head_priority()``,
+            as :class:`~repro.netsim.elements.PFabricPortQueue` does —
+            the arbitration a multi-queue pFabric port needs, since RR
+            would let mice wait behind an elephant's ring turns).
 
     ``capacity_packets`` of the facade is the sum over sub-queues; ``drops``
     and ``enqueued`` counters aggregate the per-shard events observed through
@@ -55,20 +62,30 @@ class ShardedPortQueue(PortQueue):
     arbiters already have.  ``quota_steals`` counts the donated passes.
     """
 
+    ARBITERS = ("rr", "priority")
+
     def __init__(
         self,
         num_shards: int,
         queue_factory: Callable[[int], PortQueue],
         sharder: Optional[FlowSharder] = None,
         steal_enabled: bool = False,
+        arbiter: str = "rr",
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if arbiter not in self.ARBITERS:
+            raise ValueError(f"unknown arbiter {arbiter!r}; choose from {self.ARBITERS}")
         self.shards: List[PortQueue] = [queue_factory(shard) for shard in range(num_shards)]
+        if arbiter == "priority" and not all(
+            hasattr(queue, "head_priority") for queue in self.shards
+        ):
+            raise ValueError("priority arbitration needs head_priority() on every sub-queue")
         super().__init__(sum(queue.capacity_packets for queue in self.shards))
         self.num_shards = num_shards
         self.sharder = sharder or FlowSharder(num_shards)
         self.steal_enabled = steal_enabled
+        self.arbiter = arbiter
         self.quota_steals = 0
         self._next_rr = 0
 
@@ -98,7 +115,36 @@ class ShardedPortQueue(PortQueue):
         self.enqueued += accepted
         return accepted
 
+    def _best_priority_shard(self) -> Optional[int]:
+        """Loaded ring with the best (lowest) head priority; ties follow RR.
+
+        The priority arbiter of a multi-queue pFabric port: strict priority
+        holds *across* rings as well as within them, which RR arbitration
+        cannot provide (a mouse flow's packets would wait behind an
+        elephant's ring turns — exactly the small-flow FCT collapse the
+        Figure 19 multi-queue reproduction guards against).
+        """
+        best = None
+        best_priority = None
+        for offset in range(self.num_shards):
+            shard = (self._next_rr + offset) % self.num_shards
+            queue = self.shards[shard]
+            if not len(queue):
+                continue
+            priority = queue.head_priority()  # type: ignore[attr-defined]
+            if priority is None:
+                continue
+            if best_priority is None or priority < best_priority:
+                best, best_priority = shard, priority
+        return best
+
     def dequeue(self) -> Optional[Packet]:
+        if self.arbiter == "priority":
+            shard = self._best_priority_shard()
+            if shard is None:
+                return None
+            self._next_rr = (shard + 1) % self.num_shards
+            return self.shards[shard].dequeue()
         for offset in range(self.num_shards):
             shard = (self._next_rr + offset) % self.num_shards
             packet = self.shards[shard].dequeue()
@@ -118,6 +164,16 @@ class ShardedPortQueue(PortQueue):
         shrinking extra passes over the same rings disappear.
         """
         batch: List[Packet] = []
+        if self.arbiter == "priority":
+            # Strict cross-ring priority re-arbitrates per packet: the head
+            # comparison is the whole point, so the pull cannot take long
+            # same-ring runs the way the RR quota does.
+            while len(batch) < n:
+                packet = self.dequeue()
+                if packet is None:
+                    break
+                batch.append(packet)
+            return batch
         while len(batch) < n:
             start = self._next_rr
             progressed = False

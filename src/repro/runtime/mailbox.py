@@ -12,13 +12,28 @@ batch per scheduling quantum.  In simulation both sides run on one thread,
 so there is no locking — the SPSC discipline survives as the API shape:
 exactly one producer calls ``push``/``push_batch`` and exactly one consumer
 calls ``drain``.
+
+Watermark backpressure
+----------------------
+
+A bounded ring that silently overflows is a loss point; a real ingress
+pipeline instead *pauses the producer* before the ring fills — kernel NAPI
+backlog limits, BESS queue occupancy thresholds, NIC flow control.  The
+mailbox models that with a high/low watermark pair and hysteresis: when
+occupancy rises to the high watermark the mailbox enters the *paused* state
+(one ``stalls`` count, optional ``on_high`` callback); it leaves it only
+when the consumer drains occupancy down to the low watermark (optional
+``on_low`` callback).  The mailbox never blocks anything itself — producers
+(the ingress cores of :mod:`repro.runtime.ingress`) consult :attr:`paused`
+before pulling more work off their RX rings, and the ``on_low`` edge is the
+wake-up that resumes a stalled ingress core without polling.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+from typing import Callable, Deque, Generic, Iterable, List, Optional, TypeVar
 
 from ..core.queues.base import CounterStatsMixin
 
@@ -27,13 +42,18 @@ T = TypeVar("T")
 
 @dataclass(slots=True)
 class MailboxStats(CounterStatsMixin):
-    """Counters kept by one mailbox."""
+    """Counters kept by one mailbox.
+
+    ``stalls`` counts high-watermark crossings (pause events), not paused
+    ticks: one producer stall episode is one count however long it lasts.
+    """
 
     pushed: int = 0
     dropped: int = 0
     drained: int = 0
     drain_calls: int = 0
     peak_occupancy: int = 0
+    stalls: int = 0
 
 
 class Mailbox(Generic[T]):
@@ -43,16 +63,109 @@ class Mailbox(Generic[T]):
         capacity: maximum resident items; ``None`` means unbounded (the
             simulation default — backpressure is then the runtime's problem,
             as it is for an unbounded qdisc backlog).
+        high_watermark / low_watermark: occupancy thresholds of the paused
+            state (see module docstring).  ``high_watermark`` alone defaults
+            the low watermark to half of it.
+        on_high / on_low: callbacks fired on the rising (pause) and falling
+            (resume) watermark edges; both optional and settable later via
+            :meth:`configure_watermarks`.
     """
 
-    __slots__ = ("capacity", "stats", "_items")
+    __slots__ = (
+        "capacity",
+        "stats",
+        "high_watermark",
+        "low_watermark",
+        "on_high",
+        "on_low",
+        "_paused",
+        "_items",
+    )
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        on_high: Optional[Callable[[], None]] = None,
+        on_low: Optional[Callable[[], None]] = None,
+    ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive (or None for unbounded)")
         self.capacity = capacity
         self.stats = MailboxStats()
         self._items: Deque[T] = deque()
+        self.high_watermark: Optional[int] = None
+        self.low_watermark: Optional[int] = None
+        self.on_high: Optional[Callable[[], None]] = None
+        self.on_low: Optional[Callable[[], None]] = None
+        self._paused = False
+        if high_watermark is not None or low_watermark is not None:
+            self.configure_watermarks(high_watermark, low_watermark, on_high, on_low)
+
+    # -- watermarks ----------------------------------------------------------
+
+    def configure_watermarks(
+        self,
+        high: Optional[int],
+        low: Optional[int] = None,
+        on_high: Optional[Callable[[], None]] = None,
+        on_low: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Install (or clear, with ``high=None``) the watermark pair.
+
+        ``low`` defaults to ``high // 2``; at ``high == 1`` that is 0, i.e.
+        the producer resumes only on a fully drained ring — the capacity-1
+        hysteresis edge the tests pin down.  Callbacks already installed
+        survive a threshold retune unless new ones are passed (retuning a
+        live runtime mailbox must not sever the ingress resume wiring); to
+        drop a callback, assign the attribute directly.
+        """
+        if on_high is not None:
+            self.on_high = on_high
+        if on_low is not None:
+            self.on_low = on_low
+        if high is None:
+            self.high_watermark = self.low_watermark = None
+            self._paused = False
+            return
+        if high <= 0:
+            raise ValueError("high watermark must be positive")
+        if self.capacity is not None and high > self.capacity:
+            raise ValueError("high watermark cannot exceed capacity")
+        if low is None:
+            low = high // 2
+        if low < 0 or low >= high:
+            raise ValueError("low watermark must satisfy 0 <= low < high")
+        self.high_watermark = high
+        self.low_watermark = low
+        self._check_high()
+
+    @property
+    def paused(self) -> bool:
+        """True while occupancy sits inside the high/low hysteresis band."""
+        return self._paused
+
+    def _check_high(self) -> None:
+        if (
+            not self._paused
+            and self.high_watermark is not None
+            and len(self._items) >= self.high_watermark
+        ):
+            self._paused = True
+            self.stats.stalls += 1
+            if self.on_high is not None:
+                self.on_high()
+
+    def _check_low(self) -> None:
+        if (
+            self._paused
+            and self.low_watermark is not None
+            and len(self._items) <= self.low_watermark
+        ):
+            self._paused = False
+            if self.on_low is not None:
+                self.on_low()
 
     # -- producer side -----------------------------------------------------
 
@@ -65,6 +178,7 @@ class Mailbox(Generic[T]):
         self.stats.pushed += 1
         if len(self._items) > self.stats.peak_occupancy:
             self.stats.peak_occupancy = len(self._items)
+        self._check_high()
         return True
 
     def push_batch(self, items: Iterable[T]) -> int:
@@ -93,6 +207,7 @@ class Mailbox(Generic[T]):
         occupancy = len(ring)
         if occupancy > stats.peak_occupancy:
             stats.peak_occupancy = occupancy
+        self._check_high()
         return take
 
     # -- consumer side -----------------------------------------------------
@@ -116,6 +231,7 @@ class Mailbox(Generic[T]):
         stats = self.stats
         stats.drained += len(batch)
         stats.drain_calls += 1
+        self._check_low()
         return batch
 
     # -- introspection -----------------------------------------------------

@@ -6,7 +6,13 @@ multi-core scheduler runs one worker loop per CPU against shared wall time:
 
 * **ingress** (:meth:`submit` / :meth:`submit_batch`) routes each packet to a
   shard via the :class:`~repro.runtime.sharder.FlowSharder` and posts it into
-  that shard's batched SPSC mailbox;
+  that shard's batched SPSC mailbox; with ``ingress_cores=N`` the submission
+  instead lands in the RX ring of one of N asynchronous
+  :class:`~repro.runtime.ingress.IngressCore`\\ s (flows spread over cores by
+  an RSS-style hash with its own seed), which classify and hand off in
+  batches on their own tick cadence, charge their own cycle accounts, pause
+  on mailbox watermarks (backpressure) and optionally run admission control
+  — see :mod:`repro.runtime.ingress`;
 * each shard **ticks** once per scheduling quantum — one batched mailbox
   drain + stamp + ``enqueue_batch``, then one batched ``extract_due`` — and
   re-programs its own wake-up timer (a cancellable simulator event) for the
@@ -51,9 +57,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .ingress import IngressCore, IngressTelemetry, make_admission_factory
 from .mailbox import MailboxStats
 from .sharder import FlowSharder, ShardRebalancer
-from .stealing import FlowLease, StealChannel, StealRequest, StealStats
+from .stealing import FlowLease, StealChannel, StealRequest, StealStats, StealTuner
 from .worker import QueueFactory, ShardWorker
 from ..core.model.packet import Packet
 from ..core.queues import QueueStats
@@ -113,6 +120,12 @@ class RuntimeTelemetry:
     steals_succeeded: int = 0
     packets_stolen: int = 0
     steal_cycles: float = 0.0
+    ingress: List[IngressTelemetry] = field(default_factory=list)
+    max_ingress_cycles: float = 0.0
+    #: Packets lost at the RX stage: admission-policy drops, plus bare ring
+    #: overflow when backpressure is disabled with no policy armed.  With
+    #: backpressure on and ``admission=None`` this is zero by construction.
+    admission_drops: int = 0
 
     @property
     def imbalance(self) -> float:
@@ -122,6 +135,18 @@ class RuntimeTelemetry:
         if total == 0:
             return 1.0
         return max(counts) / (total / len(counts))
+
+    @property
+    def bottleneck_cycles(self) -> float:
+        """Busiest core across *both* layers (shards and ingress cores).
+
+        On real hardware every ingress core runs concurrently with every
+        shard, so the end-to-end modelled throughput is limited by whichever
+        single core — RX or scheduling — consumed the most cycles.  This is
+        the number the ingress e2e benchmark converts into aggregate
+        ops/sec; with no ingress cores it degrades to ``max_shard_cycles``.
+        """
+        return max(self.max_shard_cycles, self.max_ingress_cycles)
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot."""
@@ -139,6 +164,10 @@ class RuntimeTelemetry:
             "packets_stolen": self.packets_stolen,
             "steal_cycles": self.steal_cycles,
             "imbalance": self.imbalance,
+            "ingress": [core.as_dict() for core in self.ingress],
+            "max_ingress_cycles": self.max_ingress_cycles,
+            "bottleneck_cycles": self.bottleneck_cycles,
+            "admission_drops": self.admission_drops,
         }
 
 
@@ -152,7 +181,22 @@ class ShardedRuntime:
         quantum_ns: scheduling quantum — each active shard runs one batched
             ingest + drain per quantum.
         batch_per_quantum: drain budget per tick (the "one batch per
-            quantum" of the worker loop); the mailbox is drained fully.
+            quantum" of the worker loop); the mailbox is drained fully
+            unless ``ingest_per_quantum`` bounds it.
+        ingest_per_quantum: cap on packets a shard stamps per tick (``None``
+            drains the whole mailbox, the historical behaviour).  Bounding
+            it models the real per-quantum budget of a scheduling core, and
+            is what lets mailbox occupancy build under overload so the
+            watermark backpressure has something to push against.  Defaults
+            to ``batch_per_quantum`` when ingress cores are configured with
+            bounded mailboxes.
+        shard_backlog_limit: the shard queue's ``txqueuelen``: while a
+            shard's timestamp queue holds this many packets it stops
+            ingesting, leaving arrivals in its mailbox — which is the link
+            that propagates overload upstream (mailbox fills → watermark
+            pauses the RX pull → the RX ring absorbs or the admission
+            policy drops).  ``None`` (default) leaves the queue unbounded,
+            the historical behaviour.
         flow_rates / default_rate_bps: per-flow pacing configuration handed
             to every shard (flows are disjoint across shards, so sharing the
             mapping is safe).
@@ -175,6 +219,35 @@ class ShardedRuntime:
         steal_channel_capacity: bound on each shard's parked steal requests
             (the bounded cross-core request ring; overflow is dropped and
             counted, never blocked on).
+        steal_adaptive: derive the effective steal batch/horizon from an
+            EWMA of observed lease sizes (:class:`StealTuner`); the
+            configured ``steal_batch`` / ``steal_horizon_ns`` become
+            ceilings the tuner shrinks toward what victims actually grant.
+        ingress_cores: number of asynchronous RX cores in front of the
+            shards (0 keeps the historical synchronous ingress).  With
+            ingress cores, :meth:`submit` / :meth:`submit_batch` land in a
+            per-core RX ring (flows spread by an RSS-style hash with its
+            own seed) and the cores classify + hand off on their own tick
+            cadence, charging their own cycle accounts.
+        admission: admission policy for overloaded ingress — ``None`` (pure
+            backpressure: the RX ring grows, nothing is ever dropped), one
+            of ``"tail_drop"`` / ``"fair_drop"`` / ``"codel"``, or a
+            zero-argument factory returning a fresh
+            :class:`~repro.runtime.ingress.AdmissionPolicy` per core.
+        rx_ring_capacity / rx_burst: nominal RX ring size and per-tick pull
+            budget of each ingress core.
+        ingress_quantum_ns: ingress tick period (defaults to one quarter of
+            ``quantum_ns``, so several NIC pulls land per scheduling
+            quantum, as NAPI polls outpace scheduler ticks).
+        ingress_backpressure: honour mailbox watermarks (pause the pull and
+            grow the ring); off, an unarmed ring tail-drops at capacity.
+        mailbox_high_watermark / mailbox_low_watermark: backpressure
+            thresholds of every shard mailbox; default to ``capacity`` and
+            ``capacity // 2`` when ingress cores are configured with a
+            bounded ``mailbox_capacity``.
+        record_ingress_sojourns: keep each delivered packet's RX-ring
+            sojourn on its ingress core (benchmarks compute latency
+            percentiles from it; counters always track the sum).
         on_transmit: callback ``(packet, now_ns)`` run for every released
             packet (the NIC side).
         record_transmits: keep ``(now_ns, packet)`` in :attr:`transmit_log`
@@ -206,6 +279,18 @@ class ShardedRuntime:
         steal_horizon_ns: Optional[int] = None,
         steal_min_backlog: int = 8,
         steal_channel_capacity: int = 8,
+        steal_adaptive: bool = False,
+        ingress_cores: int = 0,
+        admission: "str | Callable[[], object] | None" = None,
+        rx_ring_capacity: int = 512,
+        rx_burst: int = 64,
+        ingress_quantum_ns: Optional[int] = None,
+        ingress_backpressure: bool = True,
+        mailbox_high_watermark: Optional[int] = None,
+        mailbox_low_watermark: Optional[int] = None,
+        ingest_per_quantum: Optional[int] = None,
+        shard_backlog_limit: Optional[int] = None,
+        record_ingress_sojourns: bool = False,
         on_transmit: Optional[Callable[[Packet, int], None]] = None,
         record_transmits: bool = True,
         gc_interval_packets: Optional[int] = 4096,
@@ -230,6 +315,18 @@ class ShardedRuntime:
             raise ValueError("steal_channel_capacity must be positive")
         if gc_interval_packets is not None and gc_interval_packets <= 0:
             raise ValueError("gc_interval_packets must be positive")
+        if ingress_cores < 0:
+            raise ValueError("ingress_cores must be non-negative")
+        if rx_ring_capacity <= 0:
+            raise ValueError("rx_ring_capacity must be positive")
+        if rx_burst <= 0:
+            raise ValueError("rx_burst must be positive")
+        if ingress_quantum_ns is not None and ingress_quantum_ns <= 0:
+            raise ValueError("ingress_quantum_ns must be positive")
+        if ingest_per_quantum is not None and ingest_per_quantum <= 0:
+            raise ValueError("ingest_per_quantum must be positive")
+        if shard_backlog_limit is not None and shard_backlog_limit <= 0:
+            raise ValueError("shard_backlog_limit must be positive")
         self.num_shards = num_shards
         self.simulator = simulator or Simulator()
         self.sharder = sharder or FlowSharder(num_shards)
@@ -243,6 +340,16 @@ class ShardedRuntime:
         self.rebalancer = rebalancer
         self.on_transmit = on_transmit
         self.record_transmits = record_transmits
+        if (
+            ingress_cores > 0
+            and mailbox_capacity is not None
+            and mailbox_high_watermark is None
+        ):
+            # Backpressure needs a pause edge before the mailbox can drop:
+            # default the watermarks so a bounded mailbox pauses the RX pull
+            # at capacity and resumes once half-drained.
+            mailbox_high_watermark = mailbox_capacity
+            mailbox_low_watermark = mailbox_capacity // 2
         self.workers: List[ShardWorker] = [
             ShardWorker(
                 shard_id,
@@ -252,9 +359,17 @@ class ShardedRuntime:
                 num_buckets=num_buckets,
                 queue_factory=queue_factory,
                 mailbox_capacity=mailbox_capacity,
+                mailbox_high_watermark=mailbox_high_watermark,
+                mailbox_low_watermark=mailbox_low_watermark,
             )
             for shard_id in range(num_shards)
         ]
+        if ingest_per_quantum is None and ingress_cores > 0 and mailbox_capacity is not None:
+            # A bounded mailbox only exerts backpressure if the shard's
+            # per-quantum stamping budget is bounded too.
+            ingest_per_quantum = batch_per_quantum
+        self.ingest_per_quantum = ingest_per_quantum
+        self.shard_backlog_limit = shard_backlog_limit
         self.transmit_log: List[tuple[int, Packet]] = []
         self.ingress_drops = 0
         self.migrations_applied = 0
@@ -263,6 +378,10 @@ class ShardedRuntime:
         self.steal_batch = steal_batch
         self.steal_horizon_ns = quantum_ns if steal_horizon_ns is None else steal_horizon_ns
         self.steal_min_backlog = steal_min_backlog
+        self.steal_adaptive = steal_adaptive
+        self._steal_tuner: Optional[StealTuner] = (
+            StealTuner(self.steal_batch, self.steal_horizon_ns) if steal_adaptive else None
+        )
         self._steal_channels: List[StealChannel] = [
             StealChannel(capacity=steal_channel_capacity) for _ in range(num_shards)
         ]
@@ -274,6 +393,33 @@ class ShardedRuntime:
         self._flow_pending: Dict[int, int] = {}
         self._tick_handles: List[Optional[EventHandle]] = [None] * num_shards
         self._rebalance_handle: Optional[EventHandle] = None
+        # -- the asynchronous ingress layer --------------------------------
+        admission_factory = make_admission_factory(admission)
+        self.ingress_quantum_ns = (
+            max(1, quantum_ns // 4) if ingress_quantum_ns is None else ingress_quantum_ns
+        )
+        self.ingress_cores: List[IngressCore] = [
+            IngressCore(
+                core_id,
+                ring_capacity=rx_ring_capacity,
+                pull_batch=rx_burst,
+                admission=admission_factory() if admission_factory else None,
+                backpressure=ingress_backpressure,
+                record_sojourns=record_ingress_sojourns,
+            )
+            for core_id in range(ingress_cores)
+        ]
+        self._ingress_sharder = (
+            FlowSharder.for_ingress(ingress_cores) if ingress_cores else None
+        )
+        self._ingress_handles: List[Optional[EventHandle]] = [None] * ingress_cores
+        self._mailboxes = [worker.mailbox for worker in self.workers]
+        if self.ingress_cores:
+            for mailbox in self._mailboxes:
+                # The falling watermark edge is the resume signal: a shard
+                # draining below its low watermark wakes exactly the RX
+                # cores that stalled on it (event-driven, no polling).
+                mailbox.on_low = self._wake_stalled_ingress
 
     # -- ingress -----------------------------------------------------------
 
@@ -314,7 +460,14 @@ class ShardedRuntime:
         self.sharder.record(flow_id, shard)
 
     def submit(self, packet: Packet) -> bool:
-        """Offer one packet to the runtime; False when the mailbox dropped it."""
+        """Offer one packet to the runtime; False when it was dropped.
+
+        With ingress cores the packet lands in its flow's RX ring (drops are
+        then the admission policy's verdict); otherwise it goes straight to
+        its shard's mailbox, as before the ingress layer existed.
+        """
+        if self.ingress_cores:
+            return self._offer_ingress([packet]) == 1
         shard = self._route(packet.flow_id)
         if not self.workers[shard].mailbox.push(packet):
             self.ingress_drops += 1
@@ -330,6 +483,8 @@ class ShardedRuntime:
 
         Returns the number of packets accepted.
         """
+        if self.ingress_cores:
+            return self._offer_ingress(packets)
         by_shard: Dict[int, List[Packet]] = {}
         get_group = by_shard.get
         route = self._route
@@ -357,6 +512,101 @@ class ShardedRuntime:
         if accepted:
             self._arm_rebalance()
         return accepted
+
+    # -- the asynchronous ingress layer ------------------------------------
+
+    def _offer_ingress(self, packets: List[Packet]) -> int:
+        """Spread a NIC burst over the ingress cores' RX rings by flow hash.
+
+        One flow always traverses one ring (per-flow FIFO composes through
+        the whole pipeline); returns packets admitted past the admission
+        policy.  With pure backpressure everything is admitted — the rings
+        grow instead of dropping.
+        """
+        assert self._ingress_sharder is not None
+        now = self.simulator.now_ns
+        if len(self.ingress_cores) == 1:
+            groups: Dict[int, List[Packet]] = {0: packets}
+        else:
+            groups = {}
+            lane_for = self._ingress_sharder.shard_for
+            for packet in packets:
+                groups.setdefault(lane_for(packet.flow_id), []).append(packet)
+        admitted = 0
+        for lane, group in groups.items():
+            core = self.ingress_cores[lane]
+            admitted += core.offer(group, now)
+            if not core.ring.empty:
+                self._wake_ingress(lane)
+        return admitted
+
+    def _wake_ingress(self, lane: int) -> None:
+        """Guarantee the ingress core pulls within one ingress quantum.
+
+        Ingress ticks are only ever armed at ``now`` or one ingress quantum
+        out, so an already-armed pull is always soon enough for fresh ring
+        arrivals; only :meth:`_wake_stalled_ingress` (the watermark resume
+        edge) ever pulls an armed retry forward.
+        """
+        handle = self._ingress_handles[lane]
+        if handle is not None and handle.active:
+            return
+        self._ingress_handles[lane] = self.simulator.schedule_at(
+            self.simulator.now_ns, lambda lane=lane: self._ingress_tick(lane)
+        )
+
+    def _wake_stalled_ingress(self) -> None:
+        """Resume every RX core parked on backpressure (the ``on_low`` edge).
+
+        Unlike :meth:`_wake_ingress`, a stalled core's pending quantum-
+        cadence retry is pulled forward to *now*: the whole point of the
+        falling-watermark edge is to beat that polling fallback, and a
+        stalled core always has the retry armed, so deferring to it would
+        make this wake a no-op and cost up to one ingress quantum of extra
+        RX sojourn per stall.
+        """
+        now = self.simulator.now_ns
+        for lane, core in enumerate(self.ingress_cores):
+            if not core.stalled or core.ring.empty:
+                continue
+            handle = self._ingress_handles[lane]
+            if handle is not None and handle.active:
+                if handle.time_ns <= now:
+                    continue  # already due this instant
+                self.simulator.cancel(handle)
+            self._ingress_handles[lane] = self.simulator.schedule_at(
+                now, lambda lane=lane: self._ingress_tick(lane)
+            )
+
+    def _ingress_tick(self, lane: int) -> None:
+        core = self.ingress_cores[lane]
+        self._ingress_handles[lane] = None
+        now = self.simulator.now_ns
+        core.pull(now, self._route, self._mailboxes, self._ingress_deliver)
+        if core.ring.empty:
+            return  # the next offer() wakes this core
+        # Blocked cores are primarily woken by the mailbox on_low edge; the
+        # quantum-cadence retry below is the liveness belt for custom
+        # watermark wirings, and for a loaded ring it is simply the next
+        # NAPI poll.
+        self._ingress_handles[lane] = self.simulator.schedule_at(
+            now + self.ingress_quantum_ns, lambda lane=lane: self._ingress_tick(lane)
+        )
+
+    def _ingress_deliver(self, shard: int, packets: List[Packet]) -> int:
+        """Land one classified per-shard group in its mailbox (core -> core)."""
+        mailbox = self._mailboxes[shard]
+        before = len(mailbox)
+        taken = mailbox.push_batch(packets)
+        self.ingress_drops += len(packets) - taken
+        for packet in packets[:taken]:
+            self._commit_route(packet.flow_id, shard)
+        if taken or before:
+            self._wake_shard(shard)
+            self._wake_idle_thieves(shard)
+        if taken:
+            self._arm_rebalance()
+        return taken
 
     # -- shard scheduling --------------------------------------------------
 
@@ -407,7 +657,13 @@ class ShardedRuntime:
             self._loan_inbox[shard] = []
             for lease in inbox:
                 worker.accept_lease(lease, now)
-        released = worker.tick(now, ingest_limit=None, drain_limit=self.batch_per_quantum)
+        ingest_limit = self.ingest_per_quantum
+        if self.shard_backlog_limit is not None:
+            room = max(0, self.shard_backlog_limit - worker.backlog)
+            ingest_limit = room if ingest_limit is None else min(ingest_limit, room)
+        released = worker.tick(
+            now, ingest_limit=ingest_limit, drain_limit=self.batch_per_quantum
+        )
         self._deliver(released, now)
         if self.steal_enabled and self.num_shards > 1:
             self._grant_steals(shard, now)
@@ -470,7 +726,8 @@ class ShardedRuntime:
         """
         worker = self.workers[shard]
         channel = self._steal_channels[shard]
-        cutoff = now + self.steal_horizon_ns
+        steal_batch, steal_horizon_ns = self._steal_params()
+        cutoff = now + steal_horizon_ns
         while len(channel):
             if worker.flows_on_loan or worker.leases_held or not worker.has_work_by(cutoff):
                 break  # one lease out at a time / holding stolen work / nothing stealable
@@ -496,8 +753,8 @@ class ShardedRuntime:
                 thief_worker.steal.requests_stale += 1
                 continue
             lease = worker.grant_lease(
-                next(self._lease_seq), request.thief_shard, now, self.steal_batch,
-                self.steal_horizon_ns,
+                next(self._lease_seq), request.thief_shard, now, steal_batch,
+                steal_horizon_ns,
             )
             if lease is None:
                 # The donor refused despite the loop-top checks (kept
@@ -505,11 +762,24 @@ class ShardedRuntime:
                 # braces): leave the request parked for a later tick.
                 break
             channel.pop()
+            if self._steal_tuner is not None:
+                self._steal_tuner.observe(len(lease.packets))
             for flow_id in lease.flow_ids:
                 self.sharder.lend(flow_id, shard)
             self._open_leases[lease.lease_id] = [lease, len(lease.packets)]
             self._loan_inbox[request.thief_shard].append(lease)
             self._wake_shard(request.thief_shard)
+
+    def _steal_params(self) -> tuple[int, int]:
+        """Effective ``(steal_batch, steal_horizon_ns)`` for the next grant.
+
+        The adaptive tuner (``steal_adaptive=True``) shrinks both knobs
+        toward the EWMA of observed lease sizes; otherwise the configured
+        values apply unchanged.
+        """
+        if self._steal_tuner is not None:
+            return self._steal_tuner.batch, self._steal_tuner.horizon_ns
+        return self.steal_batch, self.steal_horizon_ns
 
     def _maybe_request_steal(self, shard: int, now: int) -> None:
         """Thief role: when empty, park a steal request at the busiest sibling.
@@ -649,11 +919,15 @@ class ShardedRuntime:
         return self.simulator.run(until_ns=until_ns, max_events=max_events)
 
     def stop(self) -> None:
-        """Cancel every outstanding shard timer and rebalancing sweep."""
+        """Cancel every outstanding shard, ingress, and rebalancing timer."""
         for shard, handle in enumerate(self._tick_handles):
             if handle is not None and handle.active:
                 self.simulator.cancel(handle)
             self._tick_handles[shard] = None
+        for lane, handle in enumerate(self._ingress_handles):
+            if handle is not None and handle.active:
+                self.simulator.cancel(handle)
+            self._ingress_handles[lane] = None
         if self._rebalance_handle is not None and self._rebalance_handle.active:
             self.simulator.cancel(self._rebalance_handle)
         self._rebalance_handle = None
@@ -662,8 +936,9 @@ class ShardedRuntime:
 
     @property
     def pending(self) -> int:
-        """Packets in flight across all shards (mailboxes + queues + lease deferrals)."""
-        return sum(worker.pending for worker in self.workers)
+        """Packets in flight anywhere: RX rings + mailboxes + queues + lease deferrals."""
+        in_flight = sum(worker.pending for worker in self.workers)
+        return in_flight + sum(core.backlog for core in self.ingress_cores)
 
     @property
     def transmitted(self) -> int:
@@ -688,10 +963,20 @@ class ShardedRuntime:
             for worker in self.workers
         ]
         cycles = [shard.cycles for shard in shards]
+        ingress = [
+            IngressTelemetry(
+                core_id=core.core_id,
+                stats=core.stats.snapshot(),
+                cycles=core.cost.total_cycles,
+                ring_backlog=core.backlog,
+                ring_peak=core.ring.peak,
+            )
+            for core in self.ingress_cores
+        ]
         return RuntimeTelemetry(
             shards=shards,
             queue_stats=QueueStats.aggregate(shard.queue_stats for shard in shards),
-            total_cycles=sum(cycles),
+            total_cycles=sum(cycles) + sum(core.cycles for core in ingress),
             max_shard_cycles=max(cycles),
             transmitted=self.transmitted,
             ingress_drops=self.ingress_drops,
@@ -701,6 +986,9 @@ class ShardedRuntime:
             steals_succeeded=sum(worker.steal.leases_received for worker in self.workers),
             packets_stolen=sum(worker.steal.packets_stolen for worker in self.workers),
             steal_cycles=sum(worker.steal.cycles_stolen for worker in self.workers),
+            ingress=ingress,
+            max_ingress_cycles=max((core.cycles for core in ingress), default=0.0),
+            admission_drops=sum(core.stats.rx_dropped for core in ingress),
         )
 
 

@@ -25,6 +25,13 @@ from ..core.queues.base import CounterStatsMixin
 #: Default hash seed (the golden ratio in 32 bits, à la Linux ``hash_32``).
 DEFAULT_HASH_SEED = 0x9E3779B9
 
+#: Seed of the *ingress-lane* hash (flow -> ingress core).  Deliberately a
+#: different constant (the 31-bit golden-ratio increment) than the shard
+#: placement seed: with both layers hashing on the same key, a shared seed
+#: would perfectly correlate the two placements and every ingress core would
+#: feed a fixed subset of shards instead of fanning out over all of them.
+INGRESS_HASH_SEED = 0x61C88647
+
 _MASK32 = 0xFFFFFFFF
 
 
@@ -74,6 +81,18 @@ class FlowSharder:
     """
 
     POLICIES = ("hash", "round_robin")
+
+    @classmethod
+    def for_ingress(cls, num_cores: int) -> "FlowSharder":
+        """A sharder for the ingress lanes (flow -> RX core).
+
+        Same RSS-style mechanics, decorrelated seed (see
+        :data:`INGRESS_HASH_SEED`).  Keeping the lane map a ``FlowSharder``
+        means the ingress layer inherits pins and placement stats for free —
+        e.g. an experiment can pin an elephant flow to a dedicated RX core
+        exactly as it pins one to a shard.
+        """
+        return cls(num_cores, hash_seed=INGRESS_HASH_SEED)
 
     def __init__(
         self,
@@ -313,6 +332,7 @@ class ShardRebalancer:
 
 __all__ = [
     "DEFAULT_HASH_SEED",
+    "INGRESS_HASH_SEED",
     "FlowSharder",
     "Migration",
     "ShardRebalancer",

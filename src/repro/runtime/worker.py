@@ -72,6 +72,10 @@ class ShardWorker:
             timestamp queue (paper defaults: 2 s over 20k buckets).
         queue_factory: alternative backing queue (ablations).
         mailbox_capacity: bound on the ingress mailbox (``None`` unbounded).
+        mailbox_high_watermark / mailbox_low_watermark: backpressure
+            thresholds handed to the mailbox (see
+            :meth:`Mailbox.configure_watermarks`); the ingress cores pause
+            their RX pull while the mailbox sits inside the hysteresis band.
     """
 
     __slots__ = (
@@ -103,6 +107,8 @@ class ShardWorker:
         num_buckets: int = 20_000,
         queue_factory: Optional[QueueFactory] = None,
         mailbox_capacity: Optional[int] = None,
+        mailbox_high_watermark: Optional[int] = None,
+        mailbox_low_watermark: Optional[int] = None,
     ) -> None:
         if horizon_ns <= 0 or num_buckets <= 0:
             raise ValueError("horizon_ns and num_buckets must be positive")
@@ -113,7 +119,11 @@ class ShardWorker:
         self.granularity_ns = granularity
         factory = queue_factory or (lambda spec: CircularFFSQueue(spec))
         self.queue = factory(BucketSpec(num_buckets=num_buckets, granularity=granularity))
-        self.mailbox: Mailbox[Packet] = Mailbox(capacity=mailbox_capacity)
+        self.mailbox: Mailbox[Packet] = Mailbox(
+            capacity=mailbox_capacity,
+            high_watermark=mailbox_high_watermark,
+            low_watermark=mailbox_low_watermark,
+        )
         self.cost = CostModel()
         self.stats = ShardWorkerStats()
         self.steal = StealStats()

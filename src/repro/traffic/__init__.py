@@ -14,6 +14,7 @@ from .generators import (
     FlowSpec,
     FlowWorkload,
     NeperLikeGenerator,
+    OpenLoopBurstSource,
     RoundRobinAnnotator,
     SyntheticPacketGenerator,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "FlowSizeDistribution",
     "FlowWorkload",
     "NeperLikeGenerator",
+    "OpenLoopBurstSource",
     "PoissonArrivals",
     "RoundRobinAnnotator",
     "SyntheticPacketGenerator",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from .distributions import FlowSizeDistribution, PoissonArrivals
 from ..core.model.packet import Packet
@@ -177,6 +177,78 @@ class SyntheticPacketGenerator:
             yield self.next_batch()
 
 
+class OpenLoopBurstSource:
+    """NIC-style RX bursts at a fixed offered packet rate (open loop).
+
+    The ingress experiments need to hold a pipeline at a precise multiple of
+    its drain capacity — "2× overload" must mean exactly 2×, or the
+    backpressure and admission comparisons measure the workload instead of
+    the policy.  This source emits ``burst_size`` packets every
+    ``burst_size / offered_pps`` seconds, the arrival shape an
+    interrupt-coalesced NIC presents to its RX core, regardless of what the
+    receiver does with them (open loop: a dropped packet is not re-offered).
+
+    Args:
+        offered_pps: aggregate offered rate, packets per second.
+        burst_size: packets per RX burst (interrupt coalescing depth).
+        packet_bytes: size of every generated packet.
+        num_flows: flow-id space; ignored when ``flow_sampler`` is given.
+        flow_sampler: optional ``index -> flow_id`` map (e.g. wrap a
+            :class:`~repro.traffic.distributions.ZipfFlowSampler` for a
+            skewed population); defaults to round-robin over ``num_flows``.
+    """
+
+    def __init__(
+        self,
+        offered_pps: float,
+        burst_size: int = 32,
+        packet_bytes: int = 1500,
+        num_flows: int = 16,
+        flow_sampler: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if offered_pps <= 0:
+            raise ValueError("offered_pps must be positive")
+        if burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if flow_sampler is None and num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        self.offered_pps = offered_pps
+        self.burst_size = burst_size
+        self.packet_bytes = packet_bytes
+        self.num_flows = num_flows
+        self.flow_sampler = flow_sampler or (lambda index: index % num_flows)
+        self.burst_gap_ns = max(1, int(round(burst_size * 1e9 / offered_pps)))
+
+    def bursts(
+        self, total_packets: int, start_ns: int = 0
+    ) -> Iterator[tuple[int, List[Packet]]]:
+        """Yield ``(offer_ns, packets)`` bursts until ``total_packets`` sent.
+
+        The last burst is truncated rather than rounded up, so the offered
+        count is exact.
+        """
+        if total_packets < 0:
+            raise ValueError("total_packets must be non-negative")
+        emitted = 0
+        when_ns = start_ns
+        sampler = self.flow_sampler
+        while emitted < total_packets:
+            count = min(self.burst_size, total_packets - emitted)
+            burst = [
+                Packet(
+                    flow_id=sampler(emitted + offset),
+                    size_bytes=self.packet_bytes,
+                    arrival_ns=when_ns,
+                )
+                for offset in range(count)
+            ]
+            yield when_ns, burst
+            emitted += count
+            when_ns += self.burst_gap_ns
+
+
 @dataclass
 class FlowArrival:
     """One flow arrival for the network simulator."""
@@ -267,6 +339,7 @@ __all__ = [
     "FlowSpec",
     "FlowWorkload",
     "NeperLikeGenerator",
+    "OpenLoopBurstSource",
     "RoundRobinAnnotator",
     "SyntheticPacketGenerator",
 ]

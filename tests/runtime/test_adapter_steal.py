@@ -246,3 +246,94 @@ def test_mq_cost_mirroring_still_exact(steal):
     assert mq.total_cycles() == pytest.approx(
         sum(child.total_cycles() for child in mq.children)
     )
+
+
+class TestShardedPortQueuePriorityArbiter:
+    """arbiter="priority": strict priority holds across rings, not just
+    within them (the multi-queue pFabric port of the Figure 19 variant)."""
+
+    def _pfabric_port(self, num_shards=2):
+        from repro.netsim.elements import PFabricPortQueue
+
+        return ShardedPortQueue(
+            num_shards,
+            lambda shard: PFabricPortQueue(),
+            arbiter="priority",
+        )
+
+    @staticmethod
+    def _packet(flow_id, remaining):
+        packet = Packet(flow_id=flow_id, size_bytes=1500)
+        packet.metadata["remaining_bytes"] = remaining
+        return packet
+
+    def test_dequeue_serves_best_head_across_rings(self):
+        port = self._pfabric_port()
+        sharder = port.sharder
+        # Find one flow per ring, then put the high-priority (small
+        # remaining) packet on one ring and bulk on the other.
+        flow_a = next(f for f in range(64) if sharder.shard_for(f) == 0)
+        flow_b = next(f for f in range(64) if sharder.shard_for(f) == 1)
+        port.enqueue(self._packet(flow_a, remaining=9_000_000))
+        port.enqueue(self._packet(flow_a, remaining=9_000_000 - 1500))
+        port.enqueue(self._packet(flow_b, remaining=3_000))
+        # RR starting at ring 0 would emit flow_a first; priority
+        # arbitration must serve the near-finished mouse immediately.
+        released = port.dequeue()
+        assert released.flow_id == flow_b
+        # Then the elephant's packets, re-arbitrated per packet.
+        assert [port.dequeue().flow_id for _ in range(2)] == [flow_a, flow_a]
+        assert port.dequeue() is None
+
+    def test_dequeue_batch_rearbitrates_per_packet(self):
+        port = self._pfabric_port()
+        sharder = port.sharder
+        flow_a = next(f for f in range(64) if sharder.shard_for(f) == 0)
+        flow_b = next(f for f in range(64) if sharder.shard_for(f) == 1)
+        # Interleaved priorities across the two rings: the pull must come
+        # out in global priority order, not ring-quota runs.
+        port.enqueue_batch(
+            [
+                self._packet(flow_a, remaining=6_000),
+                self._packet(flow_a, remaining=4_500),
+                self._packet(flow_b, remaining=3_000),
+                self._packet(flow_b, remaining=1_500),
+            ]
+        )
+        batch = port.dequeue_batch(4)
+        priorities = [p.metadata["remaining_bytes"] for p in batch]
+        assert priorities == sorted(priorities)
+        assert port.dequeue_batch(4) == []
+
+    def test_head_priority_skips_lazily_evicted_corpses(self):
+        # A pFabric eviction leaves a corpse in the priority index; its
+        # stale (better) priority must not leak into the arbitration hint,
+        # or the arbiter would pick this ring and emit a *worse* packet
+        # than a sibling's genuine head — the exact inversion the priority
+        # arbiter exists to prevent.
+        from repro.netsim.elements import PFabricPortQueue
+
+        queue = PFabricPortQueue(capacity_packets=2)
+        low = self._packet(1, remaining=1_500)  # priority 1
+        bulk = self._packet(2, remaining=15_000)  # priority 10
+        queue.enqueue(low)
+        queue.enqueue(bulk)
+        # Arrival at priority 2 evicts the priority-10 packet (corpse stays
+        # in the index under priority 10).
+        assert queue.enqueue(self._packet(3, remaining=3_000))
+        assert queue.dequeue() is low
+        assert queue.dequeue().flow_id == 3
+        assert len(queue) == 0
+        assert queue.head_priority() is None
+        # A genuinely worse packet arrives: the hint must report *its*
+        # priority, not the corpse's stale 10.
+        queue.enqueue(self._packet(4, remaining=75_000))
+        assert queue.head_priority() == 50
+
+    def test_priority_arbiter_requires_head_priority(self):
+        with pytest.raises(ValueError):
+            ShardedPortQueue(
+                2, lambda shard: DropTailEcnQueue(), arbiter="priority"
+            )
+        with pytest.raises(ValueError):
+            ShardedPortQueue(2, lambda shard: DropTailEcnQueue(), arbiter="weird")

@@ -216,6 +216,94 @@ class TestMailbox:
         assert bounded.stats.dropped == 97
 
 
+class TestMailboxWatermarks:
+    """High/low watermark hysteresis: the pause/resume edges of backpressure."""
+
+    def test_pause_and_resume_edges_fire_callbacks(self):
+        events = []
+        mailbox = Mailbox(
+            capacity=8,
+            high_watermark=4,
+            low_watermark=1,
+            on_high=lambda: events.append("high"),
+            on_low=lambda: events.append("low"),
+        )
+        mailbox.push_batch(range(3))
+        assert not mailbox.paused and events == []
+        mailbox.push(3)  # occupancy 4 == high: the rising edge
+        assert mailbox.paused
+        assert events == ["high"]
+        assert mailbox.stats.stalls == 1
+        mailbox.drain(limit=2)  # occupancy 2 > low: still inside the band
+        assert mailbox.paused and events == ["high"]
+        mailbox.drain(limit=1)  # occupancy 1 == low: the falling edge
+        assert not mailbox.paused
+        assert events == ["high", "low"]
+
+    def test_one_stall_per_episode_not_per_push(self):
+        mailbox = Mailbox(capacity=8, high_watermark=2, low_watermark=0)
+        mailbox.push_batch(range(4))  # crosses high once mid-batch
+        mailbox.push(99)  # already paused: no second stall
+        assert mailbox.stats.stalls == 1
+        mailbox.drain()
+        assert not mailbox.paused
+        mailbox.push_batch(range(3))
+        assert mailbox.stats.stalls == 2
+
+    def test_hysteresis_at_capacity_one(self):
+        # The smallest legal band: high=1, low=0 — every resident item
+        # pauses the producer, and only a full drain resumes it.
+        mailbox = Mailbox(capacity=1, high_watermark=1, low_watermark=0)
+        assert mailbox.push("a")
+        assert mailbox.paused
+        assert mailbox.drain() == ["a"]
+        assert not mailbox.paused
+        assert mailbox.push("b")
+        assert mailbox.paused
+        assert mailbox.stats.stalls == 2
+
+    def test_hysteresis_at_capacity_n_with_default_low(self):
+        # configure_watermarks defaults low to high // 2.
+        mailbox = Mailbox(capacity=10)
+        mailbox.configure_watermarks(10)
+        assert mailbox.low_watermark == 5
+        mailbox.push_batch(range(10))
+        assert mailbox.paused
+        mailbox.drain(limit=4)  # occupancy 6 > 5: still paused
+        assert mailbox.paused
+        mailbox.drain(limit=1)  # occupancy 5 == low: resumed
+        assert not mailbox.paused
+        # Re-crossing high pauses again (a second episode).
+        mailbox.push_batch(range(5))
+        assert mailbox.paused
+        assert mailbox.stats.stalls == 2
+
+    def test_configure_after_fill_detects_existing_occupancy(self):
+        mailbox = Mailbox()
+        mailbox.push_batch(range(6))
+        mailbox.configure_watermarks(4, 2)
+        assert mailbox.paused  # installing the watermark sees occupancy 6
+        assert mailbox.stats.stalls == 1
+
+    def test_clearing_watermarks_unpauses(self):
+        mailbox = Mailbox(capacity=4, high_watermark=2)
+        mailbox.push_batch(range(3))
+        assert mailbox.paused
+        mailbox.configure_watermarks(None)
+        assert not mailbox.paused
+        assert mailbox.high_watermark is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mailbox(capacity=4, high_watermark=5)
+        with pytest.raises(ValueError):
+            Mailbox(high_watermark=0)
+        with pytest.raises(ValueError):
+            Mailbox(high_watermark=4, low_watermark=4)
+        with pytest.raises(ValueError):
+            Mailbox(high_watermark=4, low_watermark=-1)
+
+
 class TestRebalancerResidency:
     def test_plans_from_residency_not_placement(self):
         # Flow 1 was re-pinned to shard 1 but never drained: its packets

@@ -406,3 +406,125 @@ class TestStealDifferential:
         } - {None}
         assert stolen_from, "no packet records a steal"
         assert len(shards) > 1
+
+
+class TestStealTuner:
+    """Adaptive steal sizing: EWMA of lease sizes drives batch and horizon."""
+
+    def test_starts_at_the_configured_ceiling(self):
+        from repro.runtime import StealTuner
+
+        tuner = StealTuner(base_batch=64, base_horizon_ns=10_000)
+        assert tuner.batch == 64
+        assert tuner.horizon_ns == 10_000
+
+    def test_small_leases_shrink_both_knobs(self):
+        from repro.runtime import StealTuner
+
+        tuner = StealTuner(base_batch=64, base_horizon_ns=10_000)
+        for _ in range(40):
+            tuner.observe(4)
+        # EWMA converges to ~4, so the batch settles at ~2x that...
+        assert tuner.batch == 8
+        # ...and the horizon scales with the batch ratio.
+        assert tuner.horizon_ns == 10_000 * 8 // 64
+        assert tuner.observations == 40
+
+    def test_full_leases_recover_the_ceiling(self):
+        from repro.runtime import StealTuner
+
+        tuner = StealTuner(base_batch=64, base_horizon_ns=10_000)
+        for _ in range(40):
+            tuner.observe(2)
+        assert tuner.batch < 64
+        for _ in range(40):
+            tuner.observe(64)
+        assert tuner.batch == 64
+        assert tuner.horizon_ns == 10_000
+
+    def test_floors_never_pin_stealing_off(self):
+        from repro.runtime import StealTuner
+
+        tuner = StealTuner(base_batch=16, base_horizon_ns=8_000)
+        for _ in range(100):
+            tuner.observe(0)
+        assert tuner.batch >= 1
+        # min_horizon_ns defaults to an eighth of the ceiling.
+        assert tuner.horizon_ns >= 1_000
+
+    def test_validation(self):
+        from repro.runtime import StealTuner
+
+        with pytest.raises(ValueError):
+            StealTuner(base_batch=0, base_horizon_ns=1)
+        with pytest.raises(ValueError):
+            StealTuner(base_batch=4, base_horizon_ns=-1)
+        with pytest.raises(ValueError):
+            StealTuner(base_batch=4, base_horizon_ns=1, alpha=0.0)
+        with pytest.raises(ValueError):
+            StealTuner(base_batch=4, base_horizon_ns=1, min_batch=5)
+        with pytest.raises(ValueError):
+            StealTuner(base_batch=4, base_horizon_ns=1).observe(-1)
+
+
+class TestAdaptiveStealDifferential:
+    """``steal_adaptive=True`` may change lease sizes and release times, but
+    per-flow delivery order must stay byte-for-byte the submission order —
+    shrinking a lease only shortens the stolen prefix, never reorders it."""
+
+    NUM_PACKETS = 2_000
+    NUM_FLOWS = 64
+    BURST = 128
+
+    def _drive(self, steal: bool, adaptive: bool, num_shards: int = 8):
+        runtime = ShardedRuntime(
+            num_shards,
+            default_rate_bps=RATE_BPS,
+            quantum_ns=QUANTUM_NS,
+            rebalance_interval_ns=16 * QUANTUM_NS,
+            steal_enabled=steal,
+            steal_adaptive=adaptive,
+            steal_min_backlog=1,
+        )
+        rng = random.Random(20_190_226)
+        flow_ids = ZipfFlowSampler(self.NUM_FLOWS, skew=1.2, rng=rng).sample_flows(
+            self.NUM_PACKETS
+        )
+        packets = _packets(flow_ids)
+        quanta_per_burst = self.BURST // 16
+        for index in range(0, self.NUM_PACKETS, self.BURST):
+            chunk = packets[index : index + self.BURST]
+            when_ns = (index // self.BURST) * quanta_per_burst * QUANTUM_NS
+
+            def offer(chunk=chunk):
+                runtime.submit_batch(chunk)
+
+            runtime.simulator.schedule_at(when_ns, offer)
+        runtime.run()
+        assert runtime.transmitted == self.NUM_PACKETS
+        return runtime
+
+    def test_adaptive_preserves_per_flow_fifo(self):
+        baseline = self._drive(steal=False, adaptive=False)
+        adaptive = self._drive(steal=True, adaptive=True)
+        assert adaptive.telemetry().packets_stolen > 0, "adaptive mode never stole"
+        assert adaptive._steal_tuner is not None
+        assert adaptive._steal_tuner.observations > 0
+        assert _flow_sequences(adaptive.transmit_log) == _flow_sequences(
+            baseline.transmit_log
+        )
+
+    def test_adaptive_tracks_observed_lease_sizes(self):
+        adaptive = self._drive(steal=True, adaptive=True)
+        tuner = adaptive._steal_tuner
+        assert tuner is not None and tuner.observations > 0
+        # After real observations the knobs sit at or below their ceilings
+        # and on the tuner's own law (2x the EWMA, clamped).
+        expected = max(1, min(tuner.base_batch, round(2.0 * tuner.ewma)))
+        assert tuner.batch == expected
+        assert tuner.horizon_ns <= tuner.base_horizon_ns
+
+    def test_adaptive_off_leaves_configured_knobs(self):
+        plain = self._drive(steal=True, adaptive=False)
+        assert plain._steal_tuner is None
+        assert plain._steal_params() == (plain.steal_batch, plain.steal_horizon_ns)
