@@ -1,0 +1,244 @@
+"""Parallel execution-backend benchmark — measured speedup vs the modelled curve.
+
+Every other benchmark in this harness *models* multi-core execution: shards
+tick on one simulated clock and throughput is derived from the bottleneck
+shard's cycle account.  The :class:`~repro.runtime.backend.ProcessBackend`
+makes that claim falsifiable: the same timed workload runs once on the
+simulated backend and once with one OS process per shard, the modelled
+results are asserted **identical** (per-flow departure sequences, cycle
+accounts, queue counters — the per-shard-replay equivalence), and the real
+wall clock of the parallel run is recorded next to the modelled speedup
+curve at 1 / 2 / 4 workers.
+
+Interpretation of the two curves:
+
+* ``modelled_speedup`` — bottleneck-cycle ratio, the number every scaling
+  figure in this repo is built on (hardware-independent);
+* ``measured_speedup`` — wall-clock ratio of the process backend at N
+  workers vs 1 worker, on whatever machine ran the benchmark.  It carries
+  fork/pickle/ring overhead and is honest about the host: on a single-core
+  container there is nothing to win, so the artifact records ``cpu_count``
+  and the speedup gate (> 1.5x at 4 workers) is asserted only on machines
+  with at least 4 cores and never in CI (shared runners are too noisy).
+
+Results land in ``BENCH_parallel.json`` at the repo root.  Run standalone
+(``python benchmarks/bench_parallel.py``) to regenerate it with full
+iteration counts; the pytest entry point runs a smoke-sized workload and
+asserts correctness only.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.core.model.packet import Packet
+from repro.runtime import ShardedRuntime
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+WORKER_COUNTS = [1, 2, 4]
+NUM_FLOWS = 192
+RATE_BPS = 10e9
+PACKET_BYTES = 1500
+QUANTUM_NS = 10_000
+BATCH_PER_QUANTUM = 64
+INGRESS_BURST = 128  # packets offered per simulated RX pull
+INGRESS_BURST_QUANTA = 8  # quanta between RX pulls
+SEED = 20_190_226  # NSDI'19
+
+FULL_PACKETS = 24_000
+SMOKE_PACKETS = 3_000
+FULL_ROUNDS = 3
+SMOKE_ROUNDS = 1
+
+#: The local speedup gate: 4 process workers must beat 1 by this factor on a
+#: machine that actually has 4 cores (asserted outside CI only).
+SPEEDUP_GATE_AT_4 = 1.5
+
+
+def _bursts(num_packets: int) -> list:
+    """The timed workload: NIC-style RX bursts over a fixed flow sequence."""
+    import random
+
+    rng = random.Random(SEED)
+    flow_ids = [rng.randrange(NUM_FLOWS) for _ in range(num_packets)]
+    bursts = []
+    for index in range(0, num_packets, INGRESS_BURST):
+        when_ns = (index // INGRESS_BURST) * INGRESS_BURST_QUANTA * QUANTUM_NS
+        bursts.append((when_ns, flow_ids[index : index + INGRESS_BURST]))
+    return bursts
+
+
+def _run_once(backend: str, num_shards: int, bursts: list) -> tuple:
+    """One run; returns (wall_seconds_of_run, observables)."""
+    runtime = ShardedRuntime(
+        num_shards,
+        default_rate_bps=RATE_BPS,
+        quantum_ns=QUANTUM_NS,
+        batch_per_quantum=BATCH_PER_QUANTUM,
+        gc_interval_packets=None,  # identical config on every backend
+        backend=backend,
+    )
+    for when_ns, flow_ids in bursts:
+        runtime.submit_at(
+            when_ns,
+            [Packet(flow_id=flow_id, size_bytes=PACKET_BYTES) for flow_id in flow_ids],
+        )
+    start = time.perf_counter()
+    runtime.run()
+    elapsed = time.perf_counter() - start
+
+    telemetry = runtime.telemetry()
+    flows: dict = {}
+    for departure_ns, packet in runtime.transmit_log:
+        flows.setdefault(packet.flow_id, []).append((packet.arrival_ns, departure_ns))
+    observables = {
+        "transmitted": telemetry.transmitted,
+        "total_cycles": telemetry.total_cycles,
+        "max_shard_cycles": telemetry.max_shard_cycles,
+        "queue_stats": telemetry.queue_stats.as_dict(),
+        "flows": flows,
+    }
+    return elapsed, observables
+
+
+def _measure(backend: str, num_shards: int, bursts: list, rounds: int) -> dict:
+    """Best-of-``rounds`` wall clock; the observables of every round agree."""
+    best = None
+    observables = None
+    for _round in range(rounds):
+        elapsed, seen = _run_once(backend, num_shards, bursts)
+        if observables is None:
+            observables = seen
+        else:
+            assert seen == observables, "non-deterministic modelled results"
+        best = elapsed if best is None else min(best, elapsed)
+    return {"wall_sec": best, **observables}
+
+
+def run_parallel_sweep(num_packets: int = FULL_PACKETS, rounds: int = FULL_ROUNDS) -> dict:
+    """Sweep worker counts; assert process == simulated at every point."""
+    bursts = _bursts(num_packets)
+    workers: dict = {}
+    for count in WORKER_COUNTS:
+        simulated = _measure("simulated", count, bursts, rounds)
+        process = _measure("process", count, bursts, rounds)
+        # The tentpole equivalence: the parallel run reproduces the modelled
+        # world exactly — same departures per flow, same cycle accounts.
+        for key in ("transmitted", "total_cycles", "max_shard_cycles", "queue_stats", "flows"):
+            assert process[key] == simulated[key], f"{key} diverged at {count} workers"
+        assert simulated["transmitted"] == num_packets
+        workers[str(count)] = {
+            "num_workers": count,
+            "transmitted": num_packets,
+            "max_shard_cycles": simulated["max_shard_cycles"],
+            "total_cycles": simulated["total_cycles"],
+            "simulated_wall_sec": simulated["wall_sec"],
+            "process_wall_sec": process["wall_sec"],
+        }
+    base = workers["1"]
+    for row in workers.values():
+        row["modelled_speedup"] = base["max_shard_cycles"] / row["max_shard_cycles"]
+        row["measured_speedup"] = base["process_wall_sec"] / row["process_wall_sec"]
+    return {
+        "benchmark": "parallel_backend",
+        "description": (
+            "Process-backend wall-clock speedup at 1/2/4 workers next to the "
+            "modelled bottleneck-cycle curve; modelled results asserted "
+            "bit-identical to the simulated backend at every worker count."
+        ),
+        "workload": {
+            "num_packets": num_packets,
+            "num_flows": NUM_FLOWS,
+            "flow_rate_bps": RATE_BPS,
+            "packet_bytes": PACKET_BYTES,
+            "quantum_ns": QUANTUM_NS,
+            "batch_per_quantum": BATCH_PER_QUANTUM,
+            "ingress_burst": INGRESS_BURST,
+            "ingress_burst_quanta": INGRESS_BURST_QUANTA,
+            "rounds": rounds,
+            "seed": SEED,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "ci": bool(os.environ.get("CI")),
+        },
+        "worker_counts": WORKER_COUNTS,
+        "workers": workers,
+    }
+
+
+def write_artifact(results: dict, path: Path = ARTIFACT_PATH) -> Path:
+    """Write ``BENCH_parallel.json`` (the measured-parallelism artifact)."""
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _format_sweep(results: dict) -> str:
+    lines = [
+        f"{'workers':<9}{'modelled x':<12}{'measured x':<12}"
+        f"{'process wall s':<16}{'simulated wall s':<16}"
+    ]
+    for count in results["worker_counts"]:
+        row = results["workers"][str(count)]
+        lines.append(
+            f"{count:<9}{row['modelled_speedup']:<12.2f}{row['measured_speedup']:<12.2f}"
+            f"{row['process_wall_sec']:<16.3f}{row['simulated_wall_sec']:<16.3f}"
+        )
+    host = results["host"]
+    lines.append(f"host: cpu_count={host['cpu_count']} ci={host['ci']}")
+    return "\n".join(lines)
+
+
+def _assert_speedup_gate(results: dict) -> None:
+    """The local-only wall-clock gate (meaningless on < 4 cores or in CI)."""
+    host = results["host"]
+    if host["ci"] or (host["cpu_count"] or 1) < 4:
+        return
+    measured = results["workers"]["4"]["measured_speedup"]
+    assert measured > SPEEDUP_GATE_AT_4, (
+        f"process backend reached only {measured:.2f}x at 4 workers on a "
+        f"{host['cpu_count']}-core machine (gate: {SPEEDUP_GATE_AT_4}x)"
+    )
+
+
+# -- pytest entry point -------------------------------------------------------
+
+
+def test_parallel_backend_speedup(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        run_parallel_sweep,
+        kwargs={"num_packets": SMOKE_PACKETS, "rounds": SMOKE_ROUNDS},
+        rounds=1,
+        iterations=1,
+    )
+    # The committed BENCH_parallel.json holds the full-size run (with this
+    # machine's wall-clock numbers); the test writes to a scratch path.
+    path = write_artifact(results, tmp_path / "BENCH_parallel.json")
+    report("Parallel backend — measured vs modelled speedup", _format_sweep(results))
+    benchmark.extra_info["artifact"] = str(path)
+    benchmark.extra_info["measured_speedup_at_4"] = results["workers"]["4"][
+        "measured_speedup"
+    ]
+    # Correctness is the CI gate (run_parallel_sweep already asserted the
+    # process == simulated equivalence at every worker count); the modelled
+    # curve must scale, the measured curve is recorded-only except on a
+    # local >= 4-core machine.
+    modelled = [
+        results["workers"][str(count)]["modelled_speedup"]
+        for count in WORKER_COUNTS
+    ]
+    assert modelled == sorted(modelled), f"modelled curve not monotone: {modelled}"
+    assert modelled[-1] > 2.0, f"modelled speedup at 4 workers: {modelled[-1]:.2f}"
+    _assert_speedup_gate(results)
+
+
+if __name__ == "__main__":
+    sweep = run_parallel_sweep()
+    artifact = write_artifact(sweep)
+    print(_format_sweep(sweep))
+    _assert_speedup_gate(sweep)
+    print(f"\nwrote {artifact}")

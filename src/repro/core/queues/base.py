@@ -50,6 +50,18 @@ class CounterStatsMixin:
     # their instances __dict__-free (one per queue/shard on the hot path).
     __slots__ = ()
 
+    # Explicit pickle support: slotted instances otherwise rely on the
+    # version-sensitive default ``__reduce_ex__`` slot-state protocol.  The
+    # parallel execution backends ship these snapshots across process
+    # boundaries (shard results merged on join), so the wire format is
+    # pinned to the one thing every counter dataclass defines — its fields.
+    def __getstate__(self) -> dict[str, Any]:
+        return self.as_dict()
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
     def as_dict(self) -> dict[str, Any]:
         """Return a plain-dict snapshot of the counters."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}  # type: ignore[attr-defined]

@@ -38,6 +38,17 @@ instance per core, flows spread across instances by an RSS-style hash:
 * :class:`~repro.runtime.runtime.ShardedRuntime` — the driver multiplexing
   every shard's worker loop onto one simulator clock, with per-shard
   cycle/queue/steal accounting rolled up into runtime telemetry.
+* :class:`~repro.runtime.backend.ExecutionBackend` — the seam between the
+  runtime and whoever runs its loops: the default
+  :class:`~repro.runtime.backend.SimulatedBackend` keeps the historical
+  one-clock behaviour bit-for-bit, while
+  :class:`~repro.runtime.backend.ProcessBackend` runs one shard per OS
+  process (the SPSC mailbox handoff crossing address spaces over the
+  shared-memory rings of :mod:`repro.runtime.shm`) and
+  :class:`~repro.runtime.backend.ThreadBackend` runs one shard per thread
+  — real wall-clock parallelism with modelled results identical to the
+  simulation (``benchmarks/bench_parallel.py`` puts the measured speedup
+  next to the modelled curve).
 * :class:`~repro.runtime.adapters.ShardedPortQueue` /
   :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
   for the netsim and kernel substrates.
@@ -72,6 +83,16 @@ Zipf-skewed workloads — rebalancing and stealing each on/off — and writes
 """
 
 from .adapters import MultiQueueQdisc, ShardedPortQueue
+from .backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    ShardClockDriver,
+    ShardResult,
+    SimulatedBackend,
+    ThreadBackend,
+    WorkerSpec,
+    free_threaded,
+)
 from .ingress import (
     AdmissionPolicy,
     CoDelPolicy,
@@ -108,6 +129,7 @@ __all__ = [
     "AdmissionPolicy",
     "CoDelPolicy",
     "DEFAULT_HASH_SEED",
+    "ExecutionBackend",
     "FlowFairDropPolicy",
     "FlowLease",
     "FlowSharder",
@@ -119,21 +141,28 @@ __all__ = [
     "MailboxStats",
     "Migration",
     "MultiQueueQdisc",
+    "ProcessBackend",
     "RuntimeTelemetry",
     "RxRing",
+    "ShardClockDriver",
     "ShardRebalancer",
+    "ShardResult",
     "ShardTelemetry",
     "ShardWorker",
     "ShardWorkerStats",
     "ShardedPortQueue",
     "ShardedRuntime",
     "ShardingStats",
+    "SimulatedBackend",
     "StealChannel",
     "StealChannelStats",
     "StealRequest",
     "StealStats",
     "StealTuner",
     "TailDropPolicy",
+    "ThreadBackend",
+    "WorkerSpec",
+    "free_threaded",
     "make_admission_factory",
     "rss_hash",
 ]

@@ -12,6 +12,11 @@ learning new interfaces:
   root qdisc that hashes each packet to one of N child qdiscs (any existing
   :class:`~repro.kernel.qdisc.Qdisc`), drains children round-robin under a
   shared budget, and reports the earliest child deadline as its own.
+
+Both adapters are substrate-facing and clock-free: they never touch the
+runtime's execution backend (:mod:`repro.runtime.backend`) — a sharded port
+or mq qdisc is driven by its substrate's own event loop, simulated or not —
+so they compose unchanged whichever backend drives :class:`ShardedRuntime`.
 """
 
 from __future__ import annotations

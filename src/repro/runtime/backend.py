@@ -1,0 +1,596 @@
+"""Execution backends: who drives the shard tick loops, and on what clock.
+
+Everything the sharded runtime models — per-shard tick loops, batched
+mailbox drains, deadline sleeps — was designed as one worker loop per CPU
+core, then multiplexed onto a single :class:`~repro.netsim.simulator.Simulator`
+because a simulation only has one thread.  This module extracts that choice
+into an object.  :class:`~repro.runtime.runtime.ShardedRuntime` now drives
+its workers through an :class:`ExecutionBackend`:
+
+* :class:`SimulatedBackend` (the default) reproduces the historical
+  behaviour bit-for-bit: every shard's tick events interleave on the shared
+  simulated clock, and the differential suite pins the equivalence.
+* :class:`ProcessBackend` runs **one OS process per shard**.  The ingress
+  handoff that the simulated path models with the in-process SPSC
+  :class:`~repro.runtime.mailbox.Mailbox` crosses the address-space boundary
+  over a :class:`~repro.runtime.shm.ShmRing` (a shared-memory SPSC byte
+  ring); each child replays its shard's arrival schedule against a *private*
+  virtual clock using :class:`ShardClockDriver`, so the modelled results are
+  identical to the simulated run while the interpreter work — stamping,
+  bitmap scans, batch drains — executes in parallel on real cores.
+* :class:`ThreadBackend` runs one thread per shard with a plain in-process
+  handoff.  Under the GIL it demonstrates the seam without speedup; on a
+  free-threaded CPython build (:func:`free_threaded` true) the same code
+  scales like the process backend without pickling or fork overhead.
+
+Why per-shard replay is exact
+-----------------------------
+
+With work stealing, rebalancing, ingress cores, flow-state GC and transmit
+callbacks disabled (the runtime enforces this for parallel backends), a
+shard's entire evolution is a deterministic function of its own arrival
+schedule: routing is the static RSS hash, every tick reads only shard-local
+state, and the tick-timer policy (:meth:`ShardWorker.next_wake_ns
+<repro.runtime.worker.ShardWorker.next_wake_ns>`) is pure.  The driver
+below re-creates the exact event sequence the shared simulator would have
+produced for that shard — including the "arrival beats the tick at equal
+timestamps" tie rule that pre-scheduled submissions enjoy on the shared
+heap — so per-flow packet sequences, departure times, queue counters and
+cycle accounts all match the simulated backend exactly.  The differential
+suite (``tests/runtime/test_backend_differential.py``) asserts this.
+
+Cross-shard *wall-clock* interleaving is of course not deterministic — that
+is the point of running on real cores — so the only backend-defined order
+is the tie order of same-nanosecond departures across different shards.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .mailbox import MailboxStats
+from .shm import RING_EMPTY, ShmRing
+from .worker import ShardWorker, ShardWorkerStats
+from ..core.model.packet import Packet
+from ..core.queues import QueueStats
+from ..netsim.simulator import EventHandle, Simulator
+
+#: One timed submission: every packet of the burst arrives at ``when_ns``.
+Burst = Tuple[int, List[Packet]]
+
+
+def free_threaded() -> bool:
+    """True on a CPython build running with the GIL disabled.
+
+    :class:`ThreadBackend` is correct either way; this is the gate for
+    expecting *speedup* from it (``sys._is_gil_enabled()`` exists on 3.13+
+    free-threading builds and returns False when threads truly run in
+    parallel).
+    """
+    import sys
+
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe is not None and not probe()
+
+
+@dataclass
+class WorkerSpec:
+    """Everything needed to rebuild one shard's scheduling loop elsewhere.
+
+    ``worker_kwargs`` are the :class:`~repro.runtime.worker.ShardWorker`
+    constructor arguments; the remaining fields are the runtime's driving
+    knobs, mirrored so a child process reproduces the exact per-tick budget
+    arithmetic of :meth:`ShardedRuntime._tick`.
+    """
+
+    shard_id: int
+    worker_kwargs: Dict[str, Any]
+    quantum_ns: int
+    batch_per_quantum: int
+    ingest_per_quantum: Optional[int]
+    shard_backlog_limit: Optional[int]
+    record_transmits: bool = True
+
+
+@dataclass
+class ShardResult:
+    """Picklable end-of-run snapshot one shard driver hands back on join.
+
+    Every field is either a plain value or a counter dataclass whose
+    :class:`~repro.core.queues.base.CounterStatsMixin` makes it pickle
+    cleanly despite ``__slots__`` — this is the "telemetry crosses the
+    process boundary" half of the backend refactor.
+    """
+
+    shard_id: int
+    stats: ShardWorkerStats
+    queue_stats: QueueStats
+    mailbox: MailboxStats
+    cycles: float
+    cost_breakdown: Dict[str, float]
+    transmits: List[Tuple[int, Packet]]
+    drops: int
+    end_ns: int
+    events_processed: int
+
+
+@dataclass
+class _ChildError:
+    """A child's formatted traceback, shipped in place of its result."""
+
+    shard_id: int
+    message: str
+
+
+class ShardClockDriver:
+    """Replays one shard's arrival schedule on a private virtual clock.
+
+    This is :meth:`ShardedRuntime._wake_shard` / ``_tick`` /
+    ``_schedule_next_tick`` for exactly one shard, against a simulator no
+    other shard shares.  Arrivals must be fed in nondecreasing ``when_ns``
+    order (the backend sorts submissions before partitioning).
+
+    The equal-timestamp tie rule deserves a note: on the shared simulator,
+    submissions are scheduled *before* the run starts, so at equal times
+    they carry lower sequence numbers than any runtime-armed tick and fire
+    first.  The driver preserves that by replaying events strictly *before*
+    each arrival instant (``run(until_ns=when - 1)``), applying the arrival
+    by direct call, and only then letting a tick armed at that same instant
+    fire — arrivals always precede same-time ticks, as on the shared heap.
+    """
+
+    __slots__ = (
+        "worker",
+        "spec",
+        "simulator",
+        "transmits",
+        "drops",
+        "_handle",
+    )
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.worker = ShardWorker(spec.shard_id, **spec.worker_kwargs)
+        self.simulator = Simulator()
+        self.transmits: List[Tuple[int, Packet]] = []
+        self.drops = 0
+        self._handle: Optional[EventHandle] = None
+
+    # -- the arrival side --------------------------------------------------
+
+    def on_arrival(self, when_ns: int, packets: List[Packet]) -> None:
+        """Apply one burst at ``when_ns``, replaying the clock up to it."""
+        if when_ns > 0:
+            self.simulator.run(until_ns=when_ns - 1)
+        mailbox = self.worker.mailbox
+        before = len(mailbox)
+        taken = mailbox.push_batch(packets)
+        self.drops += len(packets) - taken
+        if taken or before:
+            self._wake(when_ns)
+
+    def _wake(self, now_ns: int) -> None:
+        # Mirrors ShardedRuntime._wake_shard: an armed tick within one
+        # quantum is soon enough; a far-off deadline sleep is pulled forward.
+        handle = self._handle
+        if handle is not None and handle.active:
+            if handle.time_ns <= now_ns + self.spec.quantum_ns:
+                return
+            handle.cancel()
+        self._handle = self.simulator.schedule_at(now_ns, self._tick)
+
+    # -- the tick side -----------------------------------------------------
+
+    def _tick(self) -> None:
+        self._handle = None
+        now = self.simulator.now_ns
+        worker = self.worker
+        spec = self.spec
+        ingest_limit = spec.ingest_per_quantum
+        if spec.shard_backlog_limit is not None:
+            room = max(0, spec.shard_backlog_limit - worker.backlog)
+            ingest_limit = room if ingest_limit is None else min(ingest_limit, room)
+        released = worker.tick(
+            now, ingest_limit=ingest_limit, drain_limit=spec.batch_per_quantum
+        )
+        if released:
+            record = self.transmits.append if spec.record_transmits else None
+            for packet in released:
+                packet.departure_ns = now
+                if record is not None:
+                    record((now, packet))
+        next_ns = worker.next_wake_ns(now, spec.quantum_ns)
+        if next_ns is not None:
+            self._handle = self.simulator.schedule_at(next_ns, self._tick)
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> ShardResult:
+        """Drain the shard to quiescence and snapshot its accounting."""
+        self.simulator.run()
+        worker = self.worker
+        return ShardResult(
+            shard_id=worker.shard_id,
+            stats=worker.stats.snapshot(),
+            queue_stats=worker.queue_stats_snapshot(),
+            mailbox=worker.mailbox.stats.snapshot(),
+            cycles=worker.cost.total_cycles,
+            cost_breakdown=worker.cost.breakdown(),
+            transmits=self.transmits,
+            drops=self.drops,
+            end_ns=self.simulator.now_ns,
+            events_processed=self.simulator.processed_events,
+        )
+
+
+class ExecutionBackend(abc.ABC):
+    """The seam between :class:`ShardedRuntime` and whatever runs its loops.
+
+    A backend receives timed submissions (:meth:`submit_at`) and, on
+    :meth:`run`, executes the whole workload.  ``parallel`` distinguishes
+    the two families: the simulated backend shares one clock with the
+    runtime's own event wiring, parallel backends buffer the schedule and
+    fan it out to real cores at run time.
+    """
+
+    #: True for backends that execute shards on real OS cores/threads.
+    parallel: bool = False
+
+    def bind(self, runtime) -> None:
+        """Attach the owning runtime (called once from its constructor)."""
+        self._runtime = runtime
+
+    @abc.abstractmethod
+    def submit_at(self, when_ns: int, packets: Sequence[Packet]) -> None:
+        """Arrange for ``packets`` to arrive at absolute time ``when_ns``."""
+
+    @abc.abstractmethod
+    def run(
+        self, until_ns: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Execute the workload; returns events processed across all clocks."""
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The historical single-clock execution: all shards on one simulator.
+
+    Thin by design — the runtime keeps talking to ``self.simulator``
+    directly for its event wiring, so this backend's existence changes
+    nothing about the simulated schedule (the golden-equivalence guarantee:
+    committed ``BENCH_hotpath.json`` / ``BENCH_sharding.json`` modelled
+    numbers are reproduced exactly).
+    """
+
+    parallel = False
+
+    def __init__(self, simulator: Optional[Simulator] = None) -> None:
+        self.simulator = simulator or Simulator()
+
+    def submit_at(self, when_ns: int, packets: Sequence[Packet]) -> None:
+        """Schedule the burst as a simulator event (pre-run ties beat ticks)."""
+        batch = list(packets)
+        self.simulator.schedule_at(
+            when_ns, lambda: self._runtime.submit_batch(batch)
+        )
+
+    def run(
+        self, until_ns: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        return self.simulator.run(until_ns=until_ns, max_events=max_events)
+
+
+class ParallelBackend(ExecutionBackend):
+    """Shared machinery of the real-core backends: buffer, partition, fan out.
+
+    Submissions are buffered until :meth:`run`, then stable-sorted by time
+    (preserving submission order at equal instants, the shared simulator's
+    tie rule) and partitioned per shard with the runtime's static hash.
+    Concrete backends implement :meth:`_execute` over the per-shard
+    schedules and return one :class:`ShardResult` per shard.
+    """
+
+    parallel = True
+
+    def __init__(self) -> None:
+        self._bursts: List[Burst] = []
+        #: Per-shard end-of-run snapshots, populated by :meth:`run`.
+        self.results: Optional[List[ShardResult]] = None
+
+    @property
+    def pending_submitted(self) -> int:
+        """Packets buffered for a run that has not started yet."""
+        return sum(len(packets) for _when, packets in self._bursts)
+
+    def submit_at(self, when_ns: int, packets: Sequence[Packet]) -> None:
+        if when_ns < 0:
+            raise ValueError("when_ns must be non-negative")
+        if self.results is not None:
+            raise RuntimeError(
+                "parallel backends execute one buffered schedule per run(); "
+                "create a fresh runtime for another workload"
+            )
+        batch = list(packets)
+        if batch:
+            self._bursts.append((when_ns, batch))
+
+    def run(
+        self, until_ns: Optional[int] = None, max_events: Optional[int] = None
+    ) -> int:
+        if until_ns is not None or max_events is not None:
+            raise ValueError(
+                "parallel backends run the buffered schedule to completion; "
+                "until_ns/max_events apply only to the simulated backend"
+            )
+        if self.results is not None:
+            return 0  # idempotent: the schedule already ran
+        runtime = self._runtime
+        bursts = sorted(self._bursts, key=lambda burst: burst[0])  # stable
+        self._bursts = []
+        schedules: List[List[Burst]] = [[] for _ in range(runtime.num_shards)]
+        shard_for = runtime.sharder.shard_for
+        for when_ns, packets in bursts:
+            groups: Dict[int, List[Packet]] = {}
+            for packet in packets:
+                groups.setdefault(shard_for(packet.flow_id), []).append(packet)
+            for shard, group in groups.items():
+                schedules[shard].append((when_ns, group))
+        specs = [runtime._worker_spec(shard) for shard in range(runtime.num_shards)]
+        self.results = self._execute(specs, schedules)
+        return sum(result.events_processed for result in self.results)
+
+    @abc.abstractmethod
+    def _execute(
+        self, specs: List[WorkerSpec], schedules: List[List[Burst]]
+    ) -> List[ShardResult]:
+        """Run every shard's schedule to completion; one result per shard."""
+
+
+def _shard_worker_main(spec: WorkerSpec, ring_name: str, conn) -> None:
+    """Child-process entry point: drain the shm ring into a clock driver.
+
+    Records are ``(when_ns, [packets])`` bursts in nondecreasing time order;
+    the ``None`` sentinel is end-of-schedule.  The result (or a formatted
+    traceback) returns over ``conn``; the ring mapping is always detached.
+    """
+    ring = ShmRing(name=ring_name)
+    try:
+        try:
+            driver = ShardClockDriver(spec)
+            empty_polls = 0
+            while True:
+                record = ring.pop()
+                if record is RING_EMPTY:
+                    # The producer is still feeding: spin briefly (the ring
+                    # is usually refilled within microseconds), then back off
+                    # so a slow feeder does not see a core burned on polling.
+                    empty_polls += 1
+                    time.sleep(0 if empty_polls < 200 else 0.0005)
+                    continue
+                empty_polls = 0
+                if record is None:
+                    break
+                when_ns, packets = record
+                driver.on_arrival(when_ns, packets)
+            conn.send(driver.finish())
+        except BaseException:
+            conn.send(_ChildError(spec.shard_id, traceback.format_exc()))
+        finally:
+            conn.close()
+    finally:
+        ring.close()
+
+
+class ProcessBackend(ParallelBackend):
+    """One OS process per shard, fed over shared-memory SPSC rings.
+
+    The parent plays the ingress core: it streams each shard's timed bursts
+    into that shard's :class:`~repro.runtime.shm.ShmRing` (single producer —
+    the parent; single consumer — the child), interleaving across rings so
+    no child starves while another's ring is full.  Children replay their
+    schedules on private virtual clocks (:class:`ShardClockDriver`) and
+    return picklable :class:`ShardResult` snapshots over a pipe on join.
+
+    Teardown is unconditional: whatever interrupts the feed or the join —
+    ``KeyboardInterrupt`` included — live children are terminated and every
+    shared-memory segment is unlinked before the exception propagates.
+
+    Args:
+        ring_capacity: byte capacity of each per-shard ring (must hold at
+            least one full pickled burst; 1 MiB comfortably fits the
+            benchmark's 128-packet bursts).
+        result_timeout_s: how long to wait for one child's result after its
+            schedule was fed, before declaring it wedged.
+    """
+
+    def __init__(
+        self, ring_capacity: int = 1 << 20, result_timeout_s: float = 300.0
+    ) -> None:
+        super().__init__()
+        self.ring_capacity = ring_capacity
+        self.result_timeout_s = result_timeout_s
+
+    def _feed_hook(self) -> None:
+        """Called once per feed-loop pass (test seam for interrupt injection)."""
+
+    def _execute(
+        self, specs: List[WorkerSpec], schedules: List[List[Burst]]
+    ) -> List[ShardResult]:
+        # fork start method: WorkerSpec (with its possibly-closure
+        # queue_factory) is inherited by the child, not pickled; only the
+        # packet stream crosses via the shm rings.
+        ctx = multiprocessing.get_context("fork")
+        num_shards = len(specs)
+        rings: List[ShmRing] = []
+        procs: List[multiprocessing.Process] = []
+        conns = []
+        try:
+            for shard in range(num_shards):
+                ring = ShmRing(capacity=self.ring_capacity)
+                rings.append(ring)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                conns.append(parent_conn)
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(specs[shard], ring.name, child_conn),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+            self._feed(rings, procs, schedules)
+            results: List[Optional[ShardResult]] = [None] * num_shards
+            for shard in range(num_shards):
+                if not conns[shard].poll(self.result_timeout_s):
+                    raise RuntimeError(
+                        f"shard {shard} produced no result within "
+                        f"{self.result_timeout_s:.0f}s"
+                    )
+                try:
+                    outcome = conns[shard].recv()
+                except EOFError as exc:
+                    raise RuntimeError(
+                        f"shard {shard} worker exited without a result"
+                    ) from exc
+                if isinstance(outcome, _ChildError):
+                    raise RuntimeError(
+                        f"shard {shard} worker failed:\n{outcome.message}"
+                    )
+                results[shard] = outcome
+            for proc in procs:
+                proc.join(timeout=30.0)
+            return results  # type: ignore[return-value]
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=10.0)
+            for ring in rings:
+                ring.close()
+                ring.unlink()
+
+    def _feed(
+        self,
+        rings: List[ShmRing],
+        procs: List[multiprocessing.Process],
+        schedules: List[List[Burst]],
+    ) -> None:
+        """Stream every shard's schedule (+ EOF sentinel) into its ring."""
+        from collections import deque
+
+        pending = [deque(schedule + [None]) for schedule in schedules]
+        remaining = len(rings)
+        while remaining:
+            progressed = False
+            for shard, queue in enumerate(pending):
+                if not queue:
+                    continue
+                ring = rings[shard]
+                while queue and ring.push(queue[0]):
+                    queue.popleft()
+                    progressed = True
+                if not queue:
+                    remaining -= 1
+                elif not procs[shard].is_alive():
+                    raise RuntimeError(
+                        f"shard {shard} worker died before consuming its schedule"
+                    )
+            self._feed_hook()
+            if not progressed and remaining:
+                time.sleep(0.0002)
+
+
+class ThreadBackend(ParallelBackend):
+    """One thread per shard; the in-process variant of the parallel seam.
+
+    No rings and no pickling — each thread owns its schedule outright.
+    Under the GIL the threads time-slice (correctness demonstrated, no
+    speedup); on a free-threaded build (:func:`free_threaded`) the same
+    code parallelises.  ``gil_enabled`` records which world a run saw.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.gil_enabled = not free_threaded()
+
+    def _execute(
+        self, specs: List[WorkerSpec], schedules: List[List[Burst]]
+    ) -> List[ShardResult]:
+        results: List[Optional[ShardResult]] = [None] * len(specs)
+        failures: List[BaseException] = []
+
+        def run_shard(shard: int) -> None:
+            try:
+                driver = ShardClockDriver(specs[shard])
+                for when_ns, packets in schedules[shard]:
+                    driver.on_arrival(when_ns, packets)
+                results[shard] = driver.finish()
+            except BaseException as exc:  # re-raised on join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run_shard, args=(shard,), name=f"repro-shard-{shard}"
+            )
+            for shard in range(len(specs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return results  # type: ignore[return-value]
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend", simulator: Optional[Simulator]
+) -> ExecutionBackend:
+    """Normalise a runtime's ``backend=`` argument into a backend instance.
+
+    Accepts ``"simulated"`` / ``"process"`` / ``"thread"`` or a ready
+    instance.  ``simulator`` only composes with the simulated backend — a
+    shared clock has no meaning for shards running on their own cores.
+    """
+    if isinstance(backend, str):
+        if backend == "simulated":
+            return SimulatedBackend(simulator)
+        if backend == "process":
+            resolved: ExecutionBackend = ProcessBackend()
+        elif backend == "thread":
+            resolved = ThreadBackend()
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                "choose from 'simulated', 'process', 'thread'"
+            )
+    elif isinstance(backend, ExecutionBackend):
+        resolved = backend
+    else:
+        raise TypeError(f"backend must be a name or ExecutionBackend, got {backend!r}")
+    if simulator is not None and not isinstance(resolved, SimulatedBackend):
+        raise ValueError("simulator= applies only to the simulated backend")
+    return resolved
+
+
+__all__ = [
+    "Burst",
+    "ExecutionBackend",
+    "ParallelBackend",
+    "ProcessBackend",
+    "ShardClockDriver",
+    "ShardResult",
+    "SimulatedBackend",
+    "ThreadBackend",
+    "WorkerSpec",
+    "free_threaded",
+    "resolve_backend",
+]

@@ -524,6 +524,20 @@ class IngressCore:
             stats.idle_ticks += 1
         return delivered
 
+    def next_wake_ns(self, now_ns: int, quantum_ns: int) -> Optional[int]:
+        """When this core's next pull should fire (``None`` = go idle).
+
+        The pure tick-timer policy, mirroring
+        :meth:`ShardWorker.next_wake_ns
+        <repro.runtime.worker.ShardWorker.next_wake_ns>`: an empty ring
+        means the next ``offer`` wakes the core; a loaded (or blocked) ring
+        polls again one ingress quantum out — for a stalled core that is
+        the liveness belt behind the mailbox ``on_low`` resume edge.
+        """
+        if self.ring.empty:
+            return None
+        return now_ns + quantum_ns
+
     # -- introspection -----------------------------------------------------
 
     @property

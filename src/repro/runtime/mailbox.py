@@ -27,6 +27,13 @@ when the consumer drains occupancy down to the low watermark (optional
 (the ingress cores of :mod:`repro.runtime.ingress`) consult :attr:`paused`
 before pulling more work off their RX rings, and the ``on_low`` edge is the
 wake-up that resumes a stalled ingress core without polling.
+
+Edge callbacks fire only after the mutating operation has fully settled:
+counters, peak occupancy and the paused flag all describe the completed
+push/drain by the time ``on_high``/``on_low`` runs, so a callback (or
+anything it re-enters) can snapshot ``stats`` and see a consistent state —
+a requirement for execution backends whose producer and consumer interleave
+differently than the single simulated thread.
 """
 
 from __future__ import annotations
@@ -139,14 +146,29 @@ class Mailbox(Generic[T]):
             raise ValueError("low watermark must satisfy 0 <= low < high")
         self.high_watermark = high
         self.low_watermark = low
-        self._check_high()
+        edge = self._settle_high()
+        if edge is not None:
+            edge()
 
     @property
     def paused(self) -> bool:
         """True while occupancy sits inside the high/low hysteresis band."""
         return self._paused
 
-    def _check_high(self) -> None:
+    # Edge detection is split from edge *firing* so that every mutator can
+    # settle all of its state — ring contents, counters, the paused flag —
+    # before any callback runs.  Watermark callbacks re-enter the runtime
+    # (on_low resumes stalled RX cores, which push more packets, which may
+    # re-pause this very mailbox), so a callback that fired mid-mutation
+    # would observe counters mid-update; execution backends that interleave
+    # producer and consumer differently would then disagree on stall
+    # accounting.  Contract: by the time on_high/on_low runs, pushed /
+    # dropped / drained / peak_occupancy / stalls and ``paused`` all
+    # describe the completed operation (``stats.snapshot()`` inside a
+    # callback is always consistent).
+
+    def _settle_high(self) -> Optional[Callable[[], None]]:
+        """Settle the rising (pause) edge; returns the callback to fire last."""
         if (
             not self._paused
             and self.high_watermark is not None
@@ -154,18 +176,19 @@ class Mailbox(Generic[T]):
         ):
             self._paused = True
             self.stats.stalls += 1
-            if self.on_high is not None:
-                self.on_high()
+            return self.on_high
+        return None
 
-    def _check_low(self) -> None:
+    def _settle_low(self) -> Optional[Callable[[], None]]:
+        """Settle the falling (resume) edge; returns the callback to fire last."""
         if (
             self._paused
             and self.low_watermark is not None
             and len(self._items) <= self.low_watermark
         ):
             self._paused = False
-            if self.on_low is not None:
-                self.on_low()
+            return self.on_low
+        return None
 
     # -- producer side -----------------------------------------------------
 
@@ -178,7 +201,9 @@ class Mailbox(Generic[T]):
         self.stats.pushed += 1
         if len(self._items) > self.stats.peak_occupancy:
             self.stats.peak_occupancy = len(self._items)
-        self._check_high()
+        edge = self._settle_high()
+        if edge is not None:
+            edge()
         return True
 
     def push_batch(self, items: Iterable[T]) -> int:
@@ -207,7 +232,9 @@ class Mailbox(Generic[T]):
         occupancy = len(ring)
         if occupancy > stats.peak_occupancy:
             stats.peak_occupancy = occupancy
-        self._check_high()
+        edge = self._settle_high()
+        if edge is not None:
+            edge()
         return take
 
     # -- consumer side -----------------------------------------------------
@@ -231,7 +258,9 @@ class Mailbox(Generic[T]):
         stats = self.stats
         stats.drained += len(batch)
         stats.drain_calls += 1
-        self._check_low()
+        edge = self._settle_low()
+        if edge is not None:
+            edge()
         return batch
 
     # -- introspection -----------------------------------------------------

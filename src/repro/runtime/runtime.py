@@ -57,6 +57,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .backend import (
+    ExecutionBackend,
+    ShardResult,
+    SimulatedBackend,
+    WorkerSpec,
+    resolve_backend,
+)
 from .ingress import IngressCore, IngressTelemetry, make_admission_factory
 from .mailbox import MailboxStats
 from .sharder import FlowSharder, ShardRebalancer
@@ -257,6 +264,20 @@ class ShardedRuntime:
             transmitted packets, so memory scales with *concurrent* flows
             rather than every flow ever seen — the FQ qdisc's flow-GC
             pattern.  ``None`` disables the sweep.
+        backend: who executes the shard loops — ``"simulated"`` (the
+            default: every shard multiplexed onto one simulator clock,
+            bit-identical to the historical behaviour), ``"process"`` (one
+            OS process per shard over shared-memory rings), ``"thread"``
+            (one thread per shard), or a ready
+            :class:`~repro.runtime.backend.ExecutionBackend` instance.
+            Parallel backends take timed workloads through
+            :meth:`submit_at` and require the *statically decomposable*
+            configuration: no stealing, no rebalancer, no ingress cores and
+            no ``on_transmit`` callback (each shard must be a pure function
+            of its own arrival schedule); the flow-state GC sweep is
+            auto-disabled for the same reason (its trigger is a
+            runtime-global packet count).  See :mod:`repro.runtime.backend`
+            for why per-shard replay is then exact.
     """
 
     def __init__(
@@ -294,6 +315,7 @@ class ShardedRuntime:
         on_transmit: Optional[Callable[[Packet, int], None]] = None,
         record_transmits: bool = True,
         gc_interval_packets: Optional[int] = 4096,
+        backend: "str | ExecutionBackend" = "simulated",
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -327,8 +349,34 @@ class ShardedRuntime:
             raise ValueError("ingest_per_quantum must be positive")
         if shard_backlog_limit is not None and shard_backlog_limit <= 0:
             raise ValueError("shard_backlog_limit must be positive")
+        self.backend = resolve_backend(backend, simulator)
+        if self.backend.parallel:
+            conflicts = []
+            if steal_enabled:
+                conflicts.append("steal_enabled")
+            if rebalancer is not None or rebalance_interval_ns is not None:
+                conflicts.append("rebalancing")
+            if ingress_cores:
+                conflicts.append("ingress_cores")
+            if on_transmit is not None:
+                conflicts.append("on_transmit")
+            if conflicts:
+                raise ValueError(
+                    "parallel backends need statically decomposable shards; "
+                    f"disable: {', '.join(conflicts)} (each shard must be a "
+                    "pure function of its own arrival schedule)"
+                )
+            # The flow-state GC trigger is a runtime-global transmit count,
+            # which no per-shard replay can reproduce — auto-disable it.
+            gc_interval_packets = None
         self.num_shards = num_shards
-        self.simulator = simulator or Simulator()
+        #: The shared clock (simulated backend only); parallel backends run
+        #: each shard on a private clock, so there is no global simulator.
+        self.simulator = (
+            self.backend.simulator
+            if isinstance(self.backend, SimulatedBackend)
+            else None
+        )
         self.sharder = sharder or FlowSharder(num_shards)
         if self.sharder.num_shards != num_shards:
             raise ValueError("sharder.num_shards must match num_shards")
@@ -350,18 +398,21 @@ class ShardedRuntime:
             # at capacity and resumes once half-drained.
             mailbox_high_watermark = mailbox_capacity
             mailbox_low_watermark = mailbox_capacity // 2
+        # One canonical kwargs dict builds every worker — the runtime's own
+        # (below) and the identical replicas a parallel backend constructs
+        # in its shard processes/threads (see _worker_spec).
+        self._worker_config = dict(
+            flow_rates=flow_rates,
+            default_rate_bps=default_rate_bps,
+            horizon_ns=horizon_ns,
+            num_buckets=num_buckets,
+            queue_factory=queue_factory,
+            mailbox_capacity=mailbox_capacity,
+            mailbox_high_watermark=mailbox_high_watermark,
+            mailbox_low_watermark=mailbox_low_watermark,
+        )
         self.workers: List[ShardWorker] = [
-            ShardWorker(
-                shard_id,
-                flow_rates=flow_rates,
-                default_rate_bps=default_rate_bps,
-                horizon_ns=horizon_ns,
-                num_buckets=num_buckets,
-                queue_factory=queue_factory,
-                mailbox_capacity=mailbox_capacity,
-                mailbox_high_watermark=mailbox_high_watermark,
-                mailbox_low_watermark=mailbox_low_watermark,
-            )
+            ShardWorker(shard_id, **self._worker_config)
             for shard_id in range(num_shards)
         ]
         if ingest_per_quantum is None and ingress_cores > 0 and mailbox_capacity is not None:
@@ -420,6 +471,19 @@ class ShardedRuntime:
                 # draining below its low watermark wakes exactly the RX
                 # cores that stalled on it (event-driven, no polling).
                 mailbox.on_low = self._wake_stalled_ingress
+        self.backend.bind(self)
+
+    def _worker_spec(self, shard: int) -> WorkerSpec:
+        """The recipe a parallel backend uses to replicate one shard's loop."""
+        return WorkerSpec(
+            shard_id=shard,
+            worker_kwargs=dict(self._worker_config),
+            quantum_ns=self.quantum_ns,
+            batch_per_quantum=self.batch_per_quantum,
+            ingest_per_quantum=self.ingest_per_quantum,
+            shard_backlog_limit=self.shard_backlog_limit,
+            record_transmits=self.record_transmits,
+        )
 
     # -- ingress -----------------------------------------------------------
 
@@ -465,7 +529,15 @@ class ShardedRuntime:
         With ingress cores the packet lands in its flow's RX ring (drops are
         then the admission policy's verdict); otherwise it goes straight to
         its shard's mailbox, as before the ingress layer existed.
+
+        On a parallel backend this buffers the packet for time 0 of the run
+        (see :meth:`submit_at`) and optimistically reports acceptance —
+        drops are settled inside the shard processes and surface in
+        :attr:`ingress_drops` after :meth:`run`.
         """
+        if self.backend.parallel:
+            self.backend.submit_at(0, [packet])
+            return True
         if self.ingress_cores:
             return self._offer_ingress([packet]) == 1
         shard = self._route(packet.flow_id)
@@ -481,8 +553,13 @@ class ShardedRuntime:
     def submit_batch(self, packets: List[Packet]) -> int:
         """Offer a burst; routing stays per-flow, pushes are batched per shard.
 
-        Returns the number of packets accepted.
+        Returns the number of packets accepted.  On a parallel backend the
+        burst is buffered for time 0 of the run and the count is optimistic
+        (see :meth:`submit`).
         """
+        if self.backend.parallel:
+            self.backend.submit_at(0, packets)
+            return len(packets)
         if self.ingress_cores:
             return self._offer_ingress(packets)
         by_shard: Dict[int, List[Packet]] = {}
@@ -512,6 +589,20 @@ class ShardedRuntime:
         if accepted:
             self._arm_rebalance()
         return accepted
+
+    def submit_at(self, when_ns: int, packets: List[Packet]) -> None:
+        """Arrange for a burst to arrive at absolute time ``when_ns``.
+
+        The backend-portable way to drive a timed workload: on the
+        simulated backend this schedules a :meth:`submit_batch` event (so
+        pre-run submissions keep their arrival-beats-tick tie order on the
+        shared heap, exactly like the benchmark harnesses' hand-scheduled
+        offers); on a parallel backend it buffers the burst into the
+        schedule that :meth:`run` fans out to the shard cores.  Call it for
+        every burst before :meth:`run` and the same workload replays
+        identically on either backend.
+        """
+        self.backend.submit_at(when_ns, packets)
 
     # -- the asynchronous ingress layer ------------------------------------
 
@@ -583,14 +674,16 @@ class ShardedRuntime:
         self._ingress_handles[lane] = None
         now = self.simulator.now_ns
         core.pull(now, self._route, self._mailboxes, self._ingress_deliver)
-        if core.ring.empty:
+        # The wake-up policy lives on the core (next_wake_ns), shared with
+        # any backend that drives RX cores on its own clock.  Blocked cores
+        # are primarily woken by the mailbox on_low edge; the quantum-cadence
+        # retry is the liveness belt for custom watermark wirings, and for a
+        # loaded ring it is simply the next NAPI poll.
+        next_ns = core.next_wake_ns(now, self.ingress_quantum_ns)
+        if next_ns is None:
             return  # the next offer() wakes this core
-        # Blocked cores are primarily woken by the mailbox on_low edge; the
-        # quantum-cadence retry below is the liveness belt for custom
-        # watermark wirings, and for a loaded ring it is simply the next
-        # NAPI poll.
         self._ingress_handles[lane] = self.simulator.schedule_at(
-            now + self.ingress_quantum_ns, lambda lane=lane: self._ingress_tick(lane)
+            next_ns, lambda lane=lane: self._ingress_tick(lane)
         )
 
     def _ingress_deliver(self, shard: int, packets: List[Packet]) -> int:
@@ -847,21 +940,14 @@ class ShardedRuntime:
             # second tick here would fork a duplicate self-perpetuating
             # timer chain.
             return
-        worker = self.workers[shard]
-        if worker.backlog == 0 and not len(worker.mailbox):
-            # Idle — the next submit() wakes the shard.  This deliberately
-            # ignores lease-deferred packets: they can only move when the
-            # lease returns, and _finish_lease wakes this shard then, so a
-            # quantum-cadence timer would just burn bottleneck cycles.
+        # The timer policy itself (idle → no timer; mailbox → one quantum;
+        # deep-paced queue → jump to the soonest deadline) lives on the
+        # worker so every execution backend programs identical wake-ups.
+        next_ns = self.workers[shard].next_wake_ns(now, self.quantum_ns)
+        if next_ns is None:
+            # Idle — the next submit() wakes the shard (lease-deferred
+            # packets deliberately don't count: _finish_lease wakes then).
             return
-        next_ns = now + self.quantum_ns
-        if not len(worker.mailbox):
-            soonest = worker.soonest_deadline_ns(now)
-            if soonest is not None and soonest > next_ns:
-                # Deep-paced queue: sleep straight to the soonest deadline
-                # instead of burning an idle tick per quantum (the cFFS
-                # SoonestDeadline() timer programming of the Eiffel qdisc).
-                next_ns = soonest
         self._tick_handles[shard] = self.simulator.schedule_at(
             next_ns, lambda shard=shard: self._tick(shard)
         )
@@ -911,15 +997,46 @@ class ShardedRuntime:
     # -- driving -----------------------------------------------------------
 
     def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Drive the shared clock; returns events processed.
+        """Execute the workload; returns events processed.
 
-        Without a horizon this runs until every shard drains (worker ticks
-        self-perpetuate only while work is pending).
+        On the simulated backend this drives the shared clock (without a
+        horizon it runs until every shard drains — worker ticks
+        self-perpetuate only while work is pending).  On a parallel backend
+        it fans the buffered :meth:`submit_at` schedule out to the shard
+        cores, blocks until they all drain, and folds their results back
+        into this runtime's telemetry, transmit log and drop counters
+        (``until_ns``/``max_events`` don't apply there — the schedule runs
+        to completion).
         """
-        return self.simulator.run(until_ns=until_ns, max_events=max_events)
+        processed = self.backend.run(until_ns=until_ns, max_events=max_events)
+        if self.backend.parallel:
+            self._absorb_parallel_results()
+        return processed
+
+    def _absorb_parallel_results(self) -> None:
+        """Fold the shard processes' results into the runtime's own counters."""
+        results: Optional[List[ShardResult]] = self.backend.results
+        if results is None:
+            return
+        self.ingress_drops = sum(result.drops for result in results)
+        if self.record_transmits:
+            # Within a shard the transmit order is exact; across shards the
+            # same-nanosecond tie order is backend-defined, resolved here by
+            # shard id so repeated runs merge deterministically.
+            entries = [
+                (departure_ns, result.shard_id, index, packet)
+                for result in results
+                for index, (departure_ns, packet) in enumerate(result.transmits)
+            ]
+            entries.sort(key=lambda entry: entry[:3])
+            self.transmit_log = [
+                (departure_ns, packet) for departure_ns, _shard, _idx, packet in entries
+            ]
 
     def stop(self) -> None:
         """Cancel every outstanding shard, ingress, and rebalancing timer."""
+        if self.simulator is None:
+            return  # parallel backends hold no timers in this process
         for shard, handle in enumerate(self._tick_handles):
             if handle is not None and handle.active:
                 self.simulator.cancel(handle)
@@ -936,18 +1053,44 @@ class ShardedRuntime:
 
     @property
     def pending(self) -> int:
-        """Packets in flight anywhere: RX rings + mailboxes + queues + lease deferrals."""
+        """Packets in flight anywhere: RX rings + mailboxes + queues + lease deferrals.
+
+        On a parallel backend before :meth:`run`, this counts the buffered
+        schedule; after the run everything has drained by construction.
+        """
+        if self.backend.parallel:
+            return self.backend.pending_submitted
         in_flight = sum(worker.pending for worker in self.workers)
         return in_flight + sum(core.backlog for core in self.ingress_cores)
 
     @property
     def transmitted(self) -> int:
         """Packets released by all shards."""
+        results = self.backend.results if self.backend.parallel else None
+        if results is not None:
+            return sum(result.stats.transmitted for result in results)
         return sum(worker.stats.transmitted for worker in self.workers)
 
-    def telemetry(self) -> RuntimeTelemetry:
-        """Aggregate per-shard accounting into runtime-level telemetry."""
-        shards = [
+    def _shard_telemetry(self) -> List[ShardTelemetry]:
+        """Per-shard telemetry rows — live workers, or joined shard results."""
+        results = self.backend.results if self.backend.parallel else None
+        if results is not None:
+            return [
+                ShardTelemetry(
+                    shard_id=result.shard_id,
+                    ingested=result.stats.ingested,
+                    transmitted=result.stats.transmitted,
+                    ticks=result.stats.ticks,
+                    idle_ticks=result.stats.idle_ticks,
+                    backlog_peak=result.stats.backlog_peak,
+                    cycles=result.cycles,
+                    queue_stats=result.queue_stats,
+                    mailbox=result.mailbox,
+                    steals=StealStats(),
+                )
+                for result in results
+            ]
+        return [
             ShardTelemetry(
                 shard_id=worker.shard_id,
                 ingested=worker.stats.ingested,
@@ -962,6 +1105,15 @@ class ShardedRuntime:
             )
             for worker in self.workers
         ]
+
+    def telemetry(self) -> RuntimeTelemetry:
+        """Aggregate per-shard accounting into runtime-level telemetry.
+
+        Works identically on every backend: the simulated path reads the
+        live workers, a parallel run reads the picklable per-shard
+        snapshots merged on join — same rows, same roll-up.
+        """
+        shards = self._shard_telemetry()
         cycles = [shard.cycles for shard in shards]
         ingress = [
             IngressTelemetry(

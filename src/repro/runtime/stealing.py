@@ -28,6 +28,15 @@ The request side is a bounded :class:`StealChannel` per victim — the
 message-passing shape of real work-stealing runtimes (an idle core parks a
 steal request; the owner hands work over at a safe point), which keeps the
 hot structures single-writer: only the victim ever touches its own queue.
+
+That single-writer discipline is the protocol's real-core seam: grant and
+release are plain message handoffs (a lease is just a record crossing a
+ring, like the shared-memory rings of :mod:`repro.runtime.shm`), with no
+shared mutable queue state to lock.  The parallel execution backends of
+:mod:`repro.runtime.backend` do not yet drive it — they currently require
+stealing disabled, because a lease couples two shards' clocks — so today
+stealing runs on the simulated backend only; the channel/lease message
+shapes are what a cross-process implementation would reuse verbatim.
 """
 
 from __future__ import annotations

@@ -481,6 +481,31 @@ class ShardWorker:
         send_at, _packet = self.queue.peek_min()
         return max(send_at, now_ns)
 
+    def next_wake_ns(self, now_ns: int, quantum_ns: int) -> Optional[int]:
+        """When this worker's next tick should fire (``None`` = go idle).
+
+        The pure tick-timer policy, shared by every execution backend so
+        simulated and real-core runs program identical wake-ups:
+
+        * nothing in flight → no timer (the next arrival wakes the shard);
+          lease-deferred packets are deliberately ignored — they can only
+          move when the lease returns, and the driver wakes the shard then;
+        * mailbox non-empty → one quantum out (arrivals must be stamped
+          promptly);
+        * only paced queue work → jump straight to the soonest deadline
+          when it lies beyond the next quantum (the cFFS
+          ``SoonestDeadline()`` timer programming of the Eiffel qdisc)
+          instead of burning an idle tick per quantum.
+        """
+        if self._backlog == 0 and not len(self.mailbox):
+            return None
+        next_ns = now_ns + quantum_ns
+        if not len(self.mailbox):
+            soonest = self.soonest_deadline_ns(now_ns)
+            if soonest is not None and soonest > next_ns:
+                next_ns = soonest
+        return next_ns
+
     def queue_stats_snapshot(self) -> QueueStats:
         """Copy of the backing queue's operation counters."""
         return self.queue.stats.snapshot()

@@ -1,0 +1,78 @@
+"""Pickle round-trips for the slotted counter dataclasses.
+
+Every ``CounterStatsMixin`` dataclass opts into ``slots=True`` for hot-path
+attribute speed, which forfeits the ``__dict__``-based default pickle path.
+The mixin pins an explicit wire format instead (``__getstate__`` returns the
+field dict, ``__setstate__`` reassigns it) because the parallel execution
+backends ship these snapshots across process boundaries in every
+:class:`~repro.runtime.backend.ShardResult`.  These tests round-trip each
+class with non-default values so any future field addition or slots change
+that silently breaks the wire format fails loudly.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.queues import QueueStats
+from repro.runtime import (
+    IngressStats,
+    MailboxStats,
+    ShardWorkerStats,
+    ShardingStats,
+    StealStats,
+)
+from repro.runtime.stealing import StealChannelStats
+
+ALL_STATS_CLASSES = [
+    QueueStats,
+    MailboxStats,
+    ShardWorkerStats,
+    ShardingStats,
+    StealStats,
+    IngressStats,
+    StealChannelStats,
+]
+
+
+def _populated(cls):
+    """An instance with a distinct non-default value in every field."""
+    instance = cls()
+    for index, (name, spec) in enumerate(instance.__dataclass_fields__.items()):
+        value = 7 + index if isinstance(spec.default, int) else 0.5 + index
+        setattr(instance, name, value)
+    return instance
+
+
+@pytest.mark.parametrize("cls", ALL_STATS_CLASSES, ids=lambda cls: cls.__name__)
+class TestCounterStatsPickle:
+    def test_round_trip_preserves_every_field(self, cls):
+        original = _populated(cls)
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert clone.as_dict() == original.as_dict()
+        assert clone.as_dict() != cls().as_dict()  # the values were non-default
+
+    def test_round_trip_of_defaults(self, cls):
+        clone = pickle.loads(pickle.dumps(cls()))
+        assert clone.as_dict() == cls().as_dict()
+
+    def test_clone_is_independent(self, cls):
+        original = _populated(cls)
+        clone = pickle.loads(pickle.dumps(original))
+        first_field = next(iter(original.__dataclass_fields__))
+        setattr(clone, first_field, getattr(clone, first_field) + 1)
+        assert clone.as_dict() != original.as_dict()
+
+    def test_instances_stay_dictless(self, cls):
+        # The explicit pickle support must not have reintroduced __dict__:
+        # one stats object per queue/shard sits on the hot path.
+        original = _populated(cls)
+        clone = pickle.loads(pickle.dumps(original))
+        for instance in (original, clone):
+            with pytest.raises(AttributeError):
+                instance.__dict__
+
+    def test_getstate_is_the_field_dict(self, cls):
+        original = _populated(cls)
+        assert original.__getstate__() == original.as_dict()
