@@ -243,6 +243,27 @@ class ShapingTransaction:
         self._next_free_ns = 0
         self._credit_bytes = limit.burst_bytes
 
+    @classmethod
+    def restore(
+        cls,
+        name: str,
+        limit: RateLimit,
+        next_free_ns: int,
+        credit_bytes: int,
+    ) -> "ShapingTransaction":
+        """Rebuild a transaction from externally held pacing state.
+
+        The inverse of reading :attr:`next_free_ns` / :attr:`credit_bytes`:
+        compact flow-state stores (:mod:`repro.runtime.flowstate`) keep the
+        four numbers in dense columns and materialise a transaction only
+        when the state has to travel — a migration handoff or a
+        work-stealing lease.
+        """
+        transaction = cls(name, limit)
+        transaction._next_free_ns = next_free_ns
+        transaction._credit_bytes = credit_bytes
+        return transaction
+
     def stamp(self, packet: Packet, now_ns: int) -> int:
         """Return the transmission timestamp for ``packet`` at time ``now_ns``.
 
@@ -274,6 +295,11 @@ class ShapingTransaction:
         burst credit) — which is what flow-state garbage collectors check.
         """
         return self._next_free_ns
+
+    @property
+    def credit_bytes(self) -> int:
+        """Remaining burst credit (bytes that may send without spacing)."""
+        return self._credit_bytes
 
 
 __all__ = [

@@ -49,6 +49,19 @@ instance per core, flows spread across instances by an RSS-style hash:
   — real wall-clock parallelism with modelled results identical to the
   simulation (``benchmarks/bench_parallel.py`` puts the measured speedup
   next to the modelled curve).
+* :class:`~repro.runtime.flowstate.FlowTable` /
+  :class:`~repro.runtime.flowstate.PacingTable` — the million-flow state
+  engine: sparse flow ids mapped to dense slots by open addressing, every
+  per-flow datum (pacing rate / next-release stamp / credit, pins, loans,
+  window counts, home shard, in-flight backlog) a flat :mod:`array` column
+  indexed by slot, dead flows recycled through a slot free list.  The
+  worker, sharder, and runtime driver all keep their per-flow state as
+  columns over this engine — tens of bytes per flow instead of half a
+  kilobyte of boxed objects — while handoffs (migration, leases) still
+  travel as :class:`~repro.core.model.transactions.ShapingTransaction`
+  objects and stamps stay bit-identical
+  (``benchmarks/bench_megaflow.py`` measures bytes/flow and churn ops/sec
+  against the dict-of-objects baseline at 10k/100k/1M flows).
 * :class:`~repro.runtime.adapters.ShardedPortQueue` /
   :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
   for the netsim and kernel substrates.
@@ -93,6 +106,7 @@ from .backend import (
     WorkerSpec,
     free_threaded,
 )
+from .flowstate import FlowStateStats, FlowTable, PacingTable
 from .ingress import (
     AdmissionPolicy,
     CoDelPolicy,
@@ -133,6 +147,9 @@ __all__ = [
     "FlowFairDropPolicy",
     "FlowLease",
     "FlowSharder",
+    "FlowStateStats",
+    "FlowTable",
+    "PacingTable",
     "INGRESS_HASH_SEED",
     "IngressCore",
     "IngressStats",

@@ -118,6 +118,12 @@ class ShardResult:
     drops: int
     end_ns: int
     events_processed: int
+    #: End-of-run gauges of the shard's array-backed pacing table (see
+    #: :mod:`repro.runtime.flowstate`): flows still holding pacing state and
+    #: the measured bytes of the columns — the per-shard halves of the
+    #: runtime's ``flow_state`` telemetry block on parallel backends.
+    pacing_live_flows: int = 0
+    pacing_memory_bytes: int = 0
 
 
 @dataclass
@@ -226,6 +232,8 @@ class ShardClockDriver:
             drops=self.drops,
             end_ns=self.simulator.now_ns,
             events_processed=self.simulator.processed_events,
+            pacing_live_flows=len(worker.pacing),
+            pacing_memory_bytes=worker.pacing.memory_bytes(),
         )
 
 

@@ -64,6 +64,7 @@ from .backend import (
     WorkerSpec,
     resolve_backend,
 )
+from .flowstate import FlowTable
 from .ingress import IngressCore, IngressTelemetry, make_admission_factory
 from .mailbox import MailboxStats
 from .sharder import FlowSharder, ShardRebalancer
@@ -133,6 +134,11 @@ class RuntimeTelemetry:
     #: overflow when backpressure is disabled with no policy armed.  With
     #: backpressure on and ``admission=None`` this is zero by construction.
     admission_drops: int = 0
+    #: Flow-state engine gauges: live flows / slot high watermark / pacing
+    #: entries across shards, measured bytes of every flow-state table
+    #: (runtime ownership + sharder placement + per-shard pacing columns),
+    #: and the incremental-GC counters.  See :mod:`repro.runtime.flowstate`.
+    flow_state: dict = field(default_factory=dict)
 
     @property
     def imbalance(self) -> float:
@@ -175,6 +181,7 @@ class RuntimeTelemetry:
             "max_ingress_cycles": self.max_ingress_cycles,
             "bottleneck_cycles": self.bottleneck_cycles,
             "admission_drops": self.admission_drops,
+            "flow_state": dict(self.flow_state),
         }
 
 
@@ -260,10 +267,18 @@ class ShardedRuntime:
         record_transmits: keep ``(now_ns, packet)`` in :attr:`transmit_log`
             (tests and small examples; benchmarks switch it off).
         gc_interval_packets: sweep idle per-flow state (flow homes, sharder
-            pins/sticky entries, expired shard shapers) every this many
-            transmitted packets, so memory scales with *concurrent* flows
-            rather than every flow ever seen — the FQ qdisc's flow-GC
+            pins/sticky entries, expired shard pacing entries) every this
+            many transmitted packets, so memory scales with *concurrent*
+            flows rather than every flow ever seen — the FQ qdisc's flow-GC
             pattern.  ``None`` disables the sweep.
+        gc_sweep_limit: bound on flow-state slots each GC sweep examines
+            (``None``, the default, scans the whole table in one sweep —
+            the historical global scan).  With a limit the sweep becomes
+            incremental: a persistent cursor walks the slot space a bounded
+            chunk per trigger and wraps, so GC cost per trigger is O(limit)
+            regardless of table size — the same candidates are reclaimed,
+            just spread over successive sweeps (the churn-storm property
+            suite asserts the two converge to the same live set).
         backend: who executes the shard loops — ``"simulated"`` (the
             default: every shard multiplexed onto one simulator clock,
             bit-identical to the historical behaviour), ``"process"`` (one
@@ -315,6 +330,7 @@ class ShardedRuntime:
         on_transmit: Optional[Callable[[Packet, int], None]] = None,
         record_transmits: bool = True,
         gc_interval_packets: Optional[int] = 4096,
+        gc_sweep_limit: Optional[int] = None,
         backend: "str | ExecutionBackend" = "simulated",
     ) -> None:
         if num_shards <= 0:
@@ -337,6 +353,8 @@ class ShardedRuntime:
             raise ValueError("steal_channel_capacity must be positive")
         if gc_interval_packets is not None and gc_interval_packets <= 0:
             raise ValueError("gc_interval_packets must be positive")
+        if gc_sweep_limit is not None and gc_sweep_limit <= 0:
+            raise ValueError("gc_sweep_limit must be positive")
         if ingress_cores < 0:
             raise ValueError("ingress_cores must be non-negative")
         if rx_ring_capacity <= 0:
@@ -440,8 +458,17 @@ class ShardedRuntime:
         self._open_leases: Dict[int, list] = {}
         self._lease_seq = itertools.count()
         self._since_gc = 0
-        self._flow_home: Dict[int, int] = {}
-        self._flow_pending: Dict[int, int] = {}
+        self.gc_sweep_limit = gc_sweep_limit
+        # Per-flow ownership state, columnised (see repro.runtime.flowstate):
+        # home shard, in-flight packet count, and a last-activity stamp (a
+        # monotonic accepted-packet sequence number — recency for telemetry
+        # and debugging without reading the clock per packet).
+        self.flows = FlowTable()
+        self._home = self.flows.add_column("home", "i", -1)
+        self._pending = self.flows.add_column("pending", "i", 0)
+        self._last_seen = self.flows.add_column("last_seen", "q", 0)
+        self._flow_seq = 0
+        self._gc_cursor = 0
         self._tick_handles: List[Optional[EventHandle]] = [None] * num_shards
         self._rebalance_handle: Optional[EventHandle] = None
         # -- the asynchronous ingress layer --------------------------------
@@ -500,9 +527,11 @@ class ShardedRuntime:
         loan = self.sharder.loan_shard(flow_id)
         if loan is not None:
             return loan
-        home = self._flow_home.get(flow_id)
-        if home is not None and self._flow_pending.get(flow_id, 0) > 0:
-            return home
+        slot = self.flows.lookup(flow_id)
+        if slot >= 0 and self._pending[slot] > 0:
+            home = self._home[slot]
+            if home >= 0:
+                return home
         return self.sharder.shard_for(flow_id)
 
     def _commit_route(self, flow_id: int, shard: int) -> None:
@@ -513,14 +542,18 @@ class ShardedRuntime:
         so ``_next_free_ns`` and the remaining burst credit survive and the
         flow cannot exceed its configured rate by hopping shards.
         """
-        home = self._flow_home.get(flow_id)
-        if home is not None and home != shard:
-            self.migrations_applied += 1
-            shaper = self.workers[home].release_shaper(flow_id)
-            if shaper is not None:
-                self.workers[shard].adopt_shaper(flow_id, shaper)
-        self._flow_home[flow_id] = shard
-        self._flow_pending[flow_id] = self._flow_pending.get(flow_id, 0) + 1
+        slot = self.flows.ensure(flow_id)
+        home = self._home[slot]
+        if home != shard:
+            if home >= 0:
+                self.migrations_applied += 1
+                shaper = self.workers[home].release_shaper(flow_id)
+                if shaper is not None:
+                    self.workers[shard].adopt_shaper(flow_id, shaper)
+            self._home[slot] = shard
+        self._pending[slot] += 1
+        self._flow_seq += 1
+        self._last_seen[slot] = self._flow_seq
         self.sharder.record(flow_id, shard)
 
     def submit(self, packet: Packet) -> bool:
@@ -772,20 +805,18 @@ class ShardedRuntime:
         once per call rather than once per packet.
         """
         finished: List[FlowLease] = []
-        flow_pending = self._flow_pending
-        pending_get = flow_pending.get
-        pending_pop = flow_pending.pop
+        lookup = self.flows.lookup
+        pending_col = self._pending
         log_append = self.transmit_log.append if self.record_transmits else None
         on_transmit = self.on_transmit
         open_leases = self._open_leases
         for packet in released:
             packet.departure_ns = now
             flow_id = packet.flow_id
-            pending = pending_get(flow_id, 1) - 1
-            if pending > 0:
-                flow_pending[flow_id] = pending
-            else:
-                pending_pop(flow_id, None)
+            slot = lookup(flow_id)
+            if slot >= 0:
+                pending = pending_col[slot] - 1
+                pending_col[slot] = pending if pending > 0 else 0
             if log_append is not None:
                 log_append((now, packet))
             if on_transmit is not None:
@@ -959,18 +990,52 @@ class ShardedRuntime:
         for it (see :meth:`ShardWorker.gc_flow`); flows mid-pacing keep
         their home so a returning packet cannot jump ahead of the rate
         limit.
+
+        With ``gc_sweep_limit`` set the sweep is incremental: a persistent
+        cursor walks the slot space at most ``limit`` idle candidates per
+        trigger and wraps, bounding GC cost per trigger regardless of how
+        many flows are live.  Flows skipped this sweep are simply examined
+        on a later one — the reclaimed set converges to exactly what one
+        global scan finds, because the verdict per flow
+        (:meth:`ShardWorker.gc_flow`) is independent of scan order.
         """
-        for flow_id in [
-            flow for flow in self._flow_home if flow not in self._flow_pending
-        ]:
-            if self.sharder.loan_shard(flow_id) is not None:
-                # Mid-lease the flow's shaper lives inside the lease, not on
-                # its shard, so the "no live pacing state" probe below would
-                # misfire and orphan the state the lease hands back.
+        flows = self.flows
+        stats = flows.stats
+        stats.gc_sweeps += 1
+        key = flows.key
+        home_col = self._home
+        pending_col = self._pending
+        loan_shard = self.sharder.loan_shard
+        forget = self.sharder.forget
+        workers = self.workers
+        limit = self.gc_sweep_limit
+        span = flows.slot_limit
+        if limit is None:
+            slots = iter(range(span))
+        else:
+            start = self._gc_cursor
+            if start >= span:
+                start = 0
+            slots = itertools.chain(range(start, span), range(start))
+        examined = 0
+        for slot in slots:
+            flow_id = key[slot]
+            if flow_id < 0 or pending_col[slot] > 0:
                 continue
-            if self.workers[self._flow_home[flow_id]].gc_flow(flow_id, now_ns):
-                del self._flow_home[flow_id]
-                self.sharder.forget(flow_id)
+            examined += 1
+            # Mid-lease the flow's pacing state lives inside the lease, not
+            # on its shard, so the "no live pacing state" probe would
+            # misfire and orphan the state the lease hands back — skip.
+            if loan_shard(flow_id) is None and workers[home_col[slot]].gc_flow(
+                flow_id, now_ns
+            ):
+                flows.remove(flow_id)
+                forget(flow_id)
+                stats.gc_reclaimed += 1
+            if limit is not None and examined >= limit:
+                self._gc_cursor = slot + 1
+                break
+        stats.gc_examined += examined
 
     # -- rebalancing -------------------------------------------------------
 
@@ -1115,6 +1180,26 @@ class ShardedRuntime:
         """
         shards = self._shard_telemetry()
         cycles = [shard.cycles for shard in shards]
+        results = self.backend.results if self.backend.parallel else None
+        if results is not None:
+            pacing_flows = sum(result.pacing_live_flows for result in results)
+            pacing_bytes = sum(result.pacing_memory_bytes for result in results)
+        else:
+            pacing_flows = sum(len(worker.pacing) for worker in self.workers)
+            pacing_bytes = sum(worker.pacing.memory_bytes() for worker in self.workers)
+        flow_stats = self.flows.stats
+        flow_state = {
+            "live_flows": len(self.flows),
+            "slot_limit": self.flows.slot_limit,
+            "pacing_flows": pacing_flows,
+            "memory_bytes": (
+                self.flows.memory_bytes() + self.sharder.memory_bytes() + pacing_bytes
+            ),
+            "gc_sweeps": flow_stats.gc_sweeps,
+            "gc_examined": flow_stats.gc_examined,
+            "gc_reclaimed": flow_stats.gc_reclaimed,
+            "window_evictions": self.sharder.stats.window_evictions,
+        }
         ingress = [
             IngressTelemetry(
                 core_id=core.core_id,
@@ -1141,6 +1226,7 @@ class ShardedRuntime:
             ingress=ingress,
             max_ingress_cycles=max((core.cycles for core in ingress), default=0.0),
             admission_drops=sum(core.stats.rx_dropped for core in ingress),
+            flow_state=flow_state,
         )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .flowstate import FlowTable
 from ..core.queues.base import CounterStatsMixin
 
 #: Default hash seed (the golden ratio in 32 bits, à la Linux ``hash_32``).
@@ -57,6 +58,7 @@ class ShardingStats(CounterStatsMixin):
     migrations: int = 0
     window_packets: int = 0
     loans: int = 0
+    window_evictions: int = 0
 
 
 class FlowSharder:
@@ -78,6 +80,20 @@ class FlowSharder:
     The sharder also keeps a sliding load window (:meth:`record` /
     :meth:`reset_window`): per-flow and per-shard packet counts since the
     last reset, which is exactly the signal the rebalancer inspects.
+
+    All per-flow state — pin, sticky assignment, loan owner, window counts —
+    lives as dense columns over one :class:`~repro.runtime.flowstate.FlowTable`
+    (a few int32/int64 per tracked flow instead of entries in five dicts), and
+    a slot is held only while *some* column is non-default: an unpinned,
+    unloaned flow whose window entry resets releases its slot for reuse.
+    Per-flow window attribution is additionally bounded by ``window_limit``:
+    past that many tracked flows, recording a new one evicts the coldest of a
+    few probed candidates (CLOCK-style rotating scan, counted in
+    ``stats.window_evictions``).  Per-*shard* window totals keep the evicted
+    packets, so :meth:`shard_loads` and :meth:`imbalance` stay exact; only
+    the per-flow breakdown the rebalancer ranks by is approximate under
+    extreme churn — and an evicted-because-cold flow was never a migration
+    candidate anyway.
     """
 
     POLICIES = ("hash", "round_robin")
@@ -94,27 +110,44 @@ class FlowSharder:
         """
         return cls(num_cores, hash_seed=INGRESS_HASH_SEED)
 
+    #: Tracked-flow bound of the load window (see class docstring).
+    DEFAULT_WINDOW_LIMIT = 65536
+
+    #: Live window entries probed per eviction (CLOCK-style arm sweep).
+    _EVICT_PROBES = 8
+
     def __init__(
         self,
         num_shards: int,
         policy: str = "hash",
         hash_seed: int = DEFAULT_HASH_SEED,
+        window_limit: int = DEFAULT_WINDOW_LIMIT,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
         if policy not in self.POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {self.POLICIES}")
+        if window_limit <= 0:
+            raise ValueError("window_limit must be positive")
         self.num_shards = num_shards
         self.policy = policy
         self.hash_seed = hash_seed
+        self.window_limit = window_limit
         self.stats = ShardingStats()
-        self._pins: Dict[int, int] = {}
-        self._sticky: Dict[int, int] = {}
-        self._loans: Dict[int, int] = {}
+        self.flows = FlowTable()
+        self._pin = self.flows.add_column("pin", "i", -1)
+        self._sticky = self.flows.add_column("sticky", "i", -1)
+        self._loan = self.flows.add_column("loan", "i", -1)
+        self._wshard = self.flows.add_column("window_shard", "i", -1)
+        self._wpkts = self.flows.add_column("window_packets", "q", 0)
+        # Population counters per column family, so the hot paths (routing,
+        # loan checks) skip the table entirely while a family is empty.
+        self._num_pins = 0
+        self._num_loans = 0
+        self._num_window = 0
         self._next_rr = 0
-        # Sliding window of packet counts, reset each rebalancing round.
-        self._window_flow_packets: Dict[int, int] = {}
-        self._window_flow_shard: Dict[int, int] = {}
+        self._evict_cursor = 0
+        # Per-shard packet totals of the sliding window (never evicted).
         self._window_shard_packets: List[int] = [0] * num_shards
 
     # -- placement ---------------------------------------------------------
@@ -122,16 +155,28 @@ class FlowSharder:
     def shard_for(self, flow_id: int) -> int:
         """Shard index for ``flow_id`` (pins beat the policy)."""
         self.stats.lookups += 1
-        pinned = self._pins.get(flow_id)
-        if pinned is not None:
-            return pinned
         if self.policy == "round_robin":
-            shard = self._sticky.get(flow_id)
-            if shard is None:
-                shard = self._next_rr
-                self._next_rr = (self._next_rr + 1) % self.num_shards
-                self._sticky[flow_id] = shard
+            flows = self.flows
+            slot = flows.lookup(flow_id)
+            if slot >= 0:
+                pinned = self._pin[slot]
+                if pinned >= 0:
+                    return pinned
+                shard = self._sticky[slot]
+                if shard >= 0:
+                    return shard
+            else:
+                slot = flows.ensure(flow_id)
+            shard = self._next_rr
+            self._next_rr = (self._next_rr + 1) % self.num_shards
+            self._sticky[slot] = shard
             return shard
+        if self._num_pins:
+            slot = self.flows.lookup(flow_id)
+            if slot >= 0:
+                pinned = self._pin[slot]
+                if pinned >= 0:
+                    return pinned
         return rss_hash(flow_id, self.hash_seed) % self.num_shards
 
     def pin(self, flow_id: int, shard: int) -> None:
@@ -139,15 +184,28 @@ class FlowSharder:
         if not 0 <= shard < self.num_shards:
             raise ValueError("shard out of range")
         self.stats.pins += 1
-        self._pins[flow_id] = shard
+        slot = self.flows.ensure(flow_id)
+        if self._pin[slot] < 0:
+            self._num_pins += 1
+        self._pin[slot] = shard
 
     def unpin(self, flow_id: int) -> None:
         """Remove an explicit pin; the policy takes over again."""
-        self._pins.pop(flow_id, None)
+        slot = self.flows.lookup(flow_id)
+        if slot >= 0 and self._pin[slot] >= 0:
+            self._pin[slot] = -1
+            self._num_pins -= 1
+            self._release_if_idle(slot, flow_id)
 
     def pinned_shard(self, flow_id: int) -> Optional[int]:
         """The pinned shard of ``flow_id``, or ``None``."""
-        return self._pins.get(flow_id)
+        if self._num_pins:
+            slot = self.flows.lookup(flow_id)
+            if slot >= 0:
+                pinned = self._pin[slot]
+                if pinned >= 0:
+                    return pinned
+        return None
 
     def forget(self, flow_id: int) -> None:
         """Expire all per-flow placement state (pin and sticky assignment).
@@ -156,8 +214,24 @@ class FlowSharder:
         flow returns it is placed afresh by the policy, and the rebalancer
         re-pins it should it become hot again.
         """
-        self._pins.pop(flow_id, None)
-        self._sticky.pop(flow_id, None)
+        slot = self.flows.lookup(flow_id)
+        if slot < 0:
+            return
+        if self._pin[slot] >= 0:
+            self._pin[slot] = -1
+            self._num_pins -= 1
+        self._sticky[slot] = -1
+        self._release_if_idle(slot, flow_id)
+
+    def _release_if_idle(self, slot: int, flow_id: int) -> None:
+        """Free the flow's slot once every column is back at its default."""
+        if (
+            self._pin[slot] < 0
+            and self._sticky[slot] < 0
+            and self._loan[slot] < 0
+            and self._wshard[slot] < 0
+        ):
+            self.flows.remove(flow_id)
 
     # -- ownership view (work-stealing leases) -----------------------------
     #
@@ -173,19 +247,40 @@ class FlowSharder:
         if not 0 <= victim_shard < self.num_shards:
             raise ValueError("shard out of range")
         self.stats.loans += 1
-        self._loans[flow_id] = victim_shard
+        slot = self.flows.ensure(flow_id)
+        if self._loan[slot] < 0:
+            self._num_loans += 1
+        self._loan[slot] = victim_shard
 
     def restore(self, flow_id: int) -> None:
         """Clear the loan: the lease returned and the flow is whole again."""
-        self._loans.pop(flow_id, None)
+        slot = self.flows.lookup(flow_id)
+        if slot >= 0 and self._loan[slot] >= 0:
+            self._loan[slot] = -1
+            self._num_loans -= 1
+            self._release_if_idle(slot, flow_id)
 
     def loan_shard(self, flow_id: int) -> Optional[int]:
         """The victim shard that owns ``flow_id`` while on loan, or ``None``."""
-        return self._loans.get(flow_id)
+        if self._num_loans == 0:
+            return None
+        slot = self.flows.lookup(flow_id)
+        if slot >= 0:
+            victim = self._loan[slot]
+            if victim >= 0:
+                return victim
+        return None
 
     def loaned_flows(self) -> Dict[int, int]:
         """Mapping of every on-loan flow id to its owning (victim) shard."""
-        return dict(self._loans)
+        if self._num_loans == 0:
+            return {}
+        loan = self._loan
+        return {
+            flow_id: loan[slot]
+            for flow_id, slot in self.flows.items()
+            if loan[slot] >= 0
+        }
 
     # -- load window -------------------------------------------------------
 
@@ -198,11 +293,54 @@ class FlowSharder:
         each shard really carried.
         """
         self.stats.window_packets += packets
-        self._window_flow_packets[flow_id] = (
-            self._window_flow_packets.get(flow_id, 0) + packets
-        )
-        self._window_flow_shard[flow_id] = shard
+        slot = self.flows.ensure(flow_id)
+        if self._wshard[slot] < 0:
+            self._num_window += 1
+            if self._num_window > self.window_limit:
+                self._evict_window_entry(exclude=slot)
+        self._wpkts[slot] += packets
+        self._wshard[slot] = shard
         self._window_shard_packets[shard] += packets
+
+    def _evict_window_entry(self, exclude: int) -> None:
+        """Drop the coldest of a few probed window entries (bounded memory).
+
+        A rotating cursor over the slot space probes the next
+        ``_EVICT_PROBES`` live window entries and evicts the one with the
+        fewest window packets — the coldest flow the arm happens to pass,
+        which under churn is almost always a one-packet short-lived flow.
+        The per-shard totals keep the evicted packets (see class docstring).
+        """
+        key = self.flows.key
+        wshard = self._wshard
+        wpkts = self._wpkts
+        span = self.flows.slot_limit
+        cursor = self._evict_cursor
+        probed = 0
+        victim = -1
+        victim_pkts = 0
+        for _ in range(span):
+            if cursor >= span:
+                cursor = 0
+            slot = cursor
+            cursor += 1
+            if slot == exclude or key[slot] < 0 or wshard[slot] < 0:
+                continue
+            pkts = wpkts[slot]
+            if victim < 0 or pkts < victim_pkts:
+                victim = slot
+                victim_pkts = pkts
+            probed += 1
+            if probed >= self._EVICT_PROBES:
+                break
+        self._evict_cursor = cursor
+        if victim < 0:
+            return
+        wpkts[victim] = 0
+        wshard[victim] = -1
+        self._num_window -= 1
+        self.stats.window_evictions += 1
+        self._release_if_idle(victim, key[victim])
 
     def shard_loads(self) -> List[int]:
         """Packets per shard since the last window reset."""
@@ -210,18 +348,39 @@ class FlowSharder:
 
     def flow_loads(self) -> Dict[int, int]:
         """Packets per flow since the last window reset."""
-        return dict(self._window_flow_packets)
+        wshard = self._wshard
+        wpkts = self._wpkts
+        return {
+            flow_id: wpkts[slot]
+            for flow_id, slot in self.flows.items()
+            if wshard[slot] >= 0
+        }
 
     def flow_residency(self) -> Dict[int, int]:
         """Shard each flow's window packets last ran on."""
-        return dict(self._window_flow_shard)
+        wshard = self._wshard
+        return {
+            flow_id: wshard[slot]
+            for flow_id, slot in self.flows.items()
+            if wshard[slot] >= 0
+        }
 
     def reset_window(self) -> None:
         """Start a fresh load window (called after each rebalancing round)."""
-        self._window_flow_packets.clear()
-        self._window_flow_shard.clear()
+        wshard = self._wshard
+        wpkts = self._wpkts
+        for flow_id, slot in list(self.flows.items()):
+            if wshard[slot] >= 0:
+                wpkts[slot] = 0
+                wshard[slot] = -1
+                self._release_if_idle(slot, flow_id)
+        self._num_window = 0
         self._window_shard_packets = [0] * self.num_shards
         self.stats.window_packets = 0
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the sharder's per-flow placement columns."""
+        return self.flows.memory_bytes()
 
     def imbalance(self) -> float:
         """Max-to-mean shard load ratio over the current window (1.0 = even)."""

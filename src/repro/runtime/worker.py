@@ -8,8 +8,13 @@ BESS worker is in a real deployment.  It owns, privately:
   posts packets into;
 * a cFFS timestamp queue (PR 1's batched ``enqueue_batch`` /
   ``extract_due`` surface) holding the shard's shaped packets;
-* per-flow pacing state (``SO_MAX_PACING_RATE``-style shaping transactions,
-  the same stamping the Eiffel qdisc performs);
+* per-flow pacing state (``SO_MAX_PACING_RATE``-style shaping, the same
+  stamping the Eiffel qdisc performs), held in a compact
+  :class:`~repro.runtime.flowstate.PacingTable` — dense array columns
+  indexed by slot, not a dict of transaction objects — so a shard can pace
+  hundreds of thousands of concurrent flows in tens of bytes each; state
+  still *travels* as :class:`~repro.core.model.transactions.ShapingTransaction`
+  objects on migration and lease handoffs;
 * a :class:`~repro.cpu.cost_model.CostModel` account charging the shard's
   data-structure work, so runtime telemetry can locate the bottleneck core.
 
@@ -37,10 +42,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from .flowstate import PacingTable
 from .mailbox import Mailbox
 from .stealing import FlowLease, StealStats
 from ..core.model.packet import Packet
-from ..core.model.transactions import RateLimit, ShapingTransaction
+from ..core.model.transactions import ShapingTransaction
 from ..core.queues import BucketSpec, CircularFFSQueue, IntegerPriorityQueue, QueueStats
 from ..core.queues.base import CounterStatsMixin
 from ..cpu import CostModel
@@ -89,7 +95,7 @@ class ShardWorker:
         "stats",
         "steal",
         "_queue_snapshot",
-        "_shapers",
+        "pacing",
         "_backlog",
         "_on_loan",
         "_deferred_due",
@@ -128,7 +134,7 @@ class ShardWorker:
         self.stats = ShardWorkerStats()
         self.steal = StealStats()
         self._queue_snapshot = QueueStats()
-        self._shapers: Dict[int, ShapingTransaction] = {}
+        self.pacing = PacingTable(shard_id)
         self._backlog = 0
         # Work-stealing donor state: flows currently on loan to a thief, plus
         # the side buffers that hold this shard's own work on those flows
@@ -148,17 +154,14 @@ class ShardWorker:
     def set_flow_rate(self, flow_id: int, rate_bps: float) -> None:
         """Configure the pacing rate of ``flow_id`` on this shard."""
         self.flow_rates[flow_id] = rate_bps
-        self._shapers.pop(flow_id, None)
+        self.pacing.remove(flow_id)
 
-    def _shaper_for(self, flow_id: int) -> Optional[ShapingTransaction]:
+    def _pacing_slot(self, flow_id: int) -> int:
+        """Pacing-table slot of ``flow_id`` (created on demand), -1 if unpaced."""
         rate = self.flow_rates.get(flow_id, self.default_rate_bps)
         if rate is None:
-            return None
-        shaper = self._shapers.get(flow_id)
-        if shaper is None:
-            shaper = ShapingTransaction(f"shard{self.shard_id}-flow-{flow_id}", RateLimit(rate))
-            self._shapers[flow_id] = shaper
-        return shaper
+            return -1
+        return self.pacing.slot_for(flow_id, rate)
 
     def release_shaper(self, flow_id: int) -> Optional[ShapingTransaction]:
         """Detach and return the flow's pacing state (``None`` if stateless).
@@ -168,27 +171,28 @@ class ShardWorker:
         survive the move — otherwise every migration would silently regrant
         the flow a fresh burst and break its configured rate.
         """
-        return self._shapers.pop(flow_id, None)
+        return self.pacing.detach(flow_id)
 
     def adopt_shaper(self, flow_id: int, shaper: ShapingTransaction) -> None:
         """Install pacing state handed over from the flow's previous shard."""
-        self._shapers[flow_id] = shaper
+        self.pacing.install(flow_id, shaper)
 
     def gc_flow(self, flow_id: int, now_ns: int) -> bool:
         """Drop the flow's pacing state if it no longer matters.
 
         Returns True when the flow holds no state on this shard: either it
-        never had a shaper, or its ``next_free_ns`` has passed, in which
-        case a future re-created transaction stamps identically (an expired
-        flow regains its initial burst credit, the same expiry semantics the
-        FQ qdisc's flow GC has).  Charged like FQ's per-flow GC scan.
+        never had pacing state, or its ``next_free_ns`` has passed, in which
+        case a future re-created entry stamps identically (an expired flow
+        regains its initial burst credit, the same expiry semantics the FQ
+        qdisc's flow GC has).  Charged like FQ's per-flow GC scan.
         """
         self.cost.charge("gc_scan")
-        shaper = self._shapers.get(flow_id)
-        if shaper is None:
+        pacing = self.pacing
+        slot = pacing.lookup(flow_id)
+        if slot < 0:
             return True
-        if shaper.next_free_ns <= now_ns:
-            del self._shapers[flow_id]
+        if pacing.next_free_at(slot) <= now_ns:
+            pacing.remove(flow_id)
             return True
         return False
 
@@ -211,15 +215,16 @@ class ShardWorker:
         pairs = []
         append = pairs.append
         shard_id = self.shard_id
-        shaper_for = self._shaper_for
+        slot_for = self._pacing_slot
+        stamp = self.pacing.stamp
         last_flow = None
-        shaper = None
+        slot = -1
         for packet in packets:
             flow_id = packet.flow_id
             if flow_id != last_flow:
                 last_flow = flow_id
-                shaper = shaper_for(flow_id)
-            send_at = now_ns if shaper is None else shaper.stamp(packet, now_ns)
+                slot = slot_for(flow_id)
+            send_at = now_ns if slot < 0 else stamp(slot, packet.size_bytes, now_ns)
             metadata = packet.metadata
             metadata["send_at_ns"] = send_at
             metadata["shard"] = shard_id
@@ -356,9 +361,10 @@ class ShardWorker:
         for _send_at, packet in stolen:
             flows.setdefault(packet.flow_id)
         shapers: Dict[int, ShapingTransaction] = {}
+        detach = self.pacing.detach
         for flow_id in flows:
             self._on_loan[flow_id] = thief_shard
-            shaper = self._shapers.pop(flow_id, None)
+            shaper = detach(flow_id)
             if shaper is not None:
                 shapers[flow_id] = shaper
         self.cost.charge("lock")  # cross-core handoff on the donor side
@@ -384,8 +390,9 @@ class ShardWorker:
         Deferred arrivals are stamped now, in arrival order, with the
         returned shapers, and re-enter the queue through the normal path.
         """
+        install = self.pacing.install
         for flow_id, shaper in lease.shapers.items():
-            self._shapers[flow_id] = shaper
+            install(flow_id, shaper)
         released: List[Packet] = []
         reingest: List[Packet] = []
         for flow_id in lease.flow_ids:

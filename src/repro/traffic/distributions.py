@@ -180,7 +180,27 @@ class ZipfFlowSampler:
     Seeding contract mirrors :class:`~repro.traffic.generators.FlowWorkload`:
     pass ``seed`` for standalone determinism, ``rng`` to chain off a caller's
     generator, or neither for OS entropy.
+
+    Two interchangeable implementations sit behind the same interface:
+
+    * up to :data:`MATERIALIZE_LIMIT` flows the full CDF is materialised and
+      inverse-transform sampling is one bisect — unchanged from the original
+      (committed benchmark artifacts replay the exact same sequences);
+    * past the limit (million-flow churn universes) nothing proportional to
+      ``num_flows`` is ever built.  Only the exact partial sums of the first
+      :data:`STREAMING_HEAD` ranks are kept — at Zipf skew that head carries
+      almost all the probability mass — and the tail is resolved through the
+      Euler–Maclaurin closed form of the generalised harmonic number
+      ``H(k) = sum_{i=1..k} i^-s`` (error ``O(k^-s-3)``, far below float
+      resolution for the k > 4096 where it is used): construction is O(head)
+      and each tail sample is one binary search on k with O(1) evaluations.
     """
+
+    #: Largest universe that still materialises the full CDF eagerly.
+    MATERIALIZE_LIMIT = 65_536
+
+    #: Exact-prefix length of the streaming implementation.
+    STREAMING_HEAD = 4_096
 
     def __init__(
         self,
@@ -198,20 +218,77 @@ class ZipfFlowSampler:
         self.num_flows = num_flows
         self.skew = skew
         self.rng = rng if rng is not None else random.Random(seed)
-        weights = [1.0 / (rank + 1) ** skew for rank in range(num_flows)]
-        total = sum(weights)
-        cumulative = 0.0
-        self._cdf: List[float] = []
-        for weight in weights:
-            cumulative += weight / total
-            self._cdf.append(cumulative)
-        self._cdf[-1] = 1.0
+        if num_flows <= self.MATERIALIZE_LIMIT:
+            weights = [1.0 / (rank + 1) ** skew for rank in range(num_flows)]
+            total = sum(weights)
+            cumulative = 0.0
+            self._cdf: List[float] = []
+            for weight in weights:
+                cumulative += weight / total
+                self._cdf.append(cumulative)
+            self._cdf[-1] = 1.0
+            self._head_cum: List[float] = []
+            self._total = total
+        else:
+            # Streaming: exact unnormalised prefix sums of the head ranks,
+            # Euler–Maclaurin for everything beyond.
+            self._cdf = []
+            head = self.STREAMING_HEAD
+            cumulative = 0.0
+            self._head_cum = []
+            for rank in range(head):
+                cumulative += 1.0 / (rank + 1) ** skew
+                self._head_cum.append(cumulative)
+            self._total = cumulative + self._tail_sum(head + 1, num_flows)
+
+    @property
+    def materialized(self) -> bool:
+        """True when the full CDF is held in memory (small universes)."""
+        return bool(self._cdf)
+
+    def _tail_sum(self, a: int, b: int) -> float:
+        """``sum_{i=a}^{b} i**-s`` by Euler–Maclaurin (a > head, so smooth)."""
+        if b < a:
+            return 0.0
+        s = self.skew
+        if abs(1.0 - s) < 1e-12:
+            integral = math.log(b / a)
+        else:
+            integral = (b ** (1.0 - s) - a ** (1.0 - s)) / (1.0 - s)
+        endpoints = (a ** -s + b ** -s) / 2.0
+        derivative = s * (a ** (-s - 1.0) - b ** (-s - 1.0)) / 12.0
+        return integral + endpoints + derivative
+
+    def _harmonic(self, k: int) -> float:
+        """``H(k) = sum_{i=1..k} i**-s`` — exact head, closed-form tail."""
+        head_cum = self._head_cum
+        if k <= len(head_cum):
+            return head_cum[k - 1] if k else 0.0
+        return head_cum[-1] + self._tail_sum(len(head_cum) + 1, k)
+
+    def _rank_for(self, target: float) -> int:
+        """Smallest 0-based rank ``r`` with unnormalised ``H(r+1) >= target``."""
+        head_cum = self._head_cum
+        index = bisect.bisect_left(head_cum, target)
+        if index < len(head_cum):
+            return index
+        lo, hi = len(head_cum) + 1, self.num_flows  # 1-based k bracket
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._harmonic(mid) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo - 1
 
     def sample_flow(self) -> int:
         """One flow id in ``[0, num_flows)``, hot flows first."""
-        return min(
-            bisect.bisect_left(self._cdf, self.rng.random()), self.num_flows - 1
-        )
+        if self._cdf:
+            return min(
+                bisect.bisect_left(self._cdf, self.rng.random()), self.num_flows - 1
+            )
+        target = self.rng.random() * self._total
+        return min(self._rank_for(target), self.num_flows - 1)
 
     def sample_flows(self, count: int) -> List[int]:
         """A sequence of ``count`` flow ids."""
@@ -221,8 +298,10 @@ class ZipfFlowSampler:
         """Probability mass of ``flow_id``."""
         if not 0 <= flow_id < self.num_flows:
             raise ValueError("flow_id out of range")
-        lo = self._cdf[flow_id - 1] if flow_id else 0.0
-        return self._cdf[flow_id] - lo
+        if self._cdf:
+            lo = self._cdf[flow_id - 1] if flow_id else 0.0
+            return self._cdf[flow_id] - lo
+        return (flow_id + 1) ** -self.skew / self._total
 
 
 def load_for_fabric(

@@ -326,7 +326,7 @@ class TestMigrationPacingHandoff:
         assert runtime.ingress_drops == 1
         assert runtime.migrations_applied == 0
         # Flow 5's pacing state is still owned by the original shard.
-        assert 5 in runtime.workers[home]._shapers
+        assert 5 in runtime.workers[home].pacing
 
 
 class TestFlowStateGc:
@@ -343,8 +343,8 @@ class TestFlowStateGc:
         )
         runtime.run()
         assert runtime.transmitted == 200
-        assert not any(flow in runtime._flow_home for flow in range(100))
-        live_shapers = sum(len(worker._shapers) for worker in runtime.workers)
+        assert not any(flow in runtime.flows for flow in range(100))
+        live_shapers = sum(len(worker.pacing) for worker in runtime.workers)
         assert live_shapers < 150
 
     def test_gc_keeps_flows_with_future_pacing_state(self):
@@ -356,8 +356,8 @@ class TestFlowStateGc:
         runtime.run(until_ns=15_000_000)  # two released, one still paced
         assert runtime.transmitted == 2
         # Flow 1 still has a queued packet and live pacing state: not GC'd.
-        assert 1 in runtime._flow_home
-        assert 1 in runtime.workers[0]._shapers
+        assert 1 in runtime.flows
+        assert 1 in runtime.workers[0].pacing
         runtime.run()
         assert runtime.transmitted == 3
 
@@ -365,7 +365,7 @@ class TestFlowStateGc:
         runtime = ShardedRuntime(2, quantum_ns=QUANTUM_NS, gc_interval_packets=None)
         runtime.submit_batch(_packets(range(50)))
         runtime.run()
-        assert len(runtime._flow_home) == 50
+        assert len(runtime.flows) == 50
 
     def test_gc_validation(self):
         with pytest.raises(ValueError):

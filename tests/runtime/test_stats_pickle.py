@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.queues import QueueStats
 from repro.runtime import (
+    FlowStateStats,
     IngressStats,
     MailboxStats,
     ShardWorkerStats,
@@ -32,6 +33,7 @@ ALL_STATS_CLASSES = [
     StealStats,
     IngressStats,
     StealChannelStats,
+    FlowStateStats,
 ]
 
 

@@ -133,11 +133,11 @@ class TestDonorSide:
 
     def test_ingest_defers_arrivals_and_shaper_travels(self):
         worker = self._loaded_worker(4, rate=RATE_BPS)
-        assert 7 in worker._shapers
+        assert 7 in worker.pacing
         lease = worker.grant_lease(1, 1, now_ns=0, max_packets=8, horizon_ns=10_000)
         assert lease is not None
         # The pacing state left with the lease.
-        assert 7 not in worker._shapers
+        assert 7 not in worker.pacing
         assert 7 in lease.shapers
         # New arrivals must wait for the shaper to come home before stamping.
         worker.mailbox.push_batch(_packets([7] * 2))
@@ -148,9 +148,9 @@ class TestDonorSide:
         worker.end_lease(lease, now_ns=5_000)
         # Shaper back home; deferred arrivals stamped with the pacing chain
         # carried on from where the lease left it.
-        assert 7 in worker._shapers
+        assert 7 in worker.pacing
         assert worker.backlog == 2
-        assert worker._shapers[7].next_free_ns >= next_free_before
+        assert worker.pacing.next_free_ns(7) >= next_free_before
         send_ats = [send_at for send_at, _p in [worker.queue.peek_min()]]
         assert send_ats[0] >= next_free_before
 

@@ -222,3 +222,81 @@ class TestZipfFlowSampler:
             ZipfFlowSampler(4, seed=1, rng=random.Random(2))
         with pytest.raises(ValueError):
             ZipfFlowSampler(4).probability(9)
+
+
+class TestZipfStreaming:
+    """The lazy-CDF path for million-flow universes (no O(N) materialisation)."""
+
+    def _streaming(self, num_flows, **kwargs):
+        from repro.traffic import ZipfFlowSampler
+
+        class Streaming(ZipfFlowSampler):
+            MATERIALIZE_LIMIT = 1  # force the lazy path at any size
+
+        sampler = Streaming(num_flows, **kwargs)
+        assert not sampler.materialized
+        return sampler
+
+    def test_large_universe_constructs_fast_without_materialising(self):
+        import time
+
+        from repro.traffic import ZipfFlowSampler
+
+        start = time.perf_counter()
+        sampler = ZipfFlowSampler(2_000_000, skew=1.2, seed=42)
+        elapsed = time.perf_counter() - start
+        assert not sampler.materialized
+        # Construction is O(head): generous bound, but materialising a 2M
+        # CDF takes ~1 s — this guards the complexity class, not the clock.
+        assert elapsed < 0.5
+        samples = sampler.sample_flows(2_000)
+        assert all(0 <= flow < 2_000_000 for flow in samples)
+
+    def test_streaming_ranks_match_eager_cdf_exactly(self):
+        import bisect
+
+        from repro.traffic import ZipfFlowSampler
+
+        eager = ZipfFlowSampler(60_000, skew=1.2, seed=0)
+        assert eager.materialized
+        stream = self._streaming(60_000, skew=1.2, seed=0)
+        for index in range(1, 400):
+            u = index / 400
+            eager_rank = min(bisect.bisect_left(eager._cdf, u), 59_999)
+            stream_rank = min(stream._rank_for(u * stream._total), 59_999)
+            assert eager_rank == stream_rank, u
+
+    def test_streaming_head_frequency_tracks_probability(self):
+        sampler = self._streaming(1_000_000, skew=1.2, seed=7)
+        samples = sampler.sample_flows(20_000)
+        observed = sum(1 for flow in samples if flow == 0) / len(samples)
+        assert observed == pytest.approx(sampler.probability(0), abs=0.05)
+        total_head = sum(sampler.probability(flow) for flow in range(4_096))
+        assert 0.5 < total_head < 1.0
+
+    def test_streaming_probability_matches_eager(self):
+        from repro.traffic import ZipfFlowSampler
+
+        eager = ZipfFlowSampler(10_000, skew=1.1, seed=0)
+        stream = self._streaming(10_000, skew=1.1, seed=0)
+        for flow in (0, 1, 10, 4_095, 4_096, 9_999):
+            assert stream.probability(flow) == pytest.approx(
+                eager.probability(flow), rel=1e-6
+            )
+
+    def test_streaming_skew_one_log_branch(self):
+        sampler = self._streaming(100_000, skew=1.0, seed=3)
+        samples = sampler.sample_flows(2_000)
+        assert all(0 <= flow < 100_000 for flow in samples)
+        assert sum(sampler.probability(flow) for flow in (0, 1, 2)) < 1.0
+
+    def test_committed_small_universes_stay_eager_and_identical(self):
+        # The sharding benchmark's seeded sequences are part of committed
+        # artifacts; small universes must keep the original eager path.
+        from repro.traffic import ZipfFlowSampler
+
+        sampler = ZipfFlowSampler(1_024, skew=1.2, seed=7)
+        assert sampler.materialized
+        assert sampler.sample_flows(32) == ZipfFlowSampler(
+            1_024, skew=1.2, seed=7
+        ).sample_flows(32)
