@@ -1,4 +1,4 @@
-"""Figure 13 + the batching perf harness.
+"""Figure 13 + the batching perf harness, run from a compiled ScenarioSpec.
 
 Two experiments live here:
 
@@ -10,174 +10,42 @@ Two experiments live here:
    the heap implementation does not.
 
 2. **Batch-size sweep**: the library-level counterpart.  Every integer queue
-   now exposes amortised ``enqueue_batch`` / ``extract_min_batch`` /
-   ``extract_due`` paths; this harness sweeps batch sizes across queue types
-   and records both modelled cycles/packet (the CPU cost model the kernel and
-   BESS substrates charge) and wall-clock ops/sec.  Results are written to
-   ``BENCH_batching.json`` at the repo root to seed the perf trajectory.
+   exposes amortised ``enqueue_batch`` / ``extract_min_batch`` /
+   ``extract_due`` paths; the sweep records both modelled cycles/packet and
+   wall-clock ops/sec per batch size, and the results seed the perf
+   trajectory in ``BENCH_batching.json`` at the repo root.
+
+Both now run from the declarative :func:`repro.scenario.figures.figure13_spec`
+— the sweep implementation itself lives in :mod:`repro.scenario.figures`
+(one code path shared with the compiled ``bess`` scenario kind, so the
+committed artifact's modelled cycles stay byte-identical by construction).
 
 Run standalone (``python benchmarks/bench_fig13_batching.py``) to regenerate
 the artifact, or through pytest for the assertions.
 """
 
 import json
-import time
 from pathlib import Path
 
 from conftest import report
 
 from repro.analysis import format_series
-from repro.bess import BessExperimentConfig, run_figure13
-from repro.core.queues import (
-    ApproximateGradientQueue,
-    BucketSpec,
-    CircularFFSQueue,
-    GradientQueue,
-    HierarchicalFFSQueue,
+from repro.scenario.figures import (
+    figure13_spec,
+    run_batching_sweep_from_spec,
+    run_figure13_from_spec,
 )
-from repro.cpu import CostModel
 
-NUM_FLOWS = 5000
-CONFIG = BessExperimentConfig()
-
-# -- batch-size sweep ---------------------------------------------------------
+SPEC = figure13_spec()
+NUM_FLOWS = SPEC.traffic.num_flows
+LINE_RATE_BPS = SPEC.topology.line_rate_bps
 
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
 
-#: Batch sizes swept; 1 is the per-packet (peek + extract) baseline path.
-BATCH_SIZES = [1, 8, 32, 64]
 
-#: Sweep workload: enough rank collisions that buckets hold several packets,
-#: as under the paper's saturated 5k-flow traffic.
-NUM_PACKETS = 4096
-RANK_RANGE = 512
-
-# The bucketed-heap baseline is deliberately absent: its heap index is
-# maintained lazily (operations charge only when a bucket drains), so
-# batching removes Python call overhead but not modelled operations.
-SWEEP_QUEUES = {
-    "circular_ffs": lambda: CircularFFSQueue(BucketSpec(num_buckets=RANK_RANGE)),
-    "hierarchical_ffs": lambda: HierarchicalFFSQueue(BucketSpec(num_buckets=RANK_RANGE)),
-    "gradient": lambda: GradientQueue(BucketSpec(num_buckets=RANK_RANGE)),
-    "approx_gradient": lambda: ApproximateGradientQueue(
-        BucketSpec(num_buckets=RANK_RANGE), alpha=64
-    ),
-}
-
-
-def _workload(num_packets: int = NUM_PACKETS, rank_range: int = RANK_RANGE):
-    """Deterministic pseudo-random ranks (no RNG dependency, reproducible)."""
-    return [(index * 2654435761) % rank_range for index in range(num_packets)]
-
-
-def _modelled_cycles(stats_before, stats_after) -> float:
-    model = CostModel()
-    model.charge_queue_stats(stats_after.diff(stats_before).as_dict())
-    return model.total_cycles
-
-
-#: Wall-clock rounds per sweep cell.  The modelled cycles are deterministic
-#: (identical every round, asserted below); the wall clock is not — shared
-#: CI machines throttle and frequency-ramp, so each cell reports the best of
-#: several rounds, the standard way to estimate the code's actual speed
-#: rather than the scheduler's mood.
-WALL_CLOCK_ROUNDS = 5
-
-
-def _measure_one(factory, batch_size: int, ranks, rounds: int = WALL_CLOCK_ROUNDS) -> dict:
-    """Enqueue + drain one workload; returns modelled and wall-clock numbers.
-
-    Runs ``rounds`` rounds on fresh queues: wall-clock numbers are the best
-    round, modelled cycles are asserted identical across rounds.
-    """
-    pairs = [(rank, index) for index, rank in enumerate(ranks)]
-    horizon = max(ranks) if ranks else 0
-    best_enqueue = float("inf")
-    best_drain = float("inf")
-    enqueue_cycles = drain_cycles = 0.0
-    for round_index in range(max(1, rounds)):
-        queue = factory()
-
-        # Enqueue phase.
-        enqueue_before = queue.stats.snapshot()
-        start = time.perf_counter()
-        if batch_size == 1:
-            for rank, item in pairs:
-                queue.enqueue(rank, item)
-        else:
-            for offset in range(0, len(pairs), batch_size):
-                queue.enqueue_batch(pairs[offset : offset + batch_size])
-        enqueue_elapsed = time.perf_counter() - start
-        round_enqueue_cycles = _modelled_cycles(enqueue_before, queue.stats)
-
-        # Drain phase: batch == 1 is the per-packet consumer path (peek +
-        # extract per packet, as a timer fire does without batching);
-        # batch > 1 drains through the amortised ``extract_due`` path in
-        # bounded bursts.
-        drain_before = queue.stats.snapshot()
-        drained = 0
-        start = time.perf_counter()
-        if batch_size == 1:
-            while not queue.empty:
-                rank, _item = queue.peek_min()
-                if rank > horizon:  # pragma: no cover - horizon covers all ranks
-                    break
-                queue.extract_min()
-                drained += 1
-        else:
-            while not queue.empty:
-                drained += len(queue.extract_due(horizon, limit=batch_size))
-        drain_elapsed = time.perf_counter() - start
-        round_drain_cycles = _modelled_cycles(drain_before, queue.stats)
-
-        assert drained == len(ranks)
-        if round_index == 0:
-            enqueue_cycles, drain_cycles = round_enqueue_cycles, round_drain_cycles
-        else:
-            # The cost model's answer must not depend on the round.
-            assert round_enqueue_cycles == enqueue_cycles
-            assert round_drain_cycles == drain_cycles
-        best_enqueue = min(best_enqueue, enqueue_elapsed)
-        best_drain = min(best_drain, drain_elapsed)
-
-    packets = max(1, len(ranks))
-    return {
-        "batch_size": batch_size,
-        "enqueue_cycles_per_packet": enqueue_cycles / packets,
-        "drain_cycles_per_packet": drain_cycles / packets,
-        "cycles_per_packet": (enqueue_cycles + drain_cycles) / packets,
-        "enqueue_ops_per_sec": packets / max(best_enqueue, 1e-9),
-        "drain_ops_per_sec": packets / max(best_drain, 1e-9),
-    }
-
-
-def run_batching_sweep(
-    batch_sizes=None, queue_factories=None, num_packets: int = NUM_PACKETS
-) -> dict:
-    """Sweep batch sizes across queue types; returns the artifact payload."""
-    sizes = batch_sizes or BATCH_SIZES
-    factories = queue_factories or SWEEP_QUEUES
-    ranks = _workload(num_packets)
-    queues = {}
-    for name, factory in factories.items():
-        queues[name] = {
-            str(size): _measure_one(factory, size, ranks) for size in sizes
-        }
-    return {
-        "benchmark": "batching_sweep",
-        "description": (
-            "Amortised batch enqueue/drain vs the per-packet peek+extract "
-            "path, per integer-queue type (modelled cycles/packet from the "
-            "CPU cost model, wall-clock ops/sec from perf_counter)."
-        ),
-        "workload": {
-            "num_packets": num_packets,
-            "rank_range": RANK_RANGE,
-            "distribution": "deterministic multiplicative-hash ranks",
-        },
-        "batch_sizes": sizes,
-        "queues": queues,
-    }
+def run_batching_sweep() -> dict:
+    """The batch-size sweep of the compiled Figure 13 scenario."""
+    return run_batching_sweep_from_spec(SPEC)
 
 
 def write_artifact(results: dict, path: Path = ARTIFACT_PATH) -> Path:
@@ -202,7 +70,7 @@ def _format_sweep(results: dict) -> str:
 
 
 def run_experiment():
-    return run_figure13(num_flows=NUM_FLOWS, config=CONFIG)
+    return run_figure13_from_spec(SPEC)
 
 
 def test_fig13_batching_and_packet_size(benchmark):
@@ -223,7 +91,7 @@ def test_fig13_batching_and_packet_size(benchmark):
         name: dict(zip(series.x, series.y)) for name, series in results.items()
     }
     # Small packets without batching fall far short of line rate.
-    assert rate("eiffel_no_batching", 60) < 0.8 * CONFIG.line_rate_bps / 1e6
+    assert rate("eiffel_no_batching", 60) < 0.8 * LINE_RATE_BPS / 1e6
     # Batching recovers small-packet throughput for Eiffel.
     assert rate("eiffel_batching", 60) > rate("eiffel_no_batching", 60)
     # At MTU size without batching Eiffel outperforms the heap baseline.
@@ -242,10 +110,13 @@ def test_batch_sweep_emits_artifact_and_amortises(benchmark, tmp_path):
 
     assert len(results["queues"]) >= 3
     assert set(results["batch_sizes"]) >= {1, 8, 32, 64}
+    # The spec's own assertion block is the amortisation gate: every queue's
+    # batched drain must beat the per-packet path from batch 8 on.
+    amortises_at = SPEC.assertions.batch_amortises_at
     for name, by_size in results["queues"].items():
         baseline = by_size["1"]["drain_cycles_per_packet"]
         for size in results["batch_sizes"]:
-            if size >= 8:
+            if size >= amortises_at:
                 batched = by_size[str(size)]["drain_cycles_per_packet"]
                 assert batched < baseline, (
                     f"{name}: batch={size} drain ({batched:.1f}) not below "

@@ -6,23 +6,30 @@ average FCT of (10MB,inf) flows).  Here: the packet-level simulator on a
 scaled leaf-spine fabric with the same workload.  The claim under test is
 that replacing the exact switch priority queue with the approximate gradient
 queue leaves the FCT curves essentially unchanged, with DCTCP as the anchor.
+
+The experiment now runs from the declarative
+:func:`repro.scenario.figures.figure19_spec`: the compiled scenario binds
+the same :class:`~repro.netsim.FabricExperimentConfig` the hand-wired
+version used (the golden-equivalence suite asserts the results are
+identical), and the shape checks below are the spec's own assertion blocks
+(``fct_small_flow_advantage`` and ``fct_approx_tolerance``), enforced by
+``result.check()`` inside the scenario runner.
 """
 
 from conftest import report
 
 from repro.analysis import Series, format_series
-from repro.netsim import FabricConfig, FabricExperimentConfig, run_figure19
+from repro.scenario.figures import figure19_spec, run_figure19_from_spec
 
-LOADS = [0.2, 0.5, 0.8]
-CONFIG = FabricExperimentConfig(
-    fabric=FabricConfig(num_leaves=3, num_spines=3, hosts_per_leaf=3),
-    num_flows=120,
-    seed=19,
-)
+SPEC = figure19_spec()
+LOADS = list(SPEC.traffic.loads)
 
 
 def run_experiment():
-    return run_figure19(LOADS, config=CONFIG)
+    # Runs the compiled scenario and enforces its assertion blocks: pFabric
+    # must beat DCTCP on small-flow FCT at the highest load, and the
+    # approximate variant must track exact pFabric within the tolerance.
+    return run_figure19_from_spec(SPEC)
 
 
 def test_fig19_normalized_fct(benchmark):
@@ -49,8 +56,8 @@ def test_fig19_normalized_fct(benchmark):
     report("Figure 19 — pFabric with approximate queues", "\n\n".join(text_blocks))
     benchmark.extra_info["panels"] = summary
 
-    # Shape checks at the highest load: pFabric keeps small flows far closer
-    # to ideal than DCTCP, and the approximate variant tracks exact pFabric.
+    # Belt and braces on top of the spec's declarative assertions: the same
+    # shape checks stated directly against the returned runs.
     dctcp = results["dctcp"][-1]
     pfabric = results["pfabric"][-1]
     approx = results["pfabric_approx"][-1]

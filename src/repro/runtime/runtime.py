@@ -255,6 +255,11 @@ class ShardedRuntime:
             quantum, as NAPI polls outpace scheduler ticks).
         ingress_backpressure: honour mailbox watermarks (pause the pull and
             grow the ring); off, an unarmed ring tail-drops at capacity.
+        ingress_hash_seed: seed of the RSS lane hash (flow -> RX core);
+            defaults to the decorrelated constant
+            :data:`~repro.runtime.sharder.INGRESS_HASH_SEED`.  The scenario
+            compiler threads a spec-level seed through here so one seed pins
+            every random stream of an experiment.
         mailbox_high_watermark / mailbox_low_watermark: backpressure
             thresholds of every shard mailbox; default to ``capacity`` and
             ``capacity // 2`` when ingress cores are configured with a
@@ -322,6 +327,7 @@ class ShardedRuntime:
         rx_burst: int = 64,
         ingress_quantum_ns: Optional[int] = None,
         ingress_backpressure: bool = True,
+        ingress_hash_seed: Optional[int] = None,
         mailbox_high_watermark: Optional[int] = None,
         mailbox_low_watermark: Optional[int] = None,
         ingest_per_quantum: Optional[int] = None,
@@ -488,7 +494,9 @@ class ShardedRuntime:
             for core_id in range(ingress_cores)
         ]
         self._ingress_sharder = (
-            FlowSharder.for_ingress(ingress_cores) if ingress_cores else None
+            FlowSharder.for_ingress(ingress_cores, hash_seed=ingress_hash_seed)
+            if ingress_cores
+            else None
         )
         self._ingress_handles: List[Optional[EventHandle]] = [None] * ingress_cores
         self._mailboxes = [worker.mailbox for worker in self.workers]
@@ -1127,6 +1135,38 @@ class ShardedRuntime:
             return self.backend.pending_submitted
         in_flight = sum(worker.pending for worker in self.workers)
         return in_flight + sum(core.backlog for core in self.ingress_cores)
+
+    def flows_in_flight(self) -> int:
+        """Sum of per-flow in-flight packet counts in the flow table.
+
+        Zero after a complete drain: a non-zero residue means the ownership
+        table believes packets exist that no queue holds (a stranded slot).
+        """
+        pending_col = self._pending
+        return sum(pending_col[slot] for _flow_id, slot in self.flows.items())
+
+    def residual_state(self) -> Dict[str, int]:
+        """Post-drain audit: every gauge that must read zero once idle.
+
+        The scenario fuzz suite's "no stranded state" invariant: after a
+        workload fully drains there must be no packets anywhere in the
+        pipeline, no flow-table slot claiming packets in flight, no flow on
+        loan to a thief, no lease open or held, and no RX core parked on
+        backpressure with a non-empty ring.
+        """
+        return {
+            "pending_packets": self.pending,
+            "flows_in_flight": self.flows_in_flight(),
+            "loaned_flows": len(self.sharder.loaned_flows()),
+            "open_leases": len(self._open_leases),
+            "leases_held": sum(worker.leases_held for worker in self.workers),
+            "flows_on_loan": sum(worker.flows_on_loan for worker in self.workers),
+            "stalled_ingress_cores": sum(
+                1
+                for core in self.ingress_cores
+                if core.stalled and not core.ring.empty
+            ),
+        }
 
     @property
     def transmitted(self) -> int:

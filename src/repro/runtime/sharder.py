@@ -99,16 +99,24 @@ class FlowSharder:
     POLICIES = ("hash", "round_robin")
 
     @classmethod
-    def for_ingress(cls, num_cores: int) -> "FlowSharder":
+    def for_ingress(
+        cls, num_cores: int, hash_seed: Optional[int] = None
+    ) -> "FlowSharder":
         """A sharder for the ingress lanes (flow -> RX core).
 
         Same RSS-style mechanics, decorrelated seed (see
-        :data:`INGRESS_HASH_SEED`).  Keeping the lane map a ``FlowSharder``
-        means the ingress layer inherits pins and placement stats for free —
-        e.g. an experiment can pin an elephant flow to a dedicated RX core
-        exactly as it pins one to a shard.
+        :data:`INGRESS_HASH_SEED`; pass ``hash_seed`` to pin the lane hash
+        from a scenario-level seed instead — it must still differ from the
+        shard placement seed, or the two layers' placements correlate and
+        every RX core feeds a fixed subset of shards).  Keeping the lane map
+        a ``FlowSharder`` means the ingress layer inherits pins and
+        placement stats for free — e.g. an experiment can pin an elephant
+        flow to a dedicated RX core exactly as it pins one to a shard.
         """
-        return cls(num_cores, hash_seed=INGRESS_HASH_SEED)
+        return cls(
+            num_cores,
+            hash_seed=INGRESS_HASH_SEED if hash_seed is None else hash_seed,
+        )
 
     #: Tracked-flow bound of the load window (see class docstring).
     DEFAULT_WINDOW_LIMIT = 65536

@@ -1,0 +1,228 @@
+"""TOML load/dump for :class:`~repro.scenario.spec.ScenarioSpec`.
+
+The wire format is one table per sub-spec::
+
+    name = "zipf-steal-codel"
+    seed = 42
+
+    [topology]
+    kind = "runtime"
+
+    [traffic]
+    pattern = "zipf"
+    num_flows = 64
+    ...
+
+Rules, chosen so ``load(dump(spec)) == spec`` holds for every valid spec
+(property-tested):
+
+* ``None`` is spelled as the string ``"none"`` (TOML has no null); on load,
+  ``"none"`` in an optional field reads back as ``None``.
+* Sequences are TOML arrays and read back as tuples; ``policy.flow_rates``
+  is an array of ``[flow_id, rate_bps]`` pairs.
+* Missing keys take the dataclass defaults; **unknown keys are rejected**
+  with the exact ``section.key`` path — a typo never silently becomes a
+  default.
+* Loading always ends with the eager validation pass, so an on-disk spec is
+  either fully usable or raises a typed, field-naming error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tomllib
+import typing
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from .spec import (
+    AssertionSpec,
+    IngressSpec,
+    MalformedSpecError,
+    PolicyTreeSpec,
+    RuntimeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    UnknownNameError,
+    validate,
+)
+
+#: Section name -> sub-spec dataclass, in canonical dump order.
+SECTIONS = {
+    "topology": TopologySpec,
+    "policy": PolicyTreeSpec,
+    "traffic": TrafficSpec,
+    "ingress": IngressSpec,
+    "runtime": RuntimeSpec,
+    "assertions": AssertionSpec,
+}
+
+
+# -- dumping -----------------------------------------------------------------
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return '"none"'
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        # json string escaping is a strict subset of TOML basic strings.
+        return json.dumps(value)
+    if isinstance(value, tuple):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    raise TypeError(f"cannot serialise {value!r} to TOML")  # pragma: no cover
+
+
+def dump_toml(spec: ScenarioSpec) -> str:
+    """Serialise a spec to TOML text (stable key order, round-trippable)."""
+    lines = [
+        f"name = {_format_value(spec.name)}",
+        f"seed = {_format_value(spec.seed)}",
+    ]
+    for section, cls in SECTIONS.items():
+        sub = getattr(spec, section)
+        lines.append("")
+        lines.append(f"[{section}]")
+        for spec_field in dataclasses.fields(cls):
+            lines.append(
+                f"{spec_field.name} = {_format_value(getattr(sub, spec_field.name))}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def dump_toml_file(spec: ScenarioSpec, path: Union[str, Path]) -> Path:
+    """Write a spec to ``path`` as TOML; returns the path."""
+    path = Path(path)
+    path.write_text(dump_toml(spec))
+    return path
+
+
+# -- loading -----------------------------------------------------------------
+
+
+def _coerce(value: Any, annotation: Any, path: str) -> Any:
+    """Coerce one TOML value into the annotated field type, or reject."""
+    origin = typing.get_origin(annotation)
+    if origin is Union:  # Optional[...]
+        args = [arg for arg in typing.get_args(annotation) if arg is not type(None)]
+        if value == "none":
+            return None
+        return _coerce(value, args[0], path)
+    if origin is tuple:
+        if not isinstance(value, list):
+            raise MalformedSpecError(path, f"expected an array, got {value!r}")
+        (item_type, _ellipsis) = typing.get_args(annotation)
+        return tuple(
+            _coerce(item, item_type, f"{path}[{index}]")
+            for index, item in enumerate(value)
+        )
+    if annotation is bool:
+        if not isinstance(value, bool):
+            raise MalformedSpecError(path, f"expected a boolean, got {value!r}")
+        return value
+    if annotation is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MalformedSpecError(path, f"expected an integer, got {value!r}")
+        return value
+    if annotation is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MalformedSpecError(path, f"expected a number, got {value!r}")
+        return float(value)
+    if annotation is str:
+        if not isinstance(value, str):
+            raise MalformedSpecError(path, f"expected a string, got {value!r}")
+        return value
+    if origin is None and typing.get_origin(Tuple[int, float]) is tuple:
+        pass  # pragma: no cover - defensive
+    raise MalformedSpecError(path, f"unsupported field type {annotation!r}")
+
+
+def _coerce_pairs(value: Any, path: str) -> Tuple[Tuple[int, float], ...]:
+    """``flow_rates``: an array of two-element ``[flow_id, rate]`` arrays."""
+    if not isinstance(value, list):
+        raise MalformedSpecError(path, f"expected an array of pairs, got {value!r}")
+    pairs = []
+    for index, item in enumerate(value):
+        if not isinstance(item, list) or len(item) != 2:
+            raise MalformedSpecError(
+                f"{path}[{index}]", f"expected a [flow_id, rate_bps] pair, got {item!r}"
+            )
+        flow_id = _coerce(item[0], int, f"{path}[{index}][0]")
+        rate = _coerce(item[1], float, f"{path}[{index}][1]")
+        pairs.append((flow_id, rate))
+    return tuple(pairs)
+
+
+def _build_section(cls: type, data: Any, section: str) -> Any:
+    if not isinstance(data, dict):
+        raise MalformedSpecError(section, f"expected a table, got {data!r}")
+    hints = typing.get_type_hints(cls)
+    known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+    kwargs = {}
+    for key, value in data.items():
+        path = f"{section}.{key}"
+        if key not in known:
+            raise UnknownNameError(
+                path, f"unknown field; known fields: {sorted(known)}"
+            )
+        if cls is PolicyTreeSpec and key == "flow_rates":
+            kwargs[key] = _coerce_pairs(value, path)
+        else:
+            kwargs[key] = _coerce(value, hints[key], path)
+    return cls(**kwargs)
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Build a validated spec from a parsed-TOML dictionary."""
+    if not isinstance(data, dict):
+        raise MalformedSpecError("<spec>", f"expected a table, got {data!r}")
+    kwargs: dict = {}
+    for key, value in data.items():
+        if key == "name":
+            kwargs["name"] = _coerce(value, str, "name")
+        elif key == "seed":
+            kwargs["seed"] = _coerce(value, int, "seed")
+        elif key in SECTIONS:
+            kwargs[key] = _build_section(SECTIONS[key], value, key)
+        else:
+            raise UnknownNameError(
+                key,
+                f"unknown section; known: name, seed, {', '.join(SECTIONS)}",
+            )
+    return validate(ScenarioSpec(**kwargs))
+
+
+def load_toml(text: str) -> ScenarioSpec:
+    """Parse TOML text into a validated :class:`ScenarioSpec`.
+
+    Malformed TOML raises :class:`MalformedSpecError`; unknown sections or
+    fields raise :class:`UnknownNameError`; semantic problems raise whatever
+    :func:`~repro.scenario.spec.validate` raises — never a silent fallback.
+    """
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise MalformedSpecError("<toml>", f"unparseable TOML: {exc}") from exc
+    return spec_from_dict(data)
+
+
+def load_toml_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load and validate a spec from a TOML file."""
+    return load_toml(Path(path).read_text())
+
+
+__all__ = [
+    "SECTIONS",
+    "dump_toml",
+    "dump_toml_file",
+    "load_toml",
+    "load_toml_file",
+    "spec_from_dict",
+]

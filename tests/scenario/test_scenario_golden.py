@@ -1,0 +1,125 @@
+"""Golden equivalence: compiled figure specs == the hand-wired experiments.
+
+The compiler must be a pure re-plumbing layer: binding a spec onto the
+existing pieces may not change a single modelled number.  Three gates:
+
+* the batching sweep of the compiled Figure 13 spec reproduces the
+  committed ``BENCH_batching.json`` modelled cycles **byte-identically**
+  (the artifact is the repo's perf-trajectory ledger; only the wall-clock
+  fields are machine-dependent);
+* a reduced-scale Figure 13 run from a spec equals ``run_figure13`` called
+  by hand with the same parameters, series for series;
+* a reduced-scale Figure 19 run from a spec equals ``run_figure19`` with
+  the hand-built ``FabricExperimentConfig``, flow record for flow record.
+
+Reduced scales keep tier-1 fast; the full-scale equivalents run in the
+benchmark harnesses (which now *are* the compiled specs).
+"""
+
+import json
+from pathlib import Path
+
+from repro.bess import run_figure13
+from repro.netsim import FabricConfig, FabricExperimentConfig, run_figure19
+from repro.scenario import (
+    PolicyTreeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+    compile_scenario,
+    figure13_spec,
+    figure19_spec,
+)
+from repro.scenario.figures import (
+    run_batching_sweep_from_spec,
+    run_figure13_from_spec,
+)
+
+ARTIFACT = Path(__file__).resolve().parent.parent.parent / "BENCH_batching.json"
+
+#: The deterministic fields of a sweep cell (the rest is wall clock).
+MODELLED_FIELDS = (
+    "batch_size",
+    "enqueue_cycles_per_packet",
+    "drain_cycles_per_packet",
+    "cycles_per_packet",
+)
+
+
+def test_figure13_sweep_matches_committed_artifact_byte_identically():
+    committed = json.loads(ARTIFACT.read_text())
+    sweep = run_batching_sweep_from_spec(figure13_spec(), rounds=1)
+    assert sweep["batch_sizes"] == committed["batch_sizes"]
+    assert sweep["workload"] == committed["workload"]
+    assert set(sweep["queues"]) == set(committed["queues"])
+    for name, by_size in committed["queues"].items():
+        for size, cell in by_size.items():
+            for field in MODELLED_FIELDS:
+                assert sweep["queues"][name][size][field] == cell[field], (
+                    f"{name} batch={size} {field} drifted from the artifact"
+                )
+
+
+def test_figure13_series_match_hand_wired_run():
+    scale_flows = 200  # tier-1 scale; the benchmark runs the full 5k flows
+    spec = ScenarioSpec(
+        name="fig13-small",
+        topology=TopologySpec(kind="bess"),
+        policy=PolicyTreeSpec(num_buckets=512),
+        traffic=TrafficSpec(num_flows=scale_flows, packet_sizes=(60, 1500)),
+    )
+    compiled = run_figure13_from_spec(spec)
+    hand = run_figure13(num_flows=scale_flows, packet_sizes=[60, 1500])
+    assert set(compiled) == set(hand)
+    for label, series in hand.items():
+        assert compiled[label].x == series.x
+        assert compiled[label].y == series.y, f"{label} rates diverged"
+
+
+def test_figure19_runs_match_hand_wired_config():
+    loads = (0.5,)
+    spec = ScenarioSpec(
+        name="fig19-small",
+        seed=19,
+        topology=TopologySpec(kind="fabric", num_leaves=2, num_spines=2,
+                              hosts_per_leaf=2),
+        policy=PolicyTreeSpec(schemes=("dctcp", "pfabric", "pfabric_approx")),
+        traffic=TrafficSpec(workload="websearch", num_flows=40, loads=loads),
+    )
+    result = compile_scenario(spec).run()
+    hand = run_figure19(
+        list(loads),
+        config=FabricExperimentConfig(
+            fabric=FabricConfig(num_leaves=2, num_spines=2, hosts_per_leaf=2),
+            workload="websearch",
+            num_flows=40,
+            seed=19,
+        ),
+    )
+    assert set(result.fabric) == set(hand)
+    for scheme, runs in hand.items():
+        for compiled_run, hand_run in zip(result.fabric[scheme], runs):
+            assert compiled_run.load == hand_run.load
+            assert compiled_run.drops == hand_run.drops
+            assert len(compiled_run.flows) == len(hand_run.flows)
+            for compiled_flow, hand_flow in zip(compiled_run.flows, hand_run.flows):
+                assert compiled_flow.flow_id == hand_flow.flow_id
+                assert compiled_flow.size_bytes == hand_flow.size_bytes
+                assert compiled_flow.start_ns == hand_flow.start_ns
+                assert compiled_flow.fct_seconds == hand_flow.fct_seconds
+                assert compiled_flow.completed == hand_flow.completed
+
+
+def test_canonical_figure_specs_validate_and_describe_the_benchmarks():
+    fig13 = figure13_spec()
+    assert fig13.topology.kind == "bess"
+    assert fig13.traffic.num_flows == 5_000
+    assert fig13.policy.num_buckets == 512  # the sweep's rank range
+    assert fig13.assertions.batch_amortises_at == 8
+
+    fig19 = figure19_spec()
+    assert fig19.topology.kind == "fabric"
+    assert fig19.seed == 19  # the committed benchmark's FlowWorkload seed
+    assert fig19.traffic.loads == (0.2, 0.5, 0.8)
+    assert fig19.assertions.fct_small_flow_advantage
+    assert fig19.assertions.fct_approx_tolerance == 0.5
