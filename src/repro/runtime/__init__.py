@@ -62,6 +62,18 @@ instance per core, flows spread across instances by an RSS-style hash:
   objects and stamps stay bit-identical
   (``benchmarks/bench_megaflow.py`` measures bytes/flow and churn ops/sec
   against the dict-of-objects baseline at 10k/100k/1M flows).
+* :class:`~repro.runtime.faults.FaultPlan` /
+  :class:`~repro.runtime.faults.FaultStats` — the deterministic
+  fault-injection plane: seeded, spec-driven fault schedules (shard
+  crash/stall, mailbox handoff drops, ingress wedges, process-child
+  death/hang, shm frame corruption) armed at the runtime's existing seams,
+  zero-cost when disarmed, paired with the supervision machinery inside
+  :class:`~repro.runtime.runtime.ShardedRuntime` (heartbeat watchdog, lease
+  reclamation, crashed-shard re-homing with pacing salvage) and the bounded
+  retry-with-backoff child restart of
+  :class:`~repro.runtime.backend.ProcessBackend`
+  (``benchmarks/bench_faults.py`` measures recovery time and
+  packets-at-risk per fault type).
 * :class:`~repro.runtime.adapters.ShardedPortQueue` /
   :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
   for the netsim and kernel substrates.
@@ -106,6 +118,14 @@ from .backend import (
     WorkerSpec,
     free_threaded,
 )
+from .faults import (
+    FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
+    RUNTIME_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultStats,
+)
 from .flowstate import FlowStateStats, FlowTable, PacingTable
 from .ingress import (
     AdmissionPolicy,
@@ -144,6 +164,10 @@ __all__ = [
     "CoDelPolicy",
     "DEFAULT_HASH_SEED",
     "ExecutionBackend",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStats",
     "FlowFairDropPolicy",
     "FlowLease",
     "FlowSharder",
@@ -158,7 +182,9 @@ __all__ = [
     "MailboxStats",
     "Migration",
     "MultiQueueQdisc",
+    "PROCESS_FAULT_KINDS",
     "ProcessBackend",
+    "RUNTIME_FAULT_KINDS",
     "RuntimeTelemetry",
     "RxRing",
     "ShardClockDriver",

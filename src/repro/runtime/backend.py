@@ -48,14 +48,17 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import os
 import threading
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .faults import FaultPlan
 from .mailbox import MailboxStats
-from .shm import RING_EMPTY, ShmRing
+from .shm import RING_EMPTY, ShmFrameCorrupt, ShmRing
 from .worker import ShardWorker, ShardWorkerStats
 from ..core.model.packet import Packet
 from ..core.queues import QueueStats
@@ -359,20 +362,48 @@ class ParallelBackend(ExecutionBackend):
         """Run every shard's schedule to completion; one result per shard."""
 
 
-def _shard_worker_main(spec: WorkerSpec, ring_name: str, conn) -> None:
+#: Exit code of a child that popped a corrupt shared-memory frame.
+EXIT_FRAME_CORRUPT = 70
+#: Exit code of a child killed by an armed ``child_crash`` fault.
+EXIT_FAULT_CRASH = 71
+
+
+def _shard_worker_main(
+    spec: WorkerSpec,
+    ring_name: str,
+    conn,
+    ack_every: int = 1,
+    fault: Optional[Tuple[str, int]] = None,
+) -> None:
     """Child-process entry point: drain the shm ring into a clock driver.
 
     Records are ``(when_ns, [packets])`` bursts in nondecreasing time order;
-    the ``None`` sentinel is end-of-schedule.  The result (or a formatted
-    traceback) returns over ``conn``; the ring mapping is always detached.
+    the ``None`` sentinel is end-of-schedule.  After every ``ack_every``
+    consumed bursts the child sends ``("ack", bursts_done)`` over ``conn`` —
+    the progress watermark the parent's supervision uses for hang detection
+    and restart telemetry.  The result (or a formatted traceback) returns
+    over the same pipe; the ring mapping is always detached.
+
+    Failure semantics: a corrupt shared-memory frame means the transport
+    itself is compromised, so the child dies abruptly with
+    :data:`EXIT_FRAME_CORRUPT` rather than report over a channel it can no
+    longer trust — the parent restarts it on a fresh ring.  An armed
+    ``child_crash``/``child_hang`` fault (deterministic injection, keyed to
+    the burst ordinal) likewise bypasses the clean ``_ChildError`` path:
+    those faults exist to exercise the parent's death/hang supervision.
     """
     ring = ShmRing(name=ring_name)
+    fault_kind, fault_at = fault if fault is not None else (None, 0)
     try:
         try:
             driver = ShardClockDriver(spec)
+            bursts_done = 0
             empty_polls = 0
             while True:
-                record = ring.pop()
+                try:
+                    record = ring.pop()
+                except ShmFrameCorrupt:
+                    os._exit(EXIT_FRAME_CORRUPT)
                 if record is RING_EMPTY:
                     # The producer is still feeding: spin briefly (the ring
                     # is usually refilled within microseconds), then back off
@@ -383,8 +414,17 @@ def _shard_worker_main(spec: WorkerSpec, ring_name: str, conn) -> None:
                 empty_polls = 0
                 if record is None:
                     break
+                bursts_done += 1
+                if fault_at == bursts_done:
+                    if fault_kind == "child_crash":
+                        os._exit(EXIT_FAULT_CRASH)
+                    if fault_kind == "child_hang":
+                        while True:  # wedged forever; parent escalates
+                            time.sleep(3600)
                 when_ns, packets = record
                 driver.on_arrival(when_ns, packets)
+                if bursts_done % ack_every == 0:
+                    conn.send(("ack", bursts_done))
             conn.send(driver.finish())
         except BaseException:
             conn.send(_ChildError(spec.shard_id, traceback.format_exc()))
@@ -392,6 +432,32 @@ def _shard_worker_main(spec: WorkerSpec, ring_name: str, conn) -> None:
             conn.close()
     finally:
         ring.close()
+
+
+@dataclass
+class _ChildState:
+    """Supervision record for one shard's child process (one incarnation)."""
+
+    spec: WorkerSpec
+    schedule: List[Burst]
+    proc: Any = None
+    ring: Optional[ShmRing] = None
+    conn: Any = None
+    #: Remaining records to feed this incarnation (bursts + ``None`` EOF).
+    queue: Deque[Optional[Burst]] = field(default_factory=deque)
+    #: Bursts made visible in the ring this incarnation.
+    bursts_pushed: int = 0
+    #: The child's acknowledged-consumption watermark (this incarnation).
+    acked: int = 0
+    #: Incarnations started so far (1 = the original child).
+    attempts: int = 1
+    result: Optional[ShardResult] = None
+    #: ``monotonic()`` of the last feed/ack progress, for hang detection.
+    last_progress: float = 0.0
+    #: One-shot armed process fault ``(kind, at_burst)`` — first child only.
+    fault: Optional[Tuple[str, int]] = None
+    #: Burst ordinal after which the parent corrupts the ring frame (one-shot).
+    corrupt_at: Optional[int] = None
 
 
 class ProcessBackend(ParallelBackend):
@@ -402,29 +468,176 @@ class ProcessBackend(ParallelBackend):
     the parent; single consumer — the child), interleaving across rings so
     no child starves while another's ring is full.  Children replay their
     schedules on private virtual clocks (:class:`ShardClockDriver`) and
-    return picklable :class:`ShardResult` snapshots over a pipe on join.
+    return picklable :class:`ShardResult` snapshots over a pipe.
 
-    Teardown is unconditional: whatever interrupts the feed or the join —
-    ``KeyboardInterrupt`` included — live children are terminated and every
-    shared-memory segment is unlinked before the exception propagates.
+    **Supervision and restart.**  Each child acknowledges consumed bursts
+    over its pipe; the parent drains those acks on every pump pass (keeping
+    the pipe from filling and deadlocking the child) and maintains a
+    per-shard progress watermark.  A child that dies without delivering a
+    result — or stops advancing its watermark for ``hang_timeout_s`` — is
+    killed and restarted on a **fresh ring and pipe** with bounded
+    exponential backoff, up to ``max_restarts`` times.  Because a shard
+    child is a pure function of its arrival schedule (the invariant the
+    whole parallel seam rests on), the restart simply re-feeds the buffered
+    schedule from burst zero and the replay is exact; the dead incarnation's
+    acked watermark is recorded in :attr:`restart_log`.  A child that
+    *reports* a failure (a pickled traceback over the pipe) is a
+    deterministic application error and is raised immediately — restarting
+    it would fail identically.
+
+    Teardown is unconditional: whatever interrupts the pump —
+    ``KeyboardInterrupt`` included — live children are terminated (with
+    ``terminate()`` → ``kill()`` escalation) and every shared-memory segment
+    ever created is unlinked before the exception propagates.
 
     Args:
         ring_capacity: byte capacity of each per-shard ring (must hold at
             least one full pickled burst; 1 MiB comfortably fits the
             benchmark's 128-packet bursts).
         result_timeout_s: how long to wait for one child's result after its
-            schedule was fed, before declaring it wedged.
+            last observed progress, before declaring the run wedged.
+        max_restarts: restarts allowed per shard before giving up (0 turns
+            the supervisor into detect-and-raise).
+        restart_backoff_s: sleep before the first restart of a shard;
+            doubles on each further attempt of the same shard.
+        hang_timeout_s: declare a live child hung (and restart it) when its
+            watermark stalls this long; ``None`` disables hang restarts and
+            leaves only the ``result_timeout_s`` backstop.
+        ack_every: child acks every N consumed bursts (1 = tightest
+            watermark; larger values trade supervision lag for pipe traffic).
+        faults: armed process faults — a :class:`~repro.runtime.faults.FaultPlan`
+            (its ``child_crash``/``child_hang``/``shm_corrupt`` events) or a
+            mapping ``{shard: (kind, at_burst)}``.  Faults are one-shot: a
+            restarted child runs clean.
     """
 
     def __init__(
-        self, ring_capacity: int = 1 << 20, result_timeout_s: float = 300.0
+        self,
+        ring_capacity: int = 1 << 20,
+        result_timeout_s: float = 300.0,
+        *,
+        max_restarts: int = 2,
+        restart_backoff_s: float = 0.05,
+        hang_timeout_s: Optional[float] = None,
+        ack_every: int = 1,
+        faults: "Optional[FaultPlan | Mapping[int, Tuple[str, int]]]" = None,
     ) -> None:
         super().__init__()
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if restart_backoff_s < 0:
+            raise ValueError("restart_backoff_s must be non-negative")
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive (or None)")
+        if ack_every <= 0:
+            raise ValueError("ack_every must be positive")
         self.ring_capacity = ring_capacity
         self.result_timeout_s = result_timeout_s
+        self.max_restarts = max_restarts
+        self.restart_backoff_s = restart_backoff_s
+        self.hang_timeout_s = hang_timeout_s
+        self.ack_every = ack_every
+        self._faults = faults
+        #: One dict per restart: shard, attempt, reason, exit code, the dead
+        #: incarnation's acked watermark, and the backoff slept before it.
+        self.restart_log: List[dict] = []
+
+    def _fault_for(self, shard: int) -> Optional[Tuple[str, int]]:
+        if self._faults is None:
+            return None
+        if isinstance(self._faults, FaultPlan):
+            return self._faults.process_fault(shard)
+        return self._faults.get(shard)
 
     def _feed_hook(self) -> None:
-        """Called once per feed-loop pass (test seam for interrupt injection)."""
+        """Called once per pump-loop pass (test seam for interrupt injection)."""
+
+    # -- child lifecycle ---------------------------------------------------
+
+    def _spawn(self, ctx, state: _ChildState, all_rings: List[ShmRing]) -> None:
+        """Start a fresh incarnation: new ring, new pipe, full re-feed."""
+        state.ring = ShmRing(capacity=self.ring_capacity)
+        all_rings.append(state.ring)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        state.conn = parent_conn
+        state.queue = deque(state.schedule)
+        state.queue.append(None)
+        state.bursts_pushed = 0
+        state.acked = 0
+        fault = state.fault
+        if fault is not None and fault[0] == "shm_corrupt":
+            state.corrupt_at = fault[1]
+            fault = None
+        state.fault = None  # one-shot: a restarted child runs clean
+        state.proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(state.spec, state.ring.name, child_conn, self.ack_every, fault),
+            daemon=True,
+            name=f"repro-shard-{state.spec.shard_id}",
+        )
+        state.proc.start()
+        child_conn.close()  # parent's copy; the child holds the write end
+        state.last_progress = time.monotonic()
+
+    def _reap(self, proc, shard: int) -> None:
+        """Join a child, escalating terminate() → kill() if it lingers."""
+        if proc is None:
+            return
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    raise RuntimeError(
+                        f"shard {shard} worker (pid {proc.pid}) survived both "
+                        f"terminate() and kill(); exit code {proc.exitcode}"
+                    )
+        else:
+            proc.join(timeout=10.0)
+
+    def _restart(self, ctx, state: _ChildState, all_rings: List[ShmRing], reason: str) -> None:
+        """Replace a dead/hung child, or raise when the retry budget is spent."""
+        shard = state.spec.shard_id
+        self._reap(state.proc, shard)
+        exit_code = state.proc.exitcode
+        state.conn.close()
+        state.ring.close()
+        state.ring.unlink()
+        if state.attempts > self.max_restarts:
+            if reason == "died" and state.queue:
+                raise RuntimeError(
+                    f"shard {shard} worker died before consuming its schedule "
+                    f"(exit code {exit_code}, attempt {state.attempts})"
+                )
+            if reason == "died":
+                raise RuntimeError(
+                    f"shard {shard} worker exited without a result "
+                    f"(exit code {exit_code}, attempt {state.attempts})"
+                )
+            raise RuntimeError(
+                f"shard {shard} worker hung (no progress past burst "
+                f"{state.acked} for {self.hang_timeout_s}s, exit code "
+                f"{exit_code}, attempt {state.attempts})"
+            )
+        backoff = self.restart_backoff_s * (2 ** (state.attempts - 1))
+        if backoff:
+            time.sleep(backoff)
+        self.restart_log.append(
+            {
+                "shard": shard,
+                "attempt": state.attempts,
+                "reason": reason,
+                "exit_code": exit_code,
+                "acked_bursts": state.acked,
+                "backoff_s": backoff,
+            }
+        )
+        state.attempts += 1
+        self._spawn(ctx, state, all_rings)
+
+    # -- the supervised pump ----------------------------------------------
 
     def _execute(
         self, specs: List[WorkerSpec], schedules: List[List[Burst]]
@@ -433,86 +646,110 @@ class ProcessBackend(ParallelBackend):
         # queue_factory) is inherited by the child, not pickled; only the
         # packet stream crosses via the shm rings.
         ctx = multiprocessing.get_context("fork")
-        num_shards = len(specs)
-        rings: List[ShmRing] = []
-        procs: List[multiprocessing.Process] = []
-        conns = []
+        states = [
+            _ChildState(
+                spec=specs[shard],
+                schedule=schedules[shard],
+                fault=self._fault_for(shard),
+            )
+            for shard in range(len(specs))
+        ]
+        all_rings: List[ShmRing] = []
         try:
-            for shard in range(num_shards):
-                ring = ShmRing(capacity=self.ring_capacity)
-                rings.append(ring)
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                conns.append(parent_conn)
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(specs[shard], ring.name, child_conn),
-                    daemon=True,
-                    name=f"repro-shard-{shard}",
-                )
-                proc.start()
-                child_conn.close()
-                procs.append(proc)
-            self._feed(rings, procs, schedules)
-            results: List[Optional[ShardResult]] = [None] * num_shards
-            for shard in range(num_shards):
-                if not conns[shard].poll(self.result_timeout_s):
-                    raise RuntimeError(
-                        f"shard {shard} produced no result within "
-                        f"{self.result_timeout_s:.0f}s"
-                    )
-                try:
-                    outcome = conns[shard].recv()
-                except EOFError as exc:
-                    raise RuntimeError(
-                        f"shard {shard} worker exited without a result"
-                    ) from exc
-                if isinstance(outcome, _ChildError):
-                    raise RuntimeError(
-                        f"shard {shard} worker failed:\n{outcome.message}"
-                    )
-                results[shard] = outcome
-            for proc in procs:
-                proc.join(timeout=30.0)
-            return results  # type: ignore[return-value]
+            for state in states:
+                self._spawn(ctx, state, all_rings)
+            self._pump(ctx, states, all_rings)
+            return [state.result for state in states]  # type: ignore[misc]
         finally:
-            for conn in conns:
-                conn.close()
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-                    proc.join(timeout=10.0)
-            for ring in rings:
+            for state in states:
+                if state.conn is not None:
+                    state.conn.close()
+            for state in states:
+                self._reap(state.proc, state.spec.shard_id)
+            for ring in all_rings:
                 ring.close()
                 ring.unlink()
 
-    def _feed(
-        self,
-        rings: List[ShmRing],
-        procs: List[multiprocessing.Process],
-        schedules: List[List[Burst]],
-    ) -> None:
-        """Stream every shard's schedule (+ EOF sentinel) into its ring."""
-        from collections import deque
+    def _drain_pipe(self, state: _ChildState) -> bool:
+        """Consume acks/result/error waiting on a child's pipe; True on any."""
+        shard = state.spec.shard_id
+        progressed = False
+        while state.result is None and state.conn.poll(0):
+            try:
+                message = state.conn.recv()
+            except EOFError:
+                break  # child closed its end; death handling decides next
+            progressed = True
+            state.last_progress = time.monotonic()
+            if isinstance(message, tuple) and message and message[0] == "ack":
+                state.acked = message[1]
+            elif isinstance(message, _ChildError):
+                raise RuntimeError(f"shard {shard} worker failed:\n{message.message}")
+            else:
+                state.result = message
+        return progressed
 
-        pending = [deque(schedule + [None]) for schedule in schedules]
-        remaining = len(rings)
-        while remaining:
+    def _pump(self, ctx, states: List[_ChildState], all_rings: List[ShmRing]) -> None:
+        """Feed, supervise, and collect every shard until all results land.
+
+        One loop does all three jobs so no pipe goes undrained while a ring
+        is being fed (a full pipe blocks the child's ack ``send``, a blocked
+        child stops popping its ring, and the feed would deadlock).
+        """
+        while any(state.result is None for state in states):
             progressed = False
-            for shard, queue in enumerate(pending):
-                if not queue:
+            for state in states:
+                if state.result is not None:
                     continue
-                ring = rings[shard]
-                while queue and ring.push(queue[0]):
-                    queue.popleft()
+                shard = state.spec.shard_id
+                if self._drain_pipe(state):
                     progressed = True
-                if not queue:
-                    remaining -= 1
-                elif not procs[shard].is_alive():
+                if state.result is not None:
+                    continue
+                ring = state.ring
+                while state.queue:
+                    record = state.queue[0]
+                    corrupt = (
+                        record is not None
+                        and state.corrupt_at == state.bursts_pushed + 1
+                    )
+                    pushed = (
+                        ring.push_corrupted(record) if corrupt else ring.push(record)
+                    )
+                    if not pushed:
+                        break
+                    state.queue.popleft()
+                    if record is not None:
+                        state.bursts_pushed += 1
+                        if corrupt:
+                            state.corrupt_at = None  # one-shot
+                    state.last_progress = time.monotonic()
+                    progressed = True
+                if not state.proc.is_alive():
+                    # Drain any message that raced the death: a clean result
+                    # or a reported failure beats the restart path.
+                    if self._drain_pipe(state):
+                        progressed = True
+                    if state.result is not None:
+                        continue
+                    self._restart(ctx, state, all_rings, reason="died")
+                    progressed = True
+                    continue
+                stalled_s = time.monotonic() - state.last_progress
+                if (
+                    self.hang_timeout_s is not None
+                    and stalled_s > self.hang_timeout_s
+                ):
+                    self._restart(ctx, state, all_rings, reason="hung")
+                    progressed = True
+                elif stalled_s > self.result_timeout_s:
                     raise RuntimeError(
-                        f"shard {shard} worker died before consuming its schedule"
+                        f"shard {shard} produced no result within "
+                        f"{self.result_timeout_s:.0f}s (exit code "
+                        f"{state.proc.exitcode})"
                     )
             self._feed_hook()
-            if not progressed and remaining:
+            if not progressed:
                 time.sleep(0.0002)
 
 

@@ -64,15 +64,32 @@ from .backend import (
     WorkerSpec,
     resolve_backend,
 )
+from .faults import FaultPlan, FaultStats
 from .flowstate import FlowTable
 from .ingress import IngressCore, IngressTelemetry, make_admission_factory
 from .mailbox import MailboxStats
 from .sharder import FlowSharder, ShardRebalancer
 from .stealing import FlowLease, StealChannel, StealRequest, StealStats, StealTuner
-from .worker import QueueFactory, ShardWorker
+from .worker import QueueFactory, ShardWorker, ShardWorkerStats
 from ..core.model.packet import Packet
 from ..core.queues import QueueStats
 from ..netsim.simulator import EventHandle, Simulator
+
+
+@dataclass
+class _RetiredShard:
+    """Final counters of a crashed worker incarnation, folded into telemetry.
+
+    A crash-restart replaces the worker object, but the work its dead
+    incarnation already did must stay visible — per-shard telemetry rows
+    merge these snapshots with the live worker's counters so ingested /
+    transmitted / cycles survive any number of restarts.
+    """
+
+    stats: ShardWorkerStats
+    queue_stats: QueueStats
+    steals: StealStats
+    cycles: float
 
 
 @dataclass
@@ -139,6 +156,11 @@ class RuntimeTelemetry:
     #: (runtime ownership + sharder placement + per-shard pacing columns),
     #: and the incremental-GC counters.  See :mod:`repro.runtime.flowstate`.
     flow_state: dict = field(default_factory=dict)
+    #: Fault-injection and recovery accounting: the
+    #: :class:`~repro.runtime.faults.FaultStats` counters plus the
+    #: ``recovery_log`` of individual recovery events.  All zeros / empty
+    #: when no fault plan was armed.
+    faults: dict = field(default_factory=dict)
 
     @property
     def imbalance(self) -> float:
@@ -182,6 +204,7 @@ class RuntimeTelemetry:
             "bottleneck_cycles": self.bottleneck_cycles,
             "admission_drops": self.admission_drops,
             "flow_state": dict(self.flow_state),
+            "faults": dict(self.faults),
         }
 
 
@@ -298,6 +321,26 @@ class ShardedRuntime:
             auto-disabled for the same reason (its trigger is a
             runtime-global packet count).  See :mod:`repro.runtime.backend`
             for why per-shard replay is then exact.
+        fault_plan: optional :class:`~repro.runtime.faults.FaultPlan` arming
+            deterministic faults at the runtime's seams (shard crash/stall,
+            mailbox handoff drops, ingress ring wedge) and the supervision
+            machinery that recovers from them.  ``None`` (the default) keeps
+            every hook on a single ``is not None`` guard — the clean path's
+            modelled cycle accounts are byte-identical with no plan armed.
+            Simulated backend only.
+        lease_deadline_ns: watchdog deadline on outstanding
+            :class:`~repro.runtime.stealing.FlowLease`\\ s — a thief that has
+            not released a stolen window within this bound is presumed hung
+            and crash-restarted by the supervisor, which reclaims the lease
+            (the victim resumes its deferred flows; the thief's private
+            queue, including the unfinished stolen packets, is the loss).
+            ``None`` (the default) trusts thieves forever, the historical
+            behaviour.
+        supervise_interval_ns: period of the supervision sweep while any
+            fault or open-lease deadline is being watched (defaults to two
+            quanta — the detection latency of a crash).  The sweep only
+            runs while something needs watching; an idle clean runtime
+            schedules no supervision events at all.
     """
 
     def __init__(
@@ -338,6 +381,9 @@ class ShardedRuntime:
         gc_interval_packets: Optional[int] = 4096,
         gc_sweep_limit: Optional[int] = None,
         backend: "str | ExecutionBackend" = "simulated",
+        fault_plan: Optional[FaultPlan] = None,
+        lease_deadline_ns: Optional[int] = None,
+        supervise_interval_ns: Optional[int] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -373,6 +419,22 @@ class ShardedRuntime:
             raise ValueError("ingest_per_quantum must be positive")
         if shard_backlog_limit is not None and shard_backlog_limit <= 0:
             raise ValueError("shard_backlog_limit must be positive")
+        if lease_deadline_ns is not None and lease_deadline_ns <= 0:
+            raise ValueError("lease_deadline_ns must be positive")
+        if supervise_interval_ns is not None and supervise_interval_ns <= 0:
+            raise ValueError("supervise_interval_ns must be positive")
+        if fault_plan is not None:
+            if fault_plan.max_shard_target >= num_shards:
+                raise ValueError(
+                    f"fault plan targets shard {fault_plan.max_shard_target} "
+                    f"but only {num_shards} shards exist"
+                )
+            for lane in fault_plan.wedge_lanes:
+                if lane >= ingress_cores:
+                    raise ValueError(
+                        f"fault plan wedges ingress lane {lane} but only "
+                        f"{ingress_cores} ingress cores exist"
+                    )
         self.backend = resolve_backend(backend, simulator)
         if self.backend.parallel:
             conflicts = []
@@ -384,6 +446,10 @@ class ShardedRuntime:
                 conflicts.append("ingress_cores")
             if on_transmit is not None:
                 conflicts.append("on_transmit")
+            if fault_plan is not None:
+                conflicts.append("fault_plan")
+            if lease_deadline_ns is not None:
+                conflicts.append("lease_deadline_ns")
             if conflicts:
                 raise ValueError(
                     "parallel backends need statically decomposable shards; "
@@ -477,6 +543,26 @@ class ShardedRuntime:
         self._gc_cursor = 0
         self._tick_handles: List[Optional[EventHandle]] = [None] * num_shards
         self._rebalance_handle: Optional[EventHandle] = None
+        # -- the fault plane and its supervision state ----------------------
+        # All of this is inert on a clean run: the seam hooks guard on
+        # `self._faults is not None`, the failure maps stay empty (their
+        # truthiness is the fast-path check), and the supervision timer is
+        # armed only at injection / lease-grant sites.
+        self._faults = fault_plan
+        self.fault_stats = FaultStats()
+        self.lease_deadline_ns = lease_deadline_ns
+        self.supervise_interval_ns = (
+            2 * quantum_ns if supervise_interval_ns is None else supervise_interval_ns
+        )
+        self._dead: Dict[int, int] = {}  # shard -> crashed_at_ns
+        self._stalled: Dict[int, int] = {}  # shard -> stalled_at_ns
+        self._wedged: Dict[int, int] = {}  # ingress lane -> wedged_at_ns
+        self._orphan_returns: Dict[int, List[FlowLease]] = {}
+        self._retired_shards: Dict[int, List[_RetiredShard]] = {}
+        self._supervise_handle: Optional[EventHandle] = None
+        #: One entry per recovery event (crash restart, stall clear, wedge
+        #: clear, deadline escalation) with failure/recovery timestamps.
+        self.recovery_log: List[dict] = []
         # -- the asynchronous ingress layer --------------------------------
         admission_factory = make_admission_factory(admission)
         self.ingress_quantum_ns = (
@@ -582,6 +668,11 @@ class ShardedRuntime:
         if self.ingress_cores:
             return self._offer_ingress([packet]) == 1
         shard = self._route(packet.flow_id)
+        if self._faults is not None and self._faults.take_handoff_drops(shard, 1):
+            # The handoff seam ate the packet before anything committed:
+            # no route, no pending count — only the fault ledger sees it.
+            self.fault_stats.handoff_drops += 1
+            return False
         if not self.workers[shard].mailbox.push(packet):
             self.ingress_drops += 1
             return False
@@ -614,7 +705,15 @@ class ShardedRuntime:
             else:
                 group.append(packet)
         accepted = 0
+        faults = self._faults
         for shard, group in by_shard.items():
+            if faults is not None:
+                dropped = faults.take_handoff_drops(shard, len(group))
+                if dropped:
+                    self.fault_stats.handoff_drops += dropped
+                    group = group[dropped:]
+                    if not group:
+                        continue
             mailbox = self.workers[shard].mailbox
             before = len(mailbox)
             taken = mailbox.push_batch(group)
@@ -680,6 +779,8 @@ class ShardedRuntime:
         arrivals; only :meth:`_wake_stalled_ingress` (the watermark resume
         edge) ever pulls an armed retry forward.
         """
+        if self._wedged and lane in self._wedged:
+            return  # a wedged poller ignores wakes until the supervisor acts
         handle = self._ingress_handles[lane]
         if handle is not None and handle.active:
             return
@@ -701,6 +802,8 @@ class ShardedRuntime:
         for lane, core in enumerate(self.ingress_cores):
             if not core.stalled or core.ring.empty:
                 continue
+            if self._wedged and lane in self._wedged:
+                continue
             handle = self._ingress_handles[lane]
             if handle is not None and handle.active:
                 if handle.time_ns <= now:
@@ -714,6 +817,15 @@ class ShardedRuntime:
         core = self.ingress_cores[lane]
         self._ingress_handles[lane] = None
         now = self.simulator.now_ns
+        if self._faults is not None and self._faults.next_wedge(lane):
+            # The RX poller wedges: no pull, no reschedule.  Arrivals keep
+            # landing in the ring until the supervisor un-wedges the lane.
+            self._wedged[lane] = now
+            self.fault_stats.wedges_injected += 1
+            self._arm_supervision()
+            return
+        if self._wedged and lane in self._wedged:
+            return
         core.pull(now, self._route, self._mailboxes, self._ingress_deliver)
         # The wake-up policy lives on the core (next_wake_ns), shared with
         # any backend that drives RX cores on its own clock.  Blocked cores
@@ -729,6 +841,13 @@ class ShardedRuntime:
 
     def _ingress_deliver(self, shard: int, packets: List[Packet]) -> int:
         """Land one classified per-shard group in its mailbox (core -> core)."""
+        if self._faults is not None:
+            dropped = self._faults.take_handoff_drops(shard, len(packets))
+            if dropped:
+                self.fault_stats.handoff_drops += dropped
+                packets = packets[dropped:]
+                if not packets:
+                    return 0
         mailbox = self._mailboxes[shard]
         before = len(mailbox)
         taken = mailbox.push_batch(packets)
@@ -767,6 +886,10 @@ class ShardedRuntime:
 
     def _wake_shard(self, shard: int) -> None:
         """Guarantee the shard ticks within one quantum of new work."""
+        if (self._dead and shard in self._dead) or (
+            self._stalled and shard in self._stalled
+        ):
+            return  # a dead or frozen core cannot be woken; supervision will
         handle = self._tick_handles[shard]
         now = self.simulator.now_ns
         if handle is not None and handle.active:
@@ -783,6 +906,13 @@ class ShardedRuntime:
         worker = self.workers[shard]
         now = self.simulator.now_ns
         self._tick_handles[shard] = None
+        if self._faults is not None:
+            action = self._faults.next_shard_action(shard)
+            if action is not None:
+                self._inject_shard_fault(shard, action, now)
+                return  # the tick never runs; no next tick is scheduled
+        if self._dead and shard in self._dead:
+            return  # stale timer of a crashed core
         inbox = self._loan_inbox[shard]
         if inbox:
             # Thief role, first: splice freshly granted leases into this
@@ -876,6 +1006,8 @@ class ShardedRuntime:
                 or thief_worker.leases_held
                 or thief_worker.flows_on_loan
                 or self._loan_inbox[request.thief_shard]
+                or (self._dead and request.thief_shard in self._dead)
+                or (self._stalled and request.thief_shard in self._stalled)
             ):
                 # The thief found its own work since parking the request —
                 # or already has a lease granted (possibly still sitting in
@@ -901,6 +1033,8 @@ class ShardedRuntime:
             self._open_leases[lease.lease_id] = [lease, len(lease.packets)]
             self._loan_inbox[request.thief_shard].append(lease)
             self._wake_shard(request.thief_shard)
+            if self.lease_deadline_ns is not None:
+                self._arm_supervision()
 
     def _steal_params(self) -> tuple[int, int]:
         """Effective ``(steal_batch, steal_horizon_ns)`` for the next grant.
@@ -947,6 +1081,8 @@ class ShardedRuntime:
         for other, pending in enumerate(loads):
             if other == shard:
                 continue
+            if self._dead and other in self._dead:
+                continue  # a corpse's backlog is being recovered, not robbed
             if pending > victim_pending:
                 victim, victim_pending = other, pending
         if victim is None:
@@ -964,6 +1100,13 @@ class ShardedRuntime:
     def _finish_lease(self, lease: FlowLease, now: int) -> None:
         """The thief released the last stolen packet: return the lease."""
         self.workers[lease.thief_shard].finish_held_lease()
+        if self._dead and lease.victim_shard in self._dead:
+            # The donor died while its lease was out.  Bank the return for
+            # the replacement worker: shapers re-install and the sharder's
+            # loan entry clears at recovery (the dead core's deferred work
+            # for these flows is already part of its crash loss).
+            self._orphan_returns.setdefault(lease.victim_shard, []).append(lease)
+            return
         victim = self.workers[lease.victim_shard]
         flushed = victim.end_lease(lease, now)
         for flow_id in lease.flow_ids:
@@ -1031,10 +1174,17 @@ class ShardedRuntime:
             if flow_id < 0 or pending_col[slot] > 0:
                 continue
             examined += 1
+            home = home_col[slot]
+            if home < 0:
+                # A crash recovery re-homed this flow with nothing in
+                # flight: no shard holds state for it, reclaim directly.
+                flows.remove(flow_id)
+                forget(flow_id)
+                stats.gc_reclaimed += 1
             # Mid-lease the flow's pacing state lives inside the lease, not
             # on its shard, so the "no live pacing state" probe would
             # misfire and orphan the state the lease hands back — skip.
-            if loan_shard(flow_id) is None and workers[home_col[slot]].gc_flow(
+            elif loan_shard(flow_id) is None and workers[home].gc_flow(
                 flow_id, now_ns
             ):
                 flows.remove(flow_id)
@@ -1066,6 +1216,243 @@ class ShardedRuntime:
         # Keep sweeping only while traffic is in flight; submit() re-arms.
         if any(worker.pending for worker in self.workers):
             self._arm_rebalance()
+
+    # -- fault injection and supervision -----------------------------------
+
+    def _inject_shard_fault(self, shard: int, action: str, now: int) -> None:
+        """Arm one shard fault (fires from the victim's own tick).
+
+        A crash marks the shard dead — its tick chain stops, wakes are
+        suppressed, and its private state sits untouched until the
+        supervision sweep performs the restart (detection latency is part of
+        the modelled recovery time).  A stall just freezes the tick chain.
+        """
+        if action == "shard_crash":
+            self._dead[shard] = now
+            self.fault_stats.crashes_injected += 1
+        else:
+            self._stalled[shard] = now
+            self.fault_stats.stalls_injected += 1
+        self._arm_supervision()
+
+    def _arm_supervision(self) -> None:
+        """Guarantee a supervision sweep within one supervise interval.
+
+        Armed only at fault-injection sites and lease grants (when a lease
+        deadline is configured) — a clean runtime never schedules one.
+        """
+        handle = self._supervise_handle
+        if handle is not None and handle.active:
+            return
+        self._supervise_handle = self.simulator.schedule(
+            self.supervise_interval_ns, self._supervise_tick
+        )
+
+    def _supervise_tick(self) -> None:
+        """One supervision sweep: restart the dead, unfreeze the stuck.
+
+        Detection is structural, not heartbeat-guesswork: a healthy shard
+        with queued or mailbox work *always* has a tick timer armed (the
+        self-perpetuating tick chain), so "work pending and no timer" is a
+        precise liveness predicate — deadline-sleeping shards keep their
+        far-off timer and never false-positive.  Re-arms itself only while
+        unresolved failures (or open leases under a deadline) remain; future
+        faults re-arm at their injection sites, so a plan entry beyond the
+        run's horizon can never keep the event loop alive.
+        """
+        self._supervise_handle = None
+        now = self.simulator.now_ns
+        stats = self.fault_stats
+        if self._dead:
+            for shard in sorted(self._dead):
+                if shard in self._dead:
+                    self._recover_shard(shard, now)
+        if self.lease_deadline_ns is not None and self._open_leases:
+            deadline = self.lease_deadline_ns
+            overdue = sorted(
+                {
+                    entry[0].thief_shard
+                    for entry in self._open_leases.values()
+                    if now - entry[0].granted_at_ns > deadline
+                }
+            )
+            for thief in overdue:
+                # Escalate-to-restart: a thief sitting on a lease past its
+                # deadline is presumed hung.  Crash it — the standard
+                # recovery reclaims every lease it holds and its victims
+                # resume their deferred flows.
+                stats.deadline_escalations += 1
+                self._dead[thief] = now
+                self._recover_shard(thief, now)
+        for shard, worker in enumerate(self.workers):
+            stalled_at = self._stalled.pop(shard, None) if self._stalled else None
+            handle = self._tick_handles[shard]
+            armed = handle is not None and handle.active
+            has_work = worker.backlog > 0 or len(worker.mailbox) > 0
+            if stalled_at is not None:
+                stats.stalls_cleared += 1
+                stats.recoveries += 1
+                stats.recovery_ns_total += now - stalled_at
+                self.recovery_log.append(
+                    {
+                        "kind": "shard_stall",
+                        "shard": shard,
+                        "failed_at_ns": stalled_at,
+                        "recovered_at_ns": now,
+                    }
+                )
+                if (has_work or self._loan_inbox[shard]) and not armed:
+                    self._wake_shard(shard)
+            elif has_work and not armed:
+                # Liveness belt for failure modes no flag marked.
+                stats.watchdog_kicks += 1
+                self._wake_shard(shard)
+        if self._wedged:
+            for lane in sorted(self._wedged):
+                wedged_at = self._wedged.pop(lane)
+                stats.wedges_cleared += 1
+                stats.recoveries += 1
+                stats.recovery_ns_total += now - wedged_at
+                self.recovery_log.append(
+                    {
+                        "kind": "ingress_wedge",
+                        "lane": lane,
+                        "failed_at_ns": wedged_at,
+                        "recovered_at_ns": now,
+                    }
+                )
+                if not self.ingress_cores[lane].ring.empty:
+                    self._wake_ingress(lane)
+        if (
+            self._dead
+            or self._stalled
+            or self._wedged
+            or (self.lease_deadline_ns is not None and self._open_leases)
+        ):
+            self._arm_supervision()
+
+    def _recover_shard(self, shard: int, now: int) -> None:
+        """Crash-restart one shard: salvage what survives, account the loss.
+
+        Ordering matters:
+
+        1. snapshot the dead incarnation's counters *before* dumping its
+           state (the dump drains the queue through its own stats);
+        2. reclaim every lease the dead shard held as thief — each victim
+           re-adopts its travelled shapers and flushes its deferred flows;
+           stolen packets still queued on the thief die in step 3, and a
+           lease that never left the handoff inbox loses its whole burst;
+        3. dump the core-private state: queued and lease-deferred packets
+           are the crash loss, written off against the flow table;
+        4. build the replacement and transplant what survives — the mailbox
+           *object* (a producer-owned ring whose buffered arrivals replay
+           into the fresh worker, keeping the ingress ``on_low`` wiring and
+           stats continuity), open-loan markers for flows this shard had
+           lent out, banked lease returns that arrived while it lay dead,
+           and pacing state of flows that still have packets in flight here
+           (:meth:`PacingTable.detach` → ``install``);
+        5. flows homed here with nothing in flight re-home lazily: the home
+           clears, the next packet routes by policy, and the re-armed
+           rebalancer re-pins from fresh load figures.
+        """
+        crashed_at = self._dead.pop(shard)
+        old = self.workers[shard]
+        stats = self.fault_stats
+        self._retired_shards.setdefault(shard, []).append(
+            _RetiredShard(
+                stats=old.stats.snapshot(),
+                queue_stats=old.queue_stats_snapshot(),
+                steals=old.steal.snapshot(),
+                cycles=old.cost.total_cycles,
+            )
+        )
+        lookup = self.flows.lookup
+        pending_col = self._pending
+
+        def write_off(packets) -> None:
+            for packet in packets:
+                slot = lookup(packet.flow_id)
+                if slot >= 0:
+                    pending = pending_col[slot] - 1
+                    pending_col[slot] = pending if pending > 0 else 0
+            stats.packets_lost += len(packets)
+
+        inbox_ids = {lease.lease_id for lease in self._loan_inbox[shard]}
+        self._loan_inbox[shard] = []
+        reclaim = [
+            lease_id
+            for lease_id, entry in self._open_leases.items()
+            if entry[0].thief_shard == shard
+        ]
+        for lease_id in reclaim:
+            lease, _remaining = self._open_leases.pop(lease_id)
+            stats.leases_reclaimed += 1
+            if lease_id in inbox_ids:
+                # Granted but never accepted: the burst died in the handoff.
+                write_off([packet for _send_at, packet in lease.packets])
+            if self._dead and lease.victim_shard in self._dead:
+                # The victim crashed in the same sweep and is not yet
+                # rebuilt: bank the return for its own recovery pass.
+                self._orphan_returns.setdefault(lease.victim_shard, []).append(lease)
+                continue
+            victim = self.workers[lease.victim_shard]
+            flushed = victim.end_lease(lease, now)
+            for flow_id in lease.flow_ids:
+                self.sharder.restore(flow_id)
+            self._deliver(flushed, now)
+            if victim.pending:
+                self._wake_shard(lease.victim_shard)
+        lost, loaned = old.crash_dump()
+        write_off(lost)
+        mailbox = old.mailbox
+        stats.packets_salvaged += len(mailbox)
+        fresh = ShardWorker(shard, **self._worker_config)
+        # Same object, not a copy: self._mailboxes[shard] and the ingress
+        # on_low wiring keep pointing at it, and its stats run on.
+        fresh.mailbox = mailbox
+        for lease in self._orphan_returns.pop(shard, ()):
+            # Leases that came back while this shard lay dead: re-adopt the
+            # travelled shapers; the deferred work died in the dump above.
+            for flow_id, shaper in lease.shapers.items():
+                fresh.adopt_shaper(flow_id, shaper)
+                stats.shapers_recovered += 1
+            for flow_id in lease.flow_ids:
+                loaned.pop(flow_id, None)
+                self.sharder.restore(flow_id)
+        for flow_id, thief in loaned.items():
+            fresh.mark_on_loan(flow_id, thief)
+        home_col = self._home
+        for flow_id, slot in self.flows.items():
+            if home_col[slot] != shard:
+                continue
+            if pending_col[slot] > 0:
+                # Packets survive (mailbox, or out with a thief): the flow
+                # stays homed here and its pacing state rides across.
+                shaper = old.pacing.detach(flow_id)
+                if shaper is not None:
+                    fresh.pacing.install(flow_id, shaper)
+                    stats.shapers_recovered += 1
+            else:
+                home_col[slot] = -1
+                stats.flows_rehomed += 1
+                self.sharder.forget(flow_id)
+        self.workers[shard] = fresh
+        stats.shards_recovered += 1
+        stats.recoveries += 1
+        stats.recovery_ns_total += now - crashed_at
+        self.recovery_log.append(
+            {
+                "kind": "shard_crash",
+                "shard": shard,
+                "failed_at_ns": crashed_at,
+                "recovered_at_ns": now,
+                "packets_lost": len(lost),
+                "packets_salvaged": len(mailbox),
+            }
+        )
+        self._arm_rebalance()
+        if len(mailbox):
+            self._wake_shard(shard)
 
     # -- driving -----------------------------------------------------------
 
@@ -1121,6 +1508,9 @@ class ShardedRuntime:
         if self._rebalance_handle is not None and self._rebalance_handle.active:
             self.simulator.cancel(self._rebalance_handle)
         self._rebalance_handle = None
+        if self._supervise_handle is not None and self._supervise_handle.active:
+            self.simulator.cancel(self._supervise_handle)
+        self._supervise_handle = None
 
     # -- introspection -----------------------------------------------------
 
@@ -1166,6 +1556,12 @@ class ShardedRuntime:
                 for core in self.ingress_cores
                 if core.stalled and not core.ring.empty
             ),
+            "dead_shards": len(self._dead),
+            "stalled_shards": len(self._stalled),
+            "wedged_ingress_cores": len(self._wedged),
+            "orphaned_lease_returns": sum(
+                len(leases) for leases in self._orphan_returns.values()
+            ),
         }
 
     @property
@@ -1174,7 +1570,14 @@ class ShardedRuntime:
         results = self.backend.results if self.backend.parallel else None
         if results is not None:
             return sum(result.stats.transmitted for result in results)
-        return sum(worker.stats.transmitted for worker in self.workers)
+        total = sum(worker.stats.transmitted for worker in self.workers)
+        if self._retired_shards:
+            total += sum(
+                retired.stats.transmitted
+                for retirees in self._retired_shards.values()
+                for retired in retirees
+            )
+        return total
 
     def _shard_telemetry(self) -> List[ShardTelemetry]:
         """Per-shard telemetry rows — live workers, or joined shard results."""
@@ -1195,21 +1598,46 @@ class ShardedRuntime:
                 )
                 for result in results
             ]
-        return [
-            ShardTelemetry(
-                shard_id=worker.shard_id,
-                ingested=worker.stats.ingested,
-                transmitted=worker.stats.transmitted,
-                ticks=worker.stats.ticks,
-                idle_ticks=worker.stats.idle_ticks,
-                backlog_peak=worker.stats.backlog_peak,
-                cycles=worker.cost.total_cycles,
-                queue_stats=worker.queue_stats_snapshot(),
-                mailbox=worker.mailbox.stats,
-                steals=worker.steal.snapshot(),
+        rows = []
+        for worker in self.workers:
+            stats = worker.stats
+            queue_stats = worker.queue_stats_snapshot()
+            steals = worker.steal.snapshot()
+            cycles = worker.cost.total_cycles
+            retirees = (
+                self._retired_shards.get(worker.shard_id)
+                if self._retired_shards
+                else None
             )
-            for worker in self.workers
-        ]
+            if retirees:
+                # Fold the crashed incarnations' final counters back in so
+                # a restart never makes work disappear from telemetry.
+                stats = stats.snapshot()
+                for retired in retirees:
+                    stats.merge(retired.stats)
+                    queue_stats.merge(retired.queue_stats)
+                    steals.merge(retired.steals)
+                    cycles += retired.cycles
+                # merge() sums every field; a peak must take the max.
+                stats.backlog_peak = max(
+                    worker.stats.backlog_peak,
+                    *(retired.stats.backlog_peak for retired in retirees),
+                )
+            rows.append(
+                ShardTelemetry(
+                    shard_id=worker.shard_id,
+                    ingested=stats.ingested,
+                    transmitted=stats.transmitted,
+                    ticks=stats.ticks,
+                    idle_ticks=stats.idle_ticks,
+                    backlog_peak=stats.backlog_peak,
+                    cycles=cycles,
+                    queue_stats=queue_stats,
+                    mailbox=worker.mailbox.stats,
+                    steals=steals,
+                )
+            )
+        return rows
 
     def telemetry(self) -> RuntimeTelemetry:
         """Aggregate per-shard accounting into runtime-level telemetry.
@@ -1250,6 +1678,8 @@ class ShardedRuntime:
             )
             for core in self.ingress_cores
         ]
+        fault_block = self.fault_stats.as_dict()
+        fault_block["recovery_log"] = list(self.recovery_log)
         return RuntimeTelemetry(
             shards=shards,
             queue_stats=QueueStats.aggregate(shard.queue_stats for shard in shards),
@@ -1259,14 +1689,17 @@ class ShardedRuntime:
             ingress_drops=self.ingress_drops,
             migrations_applied=self.migrations_applied,
             rebalance_rounds=self.rebalancer.rounds if self.rebalancer else 0,
-            steals_attempted=sum(worker.steal.requests_posted for worker in self.workers),
-            steals_succeeded=sum(worker.steal.leases_received for worker in self.workers),
-            packets_stolen=sum(worker.steal.packets_stolen for worker in self.workers),
-            steal_cycles=sum(worker.steal.cycles_stolen for worker in self.workers),
+            # Summed over the telemetry rows, not the live workers, so the
+            # counters of crashed incarnations stay included.
+            steals_attempted=sum(shard.steals.requests_posted for shard in shards),
+            steals_succeeded=sum(shard.steals.leases_received for shard in shards),
+            packets_stolen=sum(shard.steals.packets_stolen for shard in shards),
+            steal_cycles=sum(shard.steals.cycles_stolen for shard in shards),
             ingress=ingress,
             max_ingress_cycles=max((core.cycles for core in ingress), default=0.0),
             admission_drops=sum(core.stats.rx_dropped for core in ingress),
             flow_state=flow_state,
+            faults=fault_block,
         )
 
 

@@ -20,25 +20,47 @@ producer/consumer mode, an io_uring SQ ring):
   and a stale read of the opposing cursor is always *conservative*
   (the producer under-estimates free space, the consumer under-estimates
   available bytes);
-* records are ``u32`` length + payload, written with at most two
-  ``memoryview`` copies (wraparound splits a record across the ring edge).
+* records are ``u32`` length + ``u32`` CRC-32 of the payload + payload,
+  written with at most two ``memoryview`` copies (wraparound splits a
+  record across the ring edge).
 
 Capacity is fixed at creation; :meth:`ShmRing.push` returns ``False`` when
 the record does not fit (the producer spins or backs off — policy belongs to
 the caller, exactly as :class:`~repro.runtime.mailbox.Mailbox` leaves drop
 vs. backpressure to the runtime).
+
+Frame integrity: a consumer that races a torn producer write (or maps a
+segment scribbled on by a crashed peer) must never hand garbage bytes to
+``pickle.loads`` — unpickling attacker-shaped or torn data is both a
+correctness and a safety hole.  Every record therefore carries its length
+and a CRC-32 of its payload; :meth:`ShmRing.pop` validates both and raises
+the typed :class:`ShmFrameCorrupt` instead of decoding a torn frame.  The
+head cursor is deliberately *not* advanced past a corrupt frame, so the
+failure is sticky and the supervising side can diagnose or discard the
+whole ring (the process backend restarts the consumer on a fresh ring).
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+import zlib
 from multiprocessing import shared_memory
 from typing import Any, Optional
 
 _CURSORS = struct.Struct("<QQ")  # head (consumer), tail (producer)
-_LENGTH = struct.Struct("<I")
+_FRAME = struct.Struct("<II")  # payload length, CRC-32 of the payload
 HEADER_BYTES = _CURSORS.size
+
+
+class ShmFrameCorrupt(RuntimeError):
+    """A framed record failed its length or CRC-32 validation.
+
+    Raised by :meth:`ShmRing.pop_bytes` / :meth:`ShmRing.pop` instead of
+    returning (or unpickling) torn bytes.  The ring's head cursor is left
+    on the corrupt frame, so repeated pops keep failing — corruption is a
+    transport-level fault the owner must handle, not skippable data.
+    """
 
 
 class ShmRing:
@@ -47,7 +69,7 @@ class ShmRing:
     Args:
         capacity: payload bytes the ring can hold (excluding the cursor
             header).  Must comfortably exceed the largest single record:
-            a record of ``capacity - 4`` bytes is the hard limit.
+            a record of ``capacity - 8`` bytes is the hard limit.
         name: attach to an existing ring by shared-memory name; ``None``
             creates a fresh segment.
 
@@ -56,12 +78,12 @@ class ShmRing:
     attacher only :meth:`close`\\ s.
     """
 
-    __slots__ = ("capacity", "_shm", "_buf", "_data", "_owner")
+    __slots__ = ("capacity", "_shm", "_buf", "_data", "_owner", "_last_record")
 
     def __init__(self, capacity: int = 1 << 20, name: Optional[str] = None) -> None:
         if name is None:
-            if capacity <= _LENGTH.size:
-                raise ValueError("capacity must exceed the 4-byte record header")
+            if capacity <= _FRAME.size:
+                raise ValueError("capacity must exceed the 8-byte record header")
             self._shm = shared_memory.SharedMemory(
                 create=True, size=HEADER_BYTES + capacity
             )
@@ -81,6 +103,7 @@ class ShmRing:
             # owner's registration and make unlink() race the tracker).
         self._buf = self._shm.buf
         self._data = self._shm.buf[HEADER_BYTES:]
+        self._last_record: Optional[tuple[int, int]] = None
 
     # -- cursor access -----------------------------------------------------
 
@@ -129,9 +152,8 @@ class ShmRing:
 
     # -- producer side -----------------------------------------------------
 
-    def push_bytes(self, payload: bytes) -> bool:
-        """Write one framed record; False when it does not fit right now."""
-        needed = _LENGTH.size + len(payload)
+    def _push_framed(self, payload: bytes, crc: int) -> bool:
+        needed = _FRAME.size + len(payload)
         if needed > self.capacity:
             raise ValueError(
                 f"record of {len(payload)} bytes exceeds ring capacity {self.capacity}"
@@ -139,25 +161,72 @@ class ShmRing:
         head, tail = self._cursors()
         if needed > self.capacity - (tail - head):
             return False
-        self._write(tail, _LENGTH.pack(len(payload)))
-        self._write(tail + _LENGTH.size, payload)
+        self._write(tail, _FRAME.pack(len(payload), crc))
+        self._write(tail + _FRAME.size, payload)
         self._set_tail(tail + needed)
+        self._last_record = (tail + _FRAME.size, len(payload))
         return True
+
+    def push_bytes(self, payload: bytes) -> bool:
+        """Write one framed record; False when it does not fit right now."""
+        return self._push_framed(payload, zlib.crc32(payload))
 
     def push(self, record: Any) -> bool:
         """Pickle and write one record; False when the ring is full."""
         return self.push_bytes(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
 
+    def push_corrupted(self, record: Any) -> bool:
+        """Write one record whose stored CRC is deliberately wrong.
+
+        Race-free fault injection for a *live* consumer: the bad CRC is in
+        place before the tail cursor makes the record visible, so the
+        consumer's pop deterministically raises :class:`ShmFrameCorrupt`
+        (unlike :meth:`corrupt_last_record`, which mutates bytes the consumer
+        may already have read).  Producer side only, like :meth:`push`.
+        """
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        return self._push_framed(payload, zlib.crc32(payload) ^ 0xFFFFFFFF)
+
     # -- consumer side -----------------------------------------------------
 
+    def corrupt_last_record(self) -> None:
+        """Flip one payload byte of the most recently pushed record.
+
+        Producer-side fault injection for torn-frame testing: the consumer's
+        next :meth:`pop` of that record fails its CRC check and raises
+        :class:`ShmFrameCorrupt`.  Only meaningful while the record is still
+        unread (the cursor maths does not check).
+        """
+        if self._last_record is None:
+            raise RuntimeError("no record has been pushed yet")
+        offset, length = self._last_record
+        start = offset % self.capacity
+        self._data[start] = self._data[start] ^ 0xFF
+
     def pop_bytes(self) -> Optional[bytes]:
-        """Read one framed record, or ``None`` when the ring is empty."""
+        """Read one framed record, or ``None`` when the ring is empty.
+
+        Raises :class:`ShmFrameCorrupt` — without advancing the head cursor
+        — when the frame's length field is torn or the payload fails its
+        CRC-32, so torn bytes never reach the unpickler.
+        """
         head, tail = self._cursors()
-        if tail - head < _LENGTH.size:
+        if tail - head < _FRAME.size:
             return None
-        (length,) = _LENGTH.unpack(self._read(head, _LENGTH.size))
-        payload = self._read(head + _LENGTH.size, length)
-        self._set_head(head + _LENGTH.size + length)
+        length, crc = _FRAME.unpack(self._read(head, _FRAME.size))
+        if length > self.capacity - _FRAME.size or _FRAME.size + length > tail - head:
+            raise ShmFrameCorrupt(
+                f"torn frame header: claimed {length} payload bytes with "
+                f"{tail - head} readable in a ring of capacity {self.capacity}"
+            )
+        payload = self._read(head + _FRAME.size, length)
+        actual = zlib.crc32(payload)
+        if actual != crc:
+            raise ShmFrameCorrupt(
+                f"frame CRC mismatch: header says {crc:#010x}, payload hashes "
+                f"to {actual:#010x} ({length} bytes at ring offset {head % self.capacity})"
+            )
+        self._set_head(head + _FRAME.size + length)
         return payload
 
     def pop(self) -> Any:
@@ -174,7 +243,9 @@ class ShmRing:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Detach this process's mapping (both sides must call this)."""
+        """Detach this process's mapping (both sides must call this; idempotent)."""
+        if self._data is None:
+            return
         # Release exported memoryviews before closing the mapping, or the
         # SharedMemory destructor raises BufferError.
         self._data.release()
@@ -205,4 +276,4 @@ class RingEmpty:
 
 RING_EMPTY = RingEmpty()
 
-__all__ = ["HEADER_BYTES", "RING_EMPTY", "RingEmpty", "ShmRing"]
+__all__ = ["HEADER_BYTES", "RING_EMPTY", "RingEmpty", "ShmFrameCorrupt", "ShmRing"]

@@ -448,6 +448,43 @@ class ShardWorker:
         assert self._leases_held > 0
         self._leases_held -= 1
 
+    # -- crash surface (fault injection / recovery) -------------------------
+
+    def mark_on_loan(self, flow_id: int, thief_shard: int) -> None:
+        """Transplant donor state onto a restarted incarnation of a victim.
+
+        When a shard crashes while one of its flows is out on lease, the
+        replacement worker must keep deferring that flow's drains and
+        arrivals until the thief returns the lease — otherwise the handoff's
+        per-flow FIFO guarantee dies with the old worker object.
+        """
+        self._on_loan[flow_id] = thief_shard
+
+    def crash_dump(self) -> tuple[List[Packet], Dict[int, int]]:
+        """Model a core crash: surrender private state, return the wreckage.
+
+        Returns ``(lost_packets, loaned_flows)``: every packet held in the
+        core-private timestamp queue and lease-deferral buffers (lost — a
+        real core's cache-resident scheduler state does not survive), plus
+        the on-loan map the supervisor transplants onto the replacement via
+        :meth:`mark_on_loan`.  The mailbox is deliberately untouched: it
+        models a shared-memory ring owned by the producer side, so buffered
+        arrivals survive the consumer's death and replay into the restarted
+        worker.  No cycle costs are charged — a dead core does no work.
+        """
+        lost: List[Packet] = [packet for _send_at, packet in self.queue.extract_all()]
+        for deferred in self._deferred_due.values():
+            lost.extend(deferred)
+        for arrivals in self._deferred_ingest.values():
+            lost.extend(arrivals)
+        loaned = dict(self._on_loan)
+        self._deferred_due.clear()
+        self._deferred_ingest.clear()
+        self._deferred_count = 0
+        self._on_loan.clear()
+        self._backlog = 0
+        return lost, loaned
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -68,6 +68,18 @@ hash) via :func:`derive_seed`.
     "thread"; parallel backends reject stealing / rebalancing / ingress
     cores at validation time).
 
+``[faults]``
+    Deterministic fault injection (runtime kind, simulated backend only).
+    ``kinds`` (array of "shard_crash" | "shard_stall" | "handoff_drop" |
+    "ingress_wedge"; empty = disarmed; "ingress_wedge" needs
+    ``ingress.cores >= 1``), ``events`` (1), ``max_tick`` (32),
+    ``max_handoff_drops`` (4), ``lease_deadline_ns`` ("none"),
+    ``supervise_interval_ns`` ("none" = twice the runtime quantum).  The
+    compiler draws the fault schedule from ``derive_seed(seed, "faults")``,
+    so the scenario seed pins faults exactly as it pins the workload;
+    injected losses are counted drops, keeping the conservation assertion
+    meaningful under failure.
+
 ``[assertions]``
     The invariant net: ``conservation``, ``per_flow_fifo``,
     ``no_stranded_state`` (all true).  Optional bounds (``"none"`` = off):
@@ -100,6 +112,7 @@ from .serialize import dump_toml, dump_toml_file, load_toml, load_toml_file
 from .spec import (
     ADMISSION_NAMES,
     BACKEND_NAMES,
+    FAULT_KIND_NAMES,
     KINDS,
     PATTERN_NAMES,
     QUEUE_NAMES,
@@ -108,6 +121,7 @@ from .spec import (
     WORKLOAD_NAMES,
     AssertionSpec,
     BackendIncompatibleError,
+    FaultsSpec,
     IngressSpec,
     MalformedSpecError,
     OversubscribedError,
@@ -128,6 +142,8 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendIncompatibleError",
     "CompiledScenario",
+    "FAULT_KIND_NAMES",
+    "FaultsSpec",
     "IngressSpec",
     "KINDS",
     "MalformedSpecError",

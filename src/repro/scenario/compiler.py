@@ -171,9 +171,21 @@ def _queue_factory_for(name: str) -> Callable:
 def _build_runtime(spec: ScenarioSpec):
     """Instantiate the ShardedRuntime and traffic source a spec describes."""
     from ..runtime import ShardedRuntime
+    from ..runtime.faults import FaultPlan
     from ..runtime.sharder import FlowSharder
     from ..traffic import OpenLoopBurstSource, ZipfFlowSampler
 
+    fault_plan = None
+    if spec.faults.kinds:
+        fault_plan = FaultPlan.from_seed(
+            derive_seed(spec.seed, "faults"),
+            num_shards=spec.runtime.shards,
+            kinds=spec.faults.kinds,
+            events=spec.faults.events,
+            max_tick=spec.faults.max_tick,
+            max_handoff_drops=spec.faults.max_handoff_drops,
+            ingress_lanes=spec.ingress.cores,
+        )
     sharder = FlowSharder(
         spec.runtime.shards,
         policy=spec.runtime.sharding,
@@ -204,6 +216,9 @@ def _build_runtime(spec: ScenarioSpec):
         gc_interval_packets=spec.runtime.gc_interval_packets,
         gc_sweep_limit=spec.runtime.gc_sweep_limit,
         backend=spec.runtime.backend,
+        fault_plan=fault_plan,
+        lease_deadline_ns=spec.faults.lease_deadline_ns,
+        supervise_interval_ns=spec.faults.supervise_interval_ns,
         record_transmits=True,
     )
     if spec.traffic.pattern == "zipf":
@@ -246,7 +261,15 @@ def _run_runtime(compiled: CompiledScenario) -> ScenarioResult:
     telemetry = runtime.telemetry()
     result.telemetry = telemetry
     result.transmitted = telemetry.transmitted
-    result.dropped = telemetry.ingress_drops + telemetry.admission_drops
+    # Injected handoff drops and crash-lost packets are accounted drops:
+    # conservation holds under faults because every packet is either
+    # delivered or attributed to a counted loss.
+    result.dropped = (
+        telemetry.ingress_drops
+        + telemetry.admission_drops
+        + telemetry.faults.get("handoff_drops", 0)
+        + telemetry.faults.get("packets_lost", 0)
+    )
     result.residual = runtime.residual_state()
     result.failures = _evaluate_runtime_assertions(spec, result)
     return result

@@ -17,11 +17,13 @@ somewhere without Hypothesis) stays dependency-free.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from .spec import (
     QUEUE_NAMES,
     AssertionSpec,
+    FaultsSpec,
     IngressSpec,
     PolicyTreeSpec,
     RuntimeSpec,
@@ -131,6 +133,56 @@ def scenario_specs(max_shards: int = 4, max_ingress_cores: int = 2):
     return _spec()
 
 
+def chaos_scenario_specs(max_shards: int = 4, max_ingress_cores: int = 2):
+    """Strategy drawing random valid specs with a random ``[faults]`` block.
+
+    Composes :func:`scenario_specs` — every configuration axis the plain
+    fuzz suite covers — with a seeded fault schedule: shard crashes, stalls,
+    handoff drops, and (when the base spec drew ingress cores) ingress
+    wedges, plus the optional lease-deadline and supervision-interval
+    watchdog knobs.  The runtime-wide invariant net must hold through
+    injection *and* recovery: every packet delivered or attributed to a
+    counted loss, per-flow FIFO for re-homed flows, no stranded state after
+    drain.  Validity stays constructive (``ingress_wedge`` is only drawn
+    when the base spec has RX cores), so shrinking never leaves the valid
+    region.
+    """
+    import hypothesis.strategies as st
+
+    @st.composite
+    def _spec(draw) -> ScenarioSpec:
+        base = draw(scenario_specs(max_shards, max_ingress_cores))
+        kind_pool = ["shard_crash", "shard_stall", "handoff_drop"]
+        if base.ingress.cores > 0:
+            kind_pool.append("ingress_wedge")
+        kinds = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(kind_pool), min_size=1, max_size=3, unique=True
+                )
+            )
+        )
+        faults = FaultsSpec(
+            kinds=kinds,
+            events=draw(st.integers(min_value=1, max_value=4)),
+            max_tick=draw(st.sampled_from((4, 16, 64))),
+            max_handoff_drops=draw(st.integers(min_value=1, max_value=8)),
+            lease_deadline_ns=(
+                draw(st.sampled_from((200_000, 2_000_000)))
+                if base.runtime.stealing and draw(st.booleans())
+                else None
+            ),
+            supervise_interval_ns=draw(
+                st.one_of(st.none(), st.sampled_from((100_000, 500_000)))
+            ),
+        )
+        return validate(
+            dataclasses.replace(base, name=f"chaos-{base.seed:08x}", faults=faults)
+        )
+
+    return _spec()
+
+
 def parallel_backend_specs(max_shards: int = 4):
     """Strategy for specs on the ``process``/``thread`` backends.
 
@@ -167,6 +219,7 @@ def parallel_backend_specs(max_shards: int = 4):
 __all__ = [
     "MAX_FUZZ_FLOWS",
     "MAX_FUZZ_PACKETS",
+    "chaos_scenario_specs",
     "parallel_backend_specs",
     "scenario_specs",
 ]

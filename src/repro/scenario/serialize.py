@@ -38,6 +38,7 @@ from typing import Any, Optional, Tuple, Union
 
 from .spec import (
     AssertionSpec,
+    FaultsSpec,
     IngressSpec,
     MalformedSpecError,
     PolicyTreeSpec,
@@ -56,6 +57,7 @@ SECTIONS = {
     "traffic": TrafficSpec,
     "ingress": IngressSpec,
     "runtime": RuntimeSpec,
+    "faults": FaultsSpec,
     "assertions": AssertionSpec,
 }
 

@@ -54,6 +54,11 @@ WORKLOAD_NAMES = ("websearch", "datamining")
 #: Flow-sampling patterns of the open-loop runtime traffic source.
 PATTERN_NAMES = ("round_robin", "zipf")
 
+#: Fault kinds a scenario may arm (the simulated runtime's seams; mirrors
+#: :data:`repro.runtime.faults.RUNTIME_FAULT_KINDS` — kept local so the spec
+#: layer stays import-light).
+FAULT_KIND_NAMES = ("shard_crash", "shard_stall", "handoff_drop", "ingress_wedge")
+
 
 # -- typed rejection ---------------------------------------------------------
 
@@ -211,6 +216,30 @@ class RuntimeSpec:
 
 
 @dataclass(frozen=True)
+class FaultsSpec:
+    """Deterministic fault injection (runtime kind, simulated backend only).
+
+    ``kinds`` empty (the default) leaves the scenario fault-free — the
+    runtime's injection hooks stay disarmed and cost nothing.  With kinds,
+    the compiler draws ``events`` random faults from
+    ``derive_seed(seed, "faults")`` via
+    :meth:`~repro.runtime.faults.FaultPlan.from_seed`, so the scenario seed
+    pins the fault schedule exactly as it pins the workload.  The optional
+    watchdog knobs tune the recovery side: ``lease_deadline_ns`` bounds how
+    long a stolen :class:`~repro.runtime.stealing.FlowLease` may stay out
+    before the supervisor escalates, ``supervise_interval_ns`` the sweep
+    period (default: twice the runtime quantum).
+    """
+
+    kinds: Tuple[str, ...] = ()
+    events: int = 1
+    max_tick: int = 32
+    max_handoff_drops: int = 4
+    lease_deadline_ns: Optional[int] = None
+    supervise_interval_ns: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class AssertionSpec:
     """Declarative assertion blocks evaluated against the finished run.
 
@@ -255,6 +284,7 @@ class ScenarioSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     ingress: IngressSpec = field(default_factory=IngressSpec)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
     assertions: AssertionSpec = field(default_factory=AssertionSpec)
 
 
@@ -373,6 +403,26 @@ def _validate_runtime(spec: ScenarioSpec) -> None:
                 "ingress.backpressure",
             )
 
+    # Fault injection: kinds must resolve, trigger bounds must be sane, and
+    # a wedge fault needs an ingress lane to wedge.
+    seen_kinds = set()
+    for kind in spec.faults.kinds:
+        _require_name(kind, FAULT_KIND_NAMES, "faults.kinds")
+        if kind in seen_kinds:
+            raise MalformedSpecError("faults.kinds", f"kind {kind!r} listed twice")
+        seen_kinds.add(kind)
+    _require_positive(spec.faults.events, "faults.events")
+    _require_positive(spec.faults.max_tick, "faults.max_tick")
+    _require_positive(spec.faults.max_handoff_drops, "faults.max_handoff_drops")
+    _require_positive(spec.faults.lease_deadline_ns, "faults.lease_deadline_ns")
+    _require_positive(spec.faults.supervise_interval_ns, "faults.supervise_interval_ns")
+    if "ingress_wedge" in spec.faults.kinds and spec.ingress.cores == 0:
+        raise UnknownNameError(
+            "faults.kinds",
+            "'ingress_wedge' needs ingress.cores >= 1 "
+            "(with no RX cores there is no ring pull to wedge)",
+        )
+
     # Parallel backends need statically decomposable shards: every knob that
     # coordinates across shards at runtime is rejected with its own field.
     if spec.runtime.backend in ("process", "thread"):
@@ -397,6 +447,17 @@ def _validate_runtime(spec: ScenarioSpec) -> None:
                 f"ingress cores hand off to shard mailboxes on a shared "
                 f"clock, which the {backend!r} backend does not have; set "
                 "ingress.cores = 0 or use backend='simulated'",
+            )
+        if (
+            spec.faults.kinds
+            or spec.faults.lease_deadline_ns is not None
+            or spec.faults.supervise_interval_ns is not None
+        ):
+            raise BackendIncompatibleError(
+                "faults.kinds",
+                f"fault injection and supervision run on the shared simulated "
+                f"clock, which the {backend!r} backend does not have; clear "
+                "the [faults] block or use backend='simulated'",
             )
 
 
@@ -476,6 +537,12 @@ def validate(spec: ScenarioSpec) -> ScenarioSpec:
     if isinstance(spec.seed, bool) or not isinstance(spec.seed, int):
         raise MalformedSpecError("seed", f"must be an integer, got {spec.seed!r}")
     _require_name(spec.topology.kind, KINDS, "topology.kind")
+    if spec.topology.kind != "runtime" and spec.faults != FaultsSpec():
+        raise MalformedSpecError(
+            "faults",
+            f"fault injection applies only to runtime-kind scenarios "
+            f"(topology.kind = {spec.topology.kind!r})",
+        )
     if spec.topology.kind == "runtime":
         _validate_runtime(spec)
     elif spec.topology.kind == "fabric":
@@ -504,6 +571,8 @@ __all__ = [
     "AssertionSpec",
     "BACKEND_NAMES",
     "BackendIncompatibleError",
+    "FAULT_KIND_NAMES",
+    "FaultsSpec",
     "IngressSpec",
     "KINDS",
     "MalformedSpecError",

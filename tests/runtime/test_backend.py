@@ -28,7 +28,7 @@ from repro.runtime import (
     free_threaded,
 )
 from repro.runtime.backend import resolve_backend
-from repro.runtime.shm import RING_EMPTY, ShmRing
+from repro.runtime.shm import RING_EMPTY, ShmFrameCorrupt, ShmRing
 from repro.netsim.simulator import Simulator
 
 RATE_BPS = 1e9
@@ -78,7 +78,7 @@ class TestShmRing:
     def test_full_ring_rejects_then_recovers(self):
         ring = ShmRing(capacity=64)
         try:
-            payload = b"x" * 28  # 32 bytes framed; two fit, the third not
+            payload = b"x" * 24  # 32 bytes framed; two fit, the third not
             assert ring.push_bytes(payload)
             assert ring.push_bytes(payload)
             assert not ring.push_bytes(payload)
@@ -138,6 +138,42 @@ class TestShmRing:
     def test_capacity_must_exceed_frame_header(self):
         with pytest.raises(ValueError):
             ShmRing(capacity=4)
+
+    def test_corrupted_payload_raises_and_sticks(self):
+        ring = ShmRing(capacity=256)
+        try:
+            assert ring.push({"flow": 3})
+            ring.corrupt_last_record()
+            with pytest.raises(ShmFrameCorrupt, match="frame CRC mismatch"):
+                ring.pop()
+            # The head cursor did not advance past the poisoned frame: the
+            # fault is sticky, never silently skipped.
+            with pytest.raises(ShmFrameCorrupt, match="frame CRC mismatch"):
+                ring.pop()
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_push_corrupted_writes_a_bad_crc(self):
+        ring = ShmRing(capacity=256)
+        try:
+            assert ring.push_corrupted({"flow": 9})
+            with pytest.raises(ShmFrameCorrupt, match="frame CRC mismatch"):
+                ring.pop()
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_torn_length_header_raises(self):
+        ring = ShmRing(capacity=256)
+        try:
+            assert ring.push_bytes(b"abc")
+            ring._data[0] = 0xFF  # scribble over the low length byte
+            with pytest.raises(ShmFrameCorrupt, match="torn frame header"):
+                ring.pop_bytes()
+        finally:
+            ring.close()
+            ring.unlink()
 
 
 class TestBackendResolution:

@@ -1,0 +1,87 @@
+"""Chaos fuzzing: random valid specs × random fault schedules.
+
+The fault plane's payoff mirrors the scenario layer's: a fault schedule is
+now *data* inside the spec, so Hypothesis can compose random whole-system
+configurations with random failures — shard crashes, stalls, handoff drops,
+ingress wedges, watchdog deadlines — and every drawn scenario must still
+uphold the runtime-wide invariant net *through injection and recovery*:
+
+* **packet conservation** — transmitted + dropped == offered, where
+  injected losses (crash casualties, dropped handoffs) are counted drops;
+* **per-flow FIFO** — a crash may lose a packet of a re-homed flow, never
+  reorder one;
+* **no stranded state** — after drain and recovery: no orphaned lease,
+  mailbox entry, ring slot, or flow-table loan.
+
+``SCENARIO_FUZZ_EXAMPLES`` caps the example count (CI's chaos smoke sets a
+small cap; every example runs a full workload plus recovery).
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.scenario import ScenarioAssertionError, compile_scenario, run_scenario
+from repro.scenario.fuzz import chaos_scenario_specs
+
+MAX_EXAMPLES = int(os.environ.get("SCENARIO_FUZZ_EXAMPLES", "25"))
+
+FUZZ_SETTINGS = dict(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**FUZZ_SETTINGS)
+@given(spec=chaos_scenario_specs())
+def test_random_faulty_scenarios_uphold_runtime_invariants(spec):
+    result = run_scenario(spec, check=False)
+    if result.failures:
+        raise ScenarioAssertionError(spec.name, result.failures)
+    assert result.offered == spec.traffic.total_packets
+    # An armed plan must actually be armed — the compiler wired it through.
+    assert spec.faults.kinds
+
+
+def _normalized_ledgers(result):
+    """Re-key packet ids as per-run offer ordinals (ids are process-global)."""
+    ordinal = {
+        packet_id: index
+        for index, packet_id in enumerate(
+            pid for ids in result.offered_by_flow.values() for pid in ids
+        )
+    }
+    offered = {
+        flow: [ordinal[pid] for pid in ids]
+        for flow, ids in result.offered_by_flow.items()
+    }
+    delivered = {
+        flow: [ordinal[pid] for pid in ids]
+        for flow, ids in result.delivered_by_flow.items()
+    }
+    return offered, delivered
+
+
+@settings(**FUZZ_SETTINGS)
+@given(spec=chaos_scenario_specs())
+def test_faults_are_deterministic_from_the_seed(spec):
+    """One seed pins workload *and* failure schedule: chaos replays exactly."""
+    first = run_scenario(spec, check=False)
+    second = run_scenario(spec, check=False)
+    assert _normalized_ledgers(first) == _normalized_ledgers(second)
+    assert first.transmitted == second.transmitted
+    assert first.dropped == second.dropped
+    assert (
+        first.telemetry.faults == second.telemetry.faults
+    ), "fault/recovery telemetry must replay with the seed"
+
+
+def test_chaos_strategy_only_generates_valid_specs():
+    """Compiling (not just validating) a shrunk draw must never raise."""
+    from hypothesis import find
+
+    spec = find(chaos_scenario_specs(), lambda _spec: True)
+    compiled = compile_scenario(spec)
+    assert compiled.spec is spec
+    assert spec.faults.kinds
