@@ -46,7 +46,6 @@ import random
 import time
 import tracemalloc
 
-from repro.analysis import percentile
 from repro.core.model import Packet
 from repro.core.model.transactions import RateLimit, ShapingTransaction
 from repro.cpu import CpuMeter
@@ -184,7 +183,6 @@ def drive_ingress(admission, overload_factor=2.0, num_packets=8_000):
         rx_ring_capacity=256,
         mailbox_capacity=96,
         shard_backlog_limit=64,
-        record_ingress_sojourns=True,
         record_transmits=False,
     )
     capacity_pps = flows * rate_bps / (1500 * 8)
@@ -199,8 +197,8 @@ def drive_ingress(admission, overload_factor=2.0, num_packets=8_000):
         )
     runtime.run()
     telemetry = runtime.telemetry()
-    sojourns = runtime.ingress_cores[0].sojourns
-    p99 = percentile(sojourns, 99) if sojourns else 0
+    # RX sojourns are always recorded into a bounded log2-bucketed histogram.
+    p99 = telemetry.ingress[0].sojourn.quantile(0.99)
     return offered, telemetry, p99
 
 

@@ -74,6 +74,18 @@ instance per core, flows spread across instances by an RSS-style hash:
   :class:`~repro.runtime.backend.ProcessBackend`
   (``benchmarks/bench_faults.py`` measures recovery time and
   packets-at-risk per fault type).
+* :class:`~repro.runtime.observability.LogHistogram` /
+  :class:`~repro.runtime.observability.FlightRecorder` /
+  :class:`~repro.runtime.observability.MetricsTimeline` — the deterministic
+  observability plane: HDR-style log2-bucketed latency histograms at the
+  four waiting seams (RX-ring sojourn, mailbox wait, shard-queue sojourn,
+  end-to-end submit→transmit), a bounded ring-buffer flight recorder
+  capturing virtual-clock events at the runtime's seams with a Chrome
+  trace-event exporter (``ShardedRuntime(tracer=...)``, ``None`` by default
+  and byte-identical disarmed — the fault plane's gating contract), and a
+  periodic gauge sampler exportable as Prometheus text and JSON
+  (``benchmarks/bench_observability.py`` pins the disarmed-equivalence and
+  bounds the armed overhead).
 * :class:`~repro.runtime.adapters.ShardedPortQueue` /
   :class:`~repro.runtime.adapters.MultiQueueQdisc` — multi-queue adapters
   for the netsim and kernel substrates.
@@ -139,6 +151,7 @@ from .ingress import (
     make_admission_factory,
 )
 from .mailbox import Mailbox, MailboxStats
+from .observability import FlightRecorder, LogHistogram, MetricsTimeline
 from .runtime import RuntimeTelemetry, ShardTelemetry, ShardedRuntime
 from .sharder import (
     DEFAULT_HASH_SEED,
@@ -168,6 +181,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultStats",
+    "FlightRecorder",
     "FlowFairDropPolicy",
     "FlowLease",
     "FlowSharder",
@@ -178,8 +192,10 @@ __all__ = [
     "IngressCore",
     "IngressStats",
     "IngressTelemetry",
+    "LogHistogram",
     "Mailbox",
     "MailboxStats",
+    "MetricsTimeline",
     "Migration",
     "MultiQueueQdisc",
     "PROCESS_FAULT_KINDS",

@@ -58,6 +58,7 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .faults import FaultPlan
 from .mailbox import MailboxStats
+from .observability import LogHistogram
 from .shm import RING_EMPTY, ShmFrameCorrupt, ShmRing
 from .worker import ShardWorker, ShardWorkerStats
 from ..core.model.packet import Packet
@@ -127,6 +128,13 @@ class ShardResult:
     #: runtime's ``flow_state`` telemetry block on parallel backends.
     pacing_live_flows: int = 0
     pacing_memory_bytes: int = 0
+    #: Per-seam latency histograms (``None`` unless the runtime armed
+    #: ``latency_histograms``) — merged across shards on join exactly like
+    #: the counter snapshots above (the histogram is picklable through the
+    #: same ``__getstate__`` wire-format discipline).
+    mailbox_wait: Optional[LogHistogram] = None
+    queue_wait: Optional[LogHistogram] = None
+    e2e_latency: Optional[LogHistogram] = None
 
 
 @dataclass
@@ -161,6 +169,7 @@ class ShardClockDriver:
         "transmits",
         "drops",
         "_handle",
+        "_e2e",
     )
 
     def __init__(self, spec: WorkerSpec) -> None:
@@ -170,6 +179,11 @@ class ShardClockDriver:
         self.transmits: List[Tuple[int, Packet]] = []
         self.drops = 0
         self._handle: Optional[EventHandle] = None
+        # The driver plays ShardedRuntime's role for the e2e seam too: one
+        # submit→transmit histogram per shard, merged on join.
+        self._e2e: Optional[LogHistogram] = (
+            LogHistogram() if spec.worker_kwargs.get("latency_histograms") else None
+        )
 
     # -- the arrival side --------------------------------------------------
 
@@ -179,6 +193,12 @@ class ShardClockDriver:
             self.simulator.run(until_ns=when_ns - 1)
         mailbox = self.worker.mailbox
         before = len(mailbox)
+        if self._e2e is not None:
+            # Same stamps ShardedRuntime.submit_batch writes on the shared
+            # clock: arrival instant for both the e2e and the mailbox seam.
+            for packet in packets:
+                packet.metadata["e2e_ns"] = when_ns
+                packet.metadata["mbox_ns"] = when_ns
         taken = mailbox.push_batch(packets)
         self.drops += len(packets) - taken
         if taken or before:
@@ -210,8 +230,13 @@ class ShardClockDriver:
         )
         if released:
             record = self.transmits.append if spec.record_transmits else None
+            e2e = self._e2e
             for packet in released:
                 packet.departure_ns = now
+                if e2e is not None:
+                    submitted_ns = packet.metadata.pop("e2e_ns", None)
+                    if submitted_ns is not None:
+                        e2e.record(now - submitted_ns)
                 if record is not None:
                     record((now, packet))
         next_ns = worker.next_wake_ns(now, spec.quantum_ns)
@@ -237,6 +262,15 @@ class ShardClockDriver:
             events_processed=self.simulator.processed_events,
             pacing_live_flows=len(worker.pacing),
             pacing_memory_bytes=worker.pacing.memory_bytes(),
+            mailbox_wait=(
+                worker.mailbox_wait.snapshot()
+                if worker.mailbox_wait is not None
+                else None
+            ),
+            queue_wait=(
+                worker.queue_wait.snapshot() if worker.queue_wait is not None else None
+            ),
+            e2e_latency=self._e2e.snapshot() if self._e2e is not None else None,
         )
 
 

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .mailbox import Mailbox
+from .observability import LogHistogram
 from ..core.model.packet import Packet
 from ..core.queues.base import CounterStatsMixin
 from ..cpu import CostModel
@@ -64,8 +65,10 @@ class IngressStats(CounterStatsMixin):
     ``delivered`` counts packets accepted by shard mailboxes (equal to
     ``classified`` unless a mailbox overflowed, which backpressure is there
     to prevent).  ``stalled_ticks``/``stall_cycles`` account the pulls cut
-    short by a paused destination — the backpressure pressure gauge — and
-    ``sojourn_sum_ns`` over ``delivered`` gives the mean RX-ring wait.
+    short by a paused destination — the backpressure pressure gauge.  Ring
+    waits live in :attr:`IngressCore.sojourn_hist`, the per-core
+    :class:`~repro.runtime.observability.LogHistogram` of delivered packets'
+    sojourns — the one source of truth for both the mean and the tails.
     """
 
     rx_bursts: int = 0
@@ -78,7 +81,6 @@ class IngressStats(CounterStatsMixin):
     idle_ticks: int = 0
     stalled_ticks: int = 0
     stall_cycles: float = 0.0
-    sojourn_sum_ns: int = 0
 
 
 class RxRing:
@@ -347,8 +349,6 @@ class IngressCore:
         backpressure: honour mailbox watermarks (pause the pull, grow the
             ring) — when False and no admission policy is armed, the ring
             tail-drops at nominal capacity like bare hardware.
-        record_sojourns: keep every delivered packet's ring sojourn in
-            :attr:`sojourns` (benchmarks; the counters always track the sum).
     """
 
     __slots__ = (
@@ -360,8 +360,7 @@ class IngressCore:
         "cost",
         "stats",
         "stalled",
-        "record_sojourns",
-        "sojourns",
+        "sojourn_hist",
     )
 
     def __init__(
@@ -371,7 +370,6 @@ class IngressCore:
         pull_batch: int = 64,
         admission: Optional[AdmissionPolicy] = None,
         backpressure: bool = True,
-        record_sojourns: bool = False,
     ) -> None:
         if pull_batch <= 0:
             raise ValueError("pull_batch must be positive")
@@ -385,8 +383,10 @@ class IngressCore:
         #: True while the last pull stopped on a paused mailbox; the runtime
         #: uses it to wake exactly the stalled cores on the ``on_low`` edge.
         self.stalled = False
-        self.record_sojourns = record_sojourns
-        self.sojourns: List[int] = []
+        #: Ring sojourn of every *delivered* packet — bounded memory where
+        #: the old raw-sample list grew per packet, and the single source of
+        #: truth for both the mean and the tail quantiles.
+        self.sojourn_hist = LogHistogram()
 
     # -- the NIC side ------------------------------------------------------
 
@@ -507,13 +507,13 @@ class IngressCore:
                 sojourn_by_shard[shard].append(now_ns - arrival_ns)
             taken += 1
         delivered = 0
+        record_sojourn = self.sojourn_hist.record
         for shard, group in groups.items():
             cost.charge("lock")  # the cross-core mailbox handoff
             accepted = deliver(shard, group)
             delivered += accepted
-            stats.sojourn_sum_ns += sum(sojourn_by_shard[shard][:accepted])
-            if self.record_sojourns:
-                self.sojourns.extend(sojourn_by_shard[shard][:accepted])
+            for sojourn_ns in sojourn_by_shard[shard][:accepted]:
+                record_sojourn(sojourn_ns)
         stats.classified += taken
         stats.delivered += delivered
         self.stalled = blocked
@@ -555,13 +555,17 @@ class IngressTelemetry:
     cycles: float
     ring_backlog: int
     ring_peak: int
+    sojourn: LogHistogram
 
     @property
     def mean_sojourn_ns(self) -> float:
-        """Mean RX-ring wait of delivered packets (0 when none delivered)."""
-        if self.stats.delivered == 0:
-            return 0.0
-        return self.stats.sojourn_sum_ns / self.stats.delivered
+        """Mean RX-ring wait of delivered packets (0 when none delivered).
+
+        Read from the sojourn histogram — the same samples the quantiles
+        come from, so the mean can no longer drift out of sync with the
+        recorded sojourns when admission drops packets at the ring head.
+        """
+        return self.sojourn.mean
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot."""
@@ -572,6 +576,7 @@ class IngressTelemetry:
             ring_backlog=self.ring_backlog,
             ring_peak=self.ring_peak,
             mean_sojourn_ns=self.mean_sojourn_ns,
+            sojourn=self.sojourn.as_dict(),
         )
         return payload
 

@@ -68,6 +68,7 @@ from .faults import FaultPlan, FaultStats
 from .flowstate import FlowTable
 from .ingress import IngressCore, IngressTelemetry, make_admission_factory
 from .mailbox import MailboxStats
+from .observability import FlightRecorder, GaugeValue, LogHistogram, MetricsTimeline
 from .sharder import FlowSharder, ShardRebalancer
 from .stealing import FlowLease, StealChannel, StealRequest, StealStats, StealTuner
 from .worker import QueueFactory, ShardWorker, ShardWorkerStats
@@ -90,6 +91,8 @@ class _RetiredShard:
     queue_stats: QueueStats
     steals: StealStats
     cycles: float
+    mailbox_wait: Optional[LogHistogram] = None
+    queue_wait: Optional[LogHistogram] = None
 
 
 @dataclass
@@ -161,6 +164,11 @@ class RuntimeTelemetry:
     #: ``recovery_log`` of individual recovery events.  All zeros / empty
     #: when no fault plan was armed.
     faults: dict = field(default_factory=dict)
+    #: Per-seam latency histograms, merged across shards / RX cores:
+    #: ``rx_sojourn`` whenever ingress cores ran, and ``mailbox_wait`` /
+    #: ``queue_sojourn`` / ``e2e`` when the runtime was built with
+    #: ``latency_histograms=True``.  See :mod:`repro.runtime.observability`.
+    latency: Dict[str, LogHistogram] = field(default_factory=dict)
 
     @property
     def imbalance(self) -> float:
@@ -205,6 +213,7 @@ class RuntimeTelemetry:
             "admission_drops": self.admission_drops,
             "flow_state": dict(self.flow_state),
             "faults": dict(self.faults),
+            "latency": {seam: hist.as_dict() for seam, hist in self.latency.items()},
         }
 
 
@@ -287,9 +296,6 @@ class ShardedRuntime:
             thresholds of every shard mailbox; default to ``capacity`` and
             ``capacity // 2`` when ingress cores are configured with a
             bounded ``mailbox_capacity``.
-        record_ingress_sojourns: keep each delivered packet's RX-ring
-            sojourn on its ingress core (benchmarks compute latency
-            percentiles from it; counters always track the sum).
         on_transmit: callback ``(packet, now_ns)`` run for every released
             packet (the NIC side).
         record_transmits: keep ``(now_ns, packet)`` in :attr:`transmit_log`
@@ -341,6 +347,28 @@ class ShardedRuntime:
             quanta — the detection latency of a crash).  The sweep only
             runs while something needs watching; an idle clean runtime
             schedules no supervision events at all.
+        latency_histograms: arm the per-seam latency histograms — mailbox
+            wait (push → ingest), shard-queue sojourn (stamp → drain) and
+            end-to-end submit → transmit, each a
+            :class:`~repro.runtime.observability.LogHistogram` merged into
+            ``telemetry().latency`` (RX-ring sojourn is always measured on
+            the ingress cores).  Works on every backend: per-shard
+            histograms cross the process boundary inside each
+            :class:`~repro.runtime.backend.ShardResult` and merge like
+            counter snapshots.  No modelled cycles are charged either way;
+            disarmed (the default) the hot loops are byte-identical.
+        tracer: optional :class:`~repro.runtime.observability.FlightRecorder`
+            capturing virtual-clock events at the runtime's seams (ingress
+            pull, mailbox handoff, drain batch, lease grant/return,
+            rebalance migration, fault injection/recovery).  Same contract
+            as ``fault_plan``: ``None`` by default, every seam guards on one
+            ``is not None`` check, simulated backend only.
+        metrics_timeline: optional
+            :class:`~repro.runtime.observability.MetricsTimeline` sampling
+            runtime gauges (backlogs, ring depth, cycle accounts, live flow
+            slots, lease state) on its own periodic cadence while work is in
+            flight.  Simulated backend only; disarmed runs schedule no
+            sampling events at all.
     """
 
     def __init__(
@@ -375,7 +403,6 @@ class ShardedRuntime:
         mailbox_low_watermark: Optional[int] = None,
         ingest_per_quantum: Optional[int] = None,
         shard_backlog_limit: Optional[int] = None,
-        record_ingress_sojourns: bool = False,
         on_transmit: Optional[Callable[[Packet, int], None]] = None,
         record_transmits: bool = True,
         gc_interval_packets: Optional[int] = 4096,
@@ -384,6 +411,9 @@ class ShardedRuntime:
         fault_plan: Optional[FaultPlan] = None,
         lease_deadline_ns: Optional[int] = None,
         supervise_interval_ns: Optional[int] = None,
+        latency_histograms: bool = False,
+        tracer: Optional[FlightRecorder] = None,
+        metrics_timeline: Optional[MetricsTimeline] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -450,6 +480,13 @@ class ShardedRuntime:
                 conflicts.append("fault_plan")
             if lease_deadline_ns is not None:
                 conflicts.append("lease_deadline_ns")
+            # The latency histograms do decompose (per-shard, merged like
+            # counter snapshots) — but the tracer and timeline observe the
+            # runtime-global seams, which only the shared clock has.
+            if tracer is not None:
+                conflicts.append("tracer")
+            if metrics_timeline is not None:
+                conflicts.append("metrics_timeline")
             if conflicts:
                 raise ValueError(
                     "parallel backends need statically decomposable shards; "
@@ -500,6 +537,7 @@ class ShardedRuntime:
             mailbox_capacity=mailbox_capacity,
             mailbox_high_watermark=mailbox_high_watermark,
             mailbox_low_watermark=mailbox_low_watermark,
+            latency_histograms=latency_histograms,
         )
         self.workers: List[ShardWorker] = [
             ShardWorker(shard_id, **self._worker_config)
@@ -563,6 +601,18 @@ class ShardedRuntime:
         #: One entry per recovery event (crash restart, stall clear, wedge
         #: clear, deadline escalation) with failure/recovery timestamps.
         self.recovery_log: List[dict] = []
+        # -- the observability plane ----------------------------------------
+        # Same gating discipline as the fault plane: disarmed, the tracer
+        # and timeline are None (one `is not None` guard per seam) and the
+        # latency stamps are never written, so a clean run stays
+        # byte-identical; armed, nothing here charges modelled cycles.
+        self.latency_histograms = latency_histograms
+        self.tracer = tracer
+        self.timeline = metrics_timeline
+        self._e2e: Optional[LogHistogram] = (
+            LogHistogram() if latency_histograms else None
+        )
+        self._timeline_handle: Optional[EventHandle] = None
         # -- the asynchronous ingress layer --------------------------------
         admission_factory = make_admission_factory(admission)
         self.ingress_quantum_ns = (
@@ -575,7 +625,6 @@ class ShardedRuntime:
                 pull_batch=rx_burst,
                 admission=admission_factory() if admission_factory else None,
                 backpressure=ingress_backpressure,
-                record_sojourns=record_ingress_sojourns,
             )
             for core_id in range(ingress_cores)
         ]
@@ -665,6 +714,8 @@ class ShardedRuntime:
         if self.backend.parallel:
             self.backend.submit_at(0, [packet])
             return True
+        if self.timeline is not None:
+            self._arm_timeline()
         if self.ingress_cores:
             return self._offer_ingress([packet]) == 1
         shard = self._route(packet.flow_id)
@@ -672,7 +723,18 @@ class ShardedRuntime:
             # The handoff seam ate the packet before anything committed:
             # no route, no pending count — only the fault ledger sees it.
             self.fault_stats.handoff_drops += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.simulator.now_ns,
+                    f"shard-{shard}",
+                    "fault_inject",
+                    {"kind": "handoff_drop", "count": 1},
+                )
             return False
+        if self.latency_histograms:
+            now = self.simulator.now_ns
+            packet.metadata["e2e_ns"] = now
+            packet.metadata["mbox_ns"] = now
         if not self.workers[shard].mailbox.push(packet):
             self.ingress_drops += 1
             return False
@@ -692,8 +754,15 @@ class ShardedRuntime:
         if self.backend.parallel:
             self.backend.submit_at(0, packets)
             return len(packets)
+        if self.timeline is not None:
+            self._arm_timeline()
         if self.ingress_cores:
             return self._offer_ingress(packets)
+        if self.latency_histograms:
+            now = self.simulator.now_ns
+            for packet in packets:
+                packet.metadata["e2e_ns"] = now
+                packet.metadata["mbox_ns"] = now
         by_shard: Dict[int, List[Packet]] = {}
         get_group = by_shard.get
         route = self._route
@@ -711,6 +780,13 @@ class ShardedRuntime:
                 dropped = faults.take_handoff_drops(shard, len(group))
                 if dropped:
                     self.fault_stats.handoff_drops += dropped
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            self.simulator.now_ns,
+                            f"shard-{shard}",
+                            "fault_inject",
+                            {"kind": "handoff_drop", "count": dropped},
+                        )
                     group = group[dropped:]
                     if not group:
                         continue
@@ -756,6 +832,10 @@ class ShardedRuntime:
         """
         assert self._ingress_sharder is not None
         now = self.simulator.now_ns
+        if self.latency_histograms:
+            # The e2e clock starts at submission — RX-ring wait included.
+            for packet in packets:
+                packet.metadata["e2e_ns"] = now
         if len(self.ingress_cores) == 1:
             groups: Dict[int, List[Packet]] = {0: packets}
         else:
@@ -822,11 +902,22 @@ class ShardedRuntime:
             # landing in the ring until the supervisor un-wedges the lane.
             self._wedged[lane] = now
             self.fault_stats.wedges_injected += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, f"rx-{lane}", "fault_inject", {"kind": "ingress_wedge"}
+                )
             self._arm_supervision()
             return
         if self._wedged and lane in self._wedged:
             return
-        core.pull(now, self._route, self._mailboxes, self._ingress_deliver)
+        delivered = core.pull(now, self._route, self._mailboxes, self._ingress_deliver)
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                f"rx-{lane}",
+                "ingress_pull",
+                {"delivered": delivered, "ring": core.backlog, "stalled": core.stalled},
+            )
         # The wake-up policy lives on the core (next_wake_ns), shared with
         # any backend that drives RX cores on its own clock.  Blocked cores
         # are primarily woken by the mailbox on_low edge; the quantum-cadence
@@ -845,13 +936,31 @@ class ShardedRuntime:
             dropped = self._faults.take_handoff_drops(shard, len(packets))
             if dropped:
                 self.fault_stats.handoff_drops += dropped
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.simulator.now_ns,
+                        f"shard-{shard}",
+                        "fault_inject",
+                        {"kind": "handoff_drop", "count": dropped},
+                    )
                 packets = packets[dropped:]
                 if not packets:
                     return 0
         mailbox = self._mailboxes[shard]
         before = len(mailbox)
+        if self.latency_histograms:
+            now = self.simulator.now_ns
+            for packet in packets:
+                packet.metadata["mbox_ns"] = now
         taken = mailbox.push_batch(packets)
         self.ingress_drops += len(packets) - taken
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.simulator.now_ns,
+                f"shard-{shard}",
+                "mailbox_handoff",
+                {"offered": len(packets), "accepted": taken},
+            )
         for packet in packets[:taken]:
             self._commit_route(packet.flow_id, shard)
         if taken or before:
@@ -928,6 +1037,13 @@ class ShardedRuntime:
         released = worker.tick(
             now, ingest_limit=ingest_limit, drain_limit=self.batch_per_quantum
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                f"shard-{shard}",
+                "drain_batch",
+                {"released": len(released), "backlog": worker.backlog},
+            )
         self._deliver(released, now)
         if self.steal_enabled and self.num_shards > 1:
             self._grant_steals(shard, now)
@@ -948,8 +1064,13 @@ class ShardedRuntime:
         log_append = self.transmit_log.append if self.record_transmits else None
         on_transmit = self.on_transmit
         open_leases = self._open_leases
+        e2e = self._e2e
         for packet in released:
             packet.departure_ns = now
+            if e2e is not None:
+                submitted_ns = packet.metadata.pop("e2e_ns", None)
+                if submitted_ns is not None:
+                    e2e.record(now - submitted_ns)
             flow_id = packet.flow_id
             slot = lookup(flow_id)
             if slot >= 0:
@@ -1032,6 +1153,18 @@ class ShardedRuntime:
                 self.sharder.lend(flow_id, shard)
             self._open_leases[lease.lease_id] = [lease, len(lease.packets)]
             self._loan_inbox[request.thief_shard].append(lease)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now,
+                    f"shard-{shard}",
+                    "lease_grant",
+                    {
+                        "lease_id": lease.lease_id,
+                        "thief": request.thief_shard,
+                        "packets": len(lease.packets),
+                        "flows": len(lease.flow_ids),
+                    },
+                )
             self._wake_shard(request.thief_shard)
             if self.lease_deadline_ns is not None:
                 self._arm_supervision()
@@ -1100,6 +1233,13 @@ class ShardedRuntime:
     def _finish_lease(self, lease: FlowLease, now: int) -> None:
         """The thief released the last stolen packet: return the lease."""
         self.workers[lease.thief_shard].finish_held_lease()
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                f"shard-{lease.thief_shard}",
+                "lease_return",
+                {"lease_id": lease.lease_id, "victim": lease.victim_shard},
+            )
         if self._dead and lease.victim_shard in self._dead:
             # The donor died while its lease was out.  Bank the return for
             # the replacement worker: shapers re-install and the sharder's
@@ -1209,9 +1349,23 @@ class ShardedRuntime:
     def _rebalance_tick(self) -> None:
         assert self.rebalancer is not None
         self._rebalance_handle = None
+        tracer = self.tracer
+        now = self.simulator.now_ns if tracer is not None else 0
         for migration in self.rebalancer.plan():
             # Re-pin now; routing applies it once the flow drains (FIFO).
             self.sharder.pin(migration.flow_id, migration.dst_shard)
+            if tracer is not None:
+                tracer.emit(
+                    now,
+                    "supervisor",
+                    "rebalance_migration",
+                    {
+                        "flow_id": migration.flow_id,
+                        "src": migration.src_shard,
+                        "dst": migration.dst_shard,
+                        "window_packets": migration.window_packets,
+                    },
+                )
         self.sharder.reset_window()
         # Keep sweeping only while traffic is in flight; submit() re-arms.
         if any(worker.pending for worker in self.workers):
@@ -1233,6 +1387,8 @@ class ShardedRuntime:
         else:
             self._stalled[shard] = now
             self.fault_stats.stalls_injected += 1
+        if self.tracer is not None:
+            self.tracer.emit(now, f"shard-{shard}", "fault_inject", {"kind": action})
         self._arm_supervision()
 
     def _arm_supervision(self) -> None:
@@ -1301,6 +1457,13 @@ class ShardedRuntime:
                         "recovered_at_ns": now,
                     }
                 )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "supervisor",
+                        "fault_recover",
+                        {"kind": "shard_stall", "shard": shard, "failed_at_ns": stalled_at},
+                    )
                 if (has_work or self._loan_inbox[shard]) and not armed:
                     self._wake_shard(shard)
             elif has_work and not armed:
@@ -1321,6 +1484,13 @@ class ShardedRuntime:
                         "recovered_at_ns": now,
                     }
                 )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "supervisor",
+                        "fault_recover",
+                        {"kind": "ingress_wedge", "lane": lane, "failed_at_ns": wedged_at},
+                    )
                 if not self.ingress_cores[lane].ring.empty:
                     self._wake_ingress(lane)
         if (
@@ -1364,6 +1534,12 @@ class ShardedRuntime:
                 queue_stats=old.queue_stats_snapshot(),
                 steals=old.steal.snapshot(),
                 cycles=old.cost.total_cycles,
+                mailbox_wait=(
+                    old.mailbox_wait.snapshot() if old.mailbox_wait is not None else None
+                ),
+                queue_wait=(
+                    old.queue_wait.snapshot() if old.queue_wait is not None else None
+                ),
             )
         )
         lookup = self.flows.lookup
@@ -1450,9 +1626,78 @@ class ShardedRuntime:
                 "packets_salvaged": len(mailbox),
             }
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "supervisor",
+                "fault_recover",
+                {
+                    "kind": "shard_crash",
+                    "shard": shard,
+                    "failed_at_ns": crashed_at,
+                    "packets_lost": len(lost),
+                    "packets_salvaged": len(mailbox),
+                },
+            )
         self._arm_rebalance()
         if len(mailbox):
             self._wake_shard(shard)
+
+    # -- metrics timeline --------------------------------------------------
+
+    def _arm_timeline(self) -> None:
+        """Guarantee a timeline sample within one sampling interval.
+
+        Armed lazily from the submit paths (like rebalancing) so an idle
+        runtime with a timeline configured holds no standing timer.
+        """
+        handle = self._timeline_handle
+        if handle is not None and handle.active:
+            return
+        assert self.timeline is not None
+        self._timeline_handle = self.simulator.schedule(
+            self.timeline.interval_ns, self._timeline_tick
+        )
+
+    def _timeline_tick(self) -> None:
+        assert self.timeline is not None
+        self._timeline_handle = None
+        self.timeline.sample(self.simulator.now_ns, self._timeline_gauges())
+        # Re-arm only while something is in flight or unresolved — a
+        # standing sampler must never keep the event loop alive on its own.
+        if (
+            self.pending
+            or self._open_leases
+            or self._dead
+            or self._stalled
+            or self._wedged
+        ):
+            self._arm_timeline()
+
+    def _timeline_gauges(self) -> Dict[str, GaugeValue]:
+        """One gauge sample: the runtime's load picture at this instant."""
+        workers = self.workers
+        gauges: Dict[str, GaugeValue] = {
+            "shard_backlog": {str(w.shard_id): w.backlog for w in workers},
+            "mailbox_occupancy": {str(w.shard_id): len(w.mailbox) for w in workers},
+            "shard_cycles": {str(w.shard_id): w.cost.total_cycles for w in workers},
+            "pending_packets": self.pending,
+            "live_flows": len(self.flows),
+            "pacing_flows": sum(len(w.pacing) for w in workers),
+            "open_leases": len(self._open_leases),
+            "flows_on_loan": sum(w.flows_on_loan for w in workers),
+            "dead_shards": len(self._dead),
+            "stalled_shards": len(self._stalled),
+        }
+        if self.ingress_cores:
+            gauges["rx_ring_depth"] = {
+                str(core.core_id): core.backlog for core in self.ingress_cores
+            }
+            gauges["rx_cycles"] = {
+                str(core.core_id): core.cost.total_cycles
+                for core in self.ingress_cores
+            }
+        return gauges
 
     # -- driving -----------------------------------------------------------
 
@@ -1511,6 +1756,9 @@ class ShardedRuntime:
         if self._supervise_handle is not None and self._supervise_handle.active:
             self.simulator.cancel(self._supervise_handle)
         self._supervise_handle = None
+        if self._timeline_handle is not None and self._timeline_handle.active:
+            self.simulator.cancel(self._timeline_handle)
+        self._timeline_handle = None
 
     # -- introspection -----------------------------------------------------
 
@@ -1639,6 +1887,49 @@ class ShardedRuntime:
             )
         return rows
 
+    def _latency_telemetry(self) -> Dict[str, LogHistogram]:
+        """Merge the per-seam latency histograms into runtime-wide ones.
+
+        ``rx_sojourn`` is present whenever ingress cores ran (it is always
+        recorded); the other seams appear only with ``latency_histograms``
+        armed.  Crashed incarnations' histograms fold back in exactly like
+        their counters, and a parallel run merges the picklable per-shard
+        histograms off the joined :class:`ShardResult` rows.
+        """
+        latency: Dict[str, LogHistogram] = {}
+        if self.ingress_cores:
+            latency["rx_sojourn"] = LogHistogram.aggregate(
+                core.sojourn_hist for core in self.ingress_cores
+            )
+        results = self.backend.results if self.backend.parallel else None
+        if results is not None:
+            mailbox = [r.mailbox_wait for r in results if r.mailbox_wait is not None]
+            queue = [r.queue_wait for r in results if r.queue_wait is not None]
+            e2e = [r.e2e_latency for r in results if r.e2e_latency is not None]
+            if mailbox:
+                latency["mailbox_wait"] = LogHistogram.aggregate(mailbox)
+            if queue:
+                latency["queue_sojourn"] = LogHistogram.aggregate(queue)
+            if e2e:
+                latency["e2e"] = LogHistogram.aggregate(e2e)
+            return latency
+        if not self.latency_histograms:
+            return latency
+        mailbox = [w.mailbox_wait for w in self.workers if w.mailbox_wait is not None]
+        queue = [w.queue_wait for w in self.workers if w.queue_wait is not None]
+        if self._retired_shards:
+            for retirees in self._retired_shards.values():
+                for retired in retirees:
+                    if retired.mailbox_wait is not None:
+                        mailbox.append(retired.mailbox_wait)
+                    if retired.queue_wait is not None:
+                        queue.append(retired.queue_wait)
+        latency["mailbox_wait"] = LogHistogram.aggregate(mailbox)
+        latency["queue_sojourn"] = LogHistogram.aggregate(queue)
+        assert self._e2e is not None
+        latency["e2e"] = self._e2e.snapshot()
+        return latency
+
     def telemetry(self) -> RuntimeTelemetry:
         """Aggregate per-shard accounting into runtime-level telemetry.
 
@@ -1675,6 +1966,7 @@ class ShardedRuntime:
                 cycles=core.cost.total_cycles,
                 ring_backlog=core.backlog,
                 ring_peak=core.ring.peak,
+                sojourn=core.sojourn_hist.snapshot(),
             )
             for core in self.ingress_cores
         ]
@@ -1700,6 +1992,7 @@ class ShardedRuntime:
             admission_drops=sum(core.stats.rx_dropped for core in ingress),
             flow_state=flow_state,
             faults=fault_block,
+            latency=self._latency_telemetry(),
         )
 
 

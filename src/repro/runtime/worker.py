@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional
 
 from .flowstate import PacingTable
 from .mailbox import Mailbox
+from .observability import LogHistogram
 from .stealing import FlowLease, StealStats
 from ..core.model.packet import Packet
 from ..core.model.transactions import ShapingTransaction
@@ -82,6 +83,11 @@ class ShardWorker:
             thresholds handed to the mailbox (see
             :meth:`Mailbox.configure_watermarks`); the ingress cores pause
             their RX pull while the mailbox sits inside the hysteresis band.
+        latency_histograms: arm the per-shard latency seams — a
+            :class:`~repro.runtime.observability.LogHistogram` each for
+            mailbox wait (push → ingest) and shard-queue sojourn
+            (stamp → drain).  Disarmed (the default) both stay ``None`` and
+            the worker loop is byte-identical to a build without them.
     """
 
     __slots__ = (
@@ -102,6 +108,8 @@ class ShardWorker:
         "_deferred_ingest",
         "_deferred_count",
         "_leases_held",
+        "mailbox_wait",
+        "queue_wait",
     )
 
     def __init__(
@@ -115,6 +123,7 @@ class ShardWorker:
         mailbox_capacity: Optional[int] = None,
         mailbox_high_watermark: Optional[int] = None,
         mailbox_low_watermark: Optional[int] = None,
+        latency_histograms: bool = False,
     ) -> None:
         if horizon_ns <= 0 or num_buckets <= 0:
             raise ValueError("horizon_ns and num_buckets must be positive")
@@ -148,6 +157,12 @@ class ShardWorker:
         # queue holds another shard's packets, and re-lending them would
         # chain a flow across three cores and lose the original lease.
         self._leases_held = 0
+        self.mailbox_wait: Optional[LogHistogram] = (
+            LogHistogram() if latency_histograms else None
+        )
+        self.queue_wait: Optional[LogHistogram] = (
+            LogHistogram() if latency_histograms else None
+        )
 
     # -- configuration -----------------------------------------------------
 
@@ -260,6 +275,14 @@ class ShardWorker:
         batch = self.mailbox.drain(limit)
         if not batch:
             return 0
+        if self.mailbox_wait is not None:
+            # The push side stamps arrival time only while the plane is
+            # armed; the wait ends here, whether or not the packet defers.
+            record_wait = self.mailbox_wait.record
+            for packet in batch:
+                pushed_ns = packet.metadata.pop("mbox_ns", None)
+                if pushed_ns is not None:
+                    record_wait(now_ns - pushed_ns)
         if self._on_loan:
             ready = []
             for packet in batch:
@@ -284,6 +307,12 @@ class ShardWorker:
         """
         drained = self.queue.extract_due(now_ns, limit=limit)
         self._backlog -= len(drained)
+        if self.queue_wait is not None:
+            # Stamp→drain sojourn; the (send_at, packet) pairs are in hand,
+            # so the armed cost is one subtract + record per packet.
+            record_wait = self.queue_wait.record
+            for send_at, _packet in drained:
+                record_wait(now_ns - send_at)
         if self._on_loan:
             released = []
             for _send_at, packet in drained:

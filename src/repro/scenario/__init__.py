@@ -80,13 +80,26 @@ hash) via :func:`derive_seed`.
     injected losses are counted drops, keeping the conservation assertion
     meaningful under failure.
 
+``[observability]``
+    The deterministic observability plane (runtime kind only; everything
+    defaults off and a disarmed spec compiles a byte-identical runtime).
+    ``latency_histograms`` (false; arms per-seam
+    :class:`~repro.runtime.LogHistogram` recording — allowed on every
+    backend, per-shard histograms merge across process children),
+    ``tracer`` (false; arms a bounded
+    :class:`~repro.runtime.FlightRecorder` — simulated backend only),
+    ``trace_capacity`` (65_536), ``timeline`` (false; arms a
+    :class:`~repro.runtime.MetricsTimeline` gauge sampler — simulated
+    backend only), ``timeline_interval_ns`` ("none" = the runtime quantum).
+
 ``[assertions]``
     The invariant net: ``conservation``, ``per_flow_fifo``,
     ``no_stranded_state`` (all true).  Optional bounds (``"none"`` = off):
     ``min_transmitted``, ``max_drop_fraction``, ``min_mops``,
-    ``max_stall_fraction``; fabric: ``min_completion_rate``,
-    ``fct_small_flow_advantage``, ``fct_approx_tolerance``; bess:
-    ``batch_amortises_at``.
+    ``max_stall_fraction``, ``p99_latency_ns`` (ceiling on the end-to-end
+    submit→transmit p99; needs ``observability.latency_histograms``);
+    fabric: ``min_completion_rate``, ``fct_small_flow_advantage``,
+    ``fct_approx_tolerance``; bess: ``batch_amortises_at``.
 
 Validation rejections are typed (:class:`ScenarioSpecError` subclasses with
 a ``field`` attribute): :class:`UnknownNameError` (unknown names, dangling
@@ -124,6 +137,7 @@ from .spec import (
     FaultsSpec,
     IngressSpec,
     MalformedSpecError,
+    ObservabilitySpec,
     OversubscribedError,
     PolicyTreeSpec,
     RuntimeSpec,
@@ -147,6 +161,7 @@ __all__ = [
     "IngressSpec",
     "KINDS",
     "MalformedSpecError",
+    "ObservabilitySpec",
     "OversubscribedError",
     "PATTERN_NAMES",
     "PolicyTreeSpec",

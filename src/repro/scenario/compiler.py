@@ -172,9 +172,19 @@ def _build_runtime(spec: ScenarioSpec):
     """Instantiate the ShardedRuntime and traffic source a spec describes."""
     from ..runtime import ShardedRuntime
     from ..runtime.faults import FaultPlan
+    from ..runtime.observability import FlightRecorder, MetricsTimeline
     from ..runtime.sharder import FlowSharder
     from ..traffic import OpenLoopBurstSource, ZipfFlowSampler
 
+    tracer = None
+    if spec.observability.tracer:
+        tracer = FlightRecorder(capacity=spec.observability.trace_capacity)
+    timeline = None
+    if spec.observability.timeline:
+        timeline = MetricsTimeline(
+            interval_ns=spec.observability.timeline_interval_ns
+            or spec.runtime.quantum_ns
+        )
     fault_plan = None
     if spec.faults.kinds:
         fault_plan = FaultPlan.from_seed(
@@ -220,6 +230,9 @@ def _build_runtime(spec: ScenarioSpec):
         lease_deadline_ns=spec.faults.lease_deadline_ns,
         supervise_interval_ns=spec.faults.supervise_interval_ns,
         record_transmits=True,
+        latency_histograms=spec.observability.latency_histograms,
+        tracer=tracer,
+        metrics_timeline=timeline,
     )
     if spec.traffic.pattern == "zipf":
         sampler = ZipfFlowSampler(
@@ -363,6 +376,15 @@ def _evaluate_runtime_assertions(
             if fraction > checks.max_stall_fraction:
                 failures.append(
                     f"max_stall_fraction: {fraction:.4f} > {checks.max_stall_fraction}"
+                )
+    if checks.p99_latency_ns is not None and telemetry is not None:
+        # Guaranteed present: validation requires latency_histograms armed.
+        e2e = telemetry.latency["e2e"]
+        if e2e.count:
+            p99 = e2e.quantile(0.99)
+            if p99 > checks.p99_latency_ns:
+                failures.append(
+                    f"p99_latency_ns: {p99} > {checks.p99_latency_ns}"
                 )
     return failures
 

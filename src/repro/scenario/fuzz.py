@@ -25,6 +25,7 @@ from .spec import (
     AssertionSpec,
     FaultsSpec,
     IngressSpec,
+    ObservabilitySpec,
     PolicyTreeSpec,
     RuntimeSpec,
     ScenarioSpec,
@@ -146,6 +147,11 @@ def chaos_scenario_specs(max_shards: int = 4, max_ingress_cores: int = 2):
     drain.  Validity stays constructive (``ingress_wedge`` is only drawn
     when the base spec has RX cores), so shrinking never leaves the valid
     region.
+
+    Some draws also arm the observability plane (latency histograms and the
+    flight recorder), so the chaos suite exercises tracing *under failure* —
+    injection and recovery events land in a bounded trace while the
+    invariants are being checked.
     """
     import hypothesis.strategies as st
 
@@ -176,8 +182,20 @@ def chaos_scenario_specs(max_shards: int = 4, max_ingress_cores: int = 2):
                 st.one_of(st.none(), st.sampled_from((100_000, 500_000)))
             ),
         )
+        observability = ObservabilitySpec()
+        if draw(st.booleans()):
+            observability = ObservabilitySpec(
+                latency_histograms=draw(st.booleans()),
+                tracer=True,
+                trace_capacity=draw(st.sampled_from((256, 4096))),
+            )
         return validate(
-            dataclasses.replace(base, name=f"chaos-{base.seed:08x}", faults=faults)
+            dataclasses.replace(
+                base,
+                name=f"chaos-{base.seed:08x}",
+                faults=faults,
+                observability=observability,
+            )
         )
 
     return _spec()

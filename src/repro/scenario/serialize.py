@@ -41,6 +41,7 @@ from .spec import (
     FaultsSpec,
     IngressSpec,
     MalformedSpecError,
+    ObservabilitySpec,
     PolicyTreeSpec,
     RuntimeSpec,
     ScenarioSpec,
@@ -58,6 +59,7 @@ SECTIONS = {
     "ingress": IngressSpec,
     "runtime": RuntimeSpec,
     "faults": FaultsSpec,
+    "observability": ObservabilitySpec,
     "assertions": AssertionSpec,
 }
 

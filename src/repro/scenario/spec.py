@@ -240,6 +240,30 @@ class FaultsSpec:
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec:
+    """The observability plane (runtime kind only).
+
+    All three instruments default off — the compiled runtime is then
+    byte-identical to one built from a spec with no ``[observability]``
+    block at all (the fault plane's gating contract).  ``latency_histograms``
+    arms the per-seam :class:`~repro.runtime.observability.LogHistogram`
+    recording (allowed on every backend: per-shard histograms merge across
+    process children like counter snapshots); ``tracer`` arms a
+    :class:`~repro.runtime.observability.FlightRecorder` of ``trace_capacity``
+    events and ``timeline`` a
+    :class:`~repro.runtime.observability.MetricsTimeline` sampling every
+    ``timeline_interval_ns`` (default: the runtime quantum) — both need the
+    shared simulated clock.
+    """
+
+    latency_histograms: bool = False
+    tracer: bool = False
+    trace_capacity: int = 65_536
+    timeline: bool = False
+    timeline_interval_ns: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class AssertionSpec:
     """Declarative assertion blocks evaluated against the finished run.
 
@@ -271,6 +295,10 @@ class AssertionSpec:
     #: Bess kind: batched drains must be strictly cheaper than the
     #: per-packet path from this batch size on.
     batch_amortises_at: Optional[int] = None
+    #: Ceiling on the end-to-end submit→transmit p99 (runtime kind; needs
+    #: ``observability.latency_histograms`` — there is no histogram to ask
+    #: otherwise, and the spec is rejected rather than silently passed).
+    p99_latency_ns: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -285,6 +313,7 @@ class ScenarioSpec:
     ingress: IngressSpec = field(default_factory=IngressSpec)
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
     faults: FaultsSpec = field(default_factory=FaultsSpec)
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
     assertions: AssertionSpec = field(default_factory=AssertionSpec)
 
 
@@ -423,6 +452,22 @@ def _validate_runtime(spec: ScenarioSpec) -> None:
             "(with no RX cores there is no ring pull to wedge)",
         )
 
+    # Observability plane: bounds must be sane, and a quantile assertion
+    # with no histogram armed can never be evaluated.
+    _require_positive(spec.observability.trace_capacity, "observability.trace_capacity")
+    _require_positive(
+        spec.observability.timeline_interval_ns, "observability.timeline_interval_ns"
+    )
+    if (
+        spec.assertions.p99_latency_ns is not None
+        and not spec.observability.latency_histograms
+    ):
+        raise UnknownNameError(
+            "assertions.p99_latency_ns",
+            "needs observability.latency_histograms = true (there is no "
+            "end-to-end histogram to evaluate the bound against otherwise)",
+        )
+
     # Parallel backends need statically decomposable shards: every knob that
     # coordinates across shards at runtime is rejected with its own field.
     if spec.runtime.backend in ("process", "thread"):
@@ -458,6 +503,22 @@ def _validate_runtime(spec: ScenarioSpec) -> None:
                 f"fault injection and supervision run on the shared simulated "
                 f"clock, which the {backend!r} backend does not have; clear "
                 "the [faults] block or use backend='simulated'",
+            )
+        # Histograms decompose per shard; the tracer and timeline observe
+        # runtime-global seams only the shared clock has.
+        if spec.observability.tracer:
+            raise BackendIncompatibleError(
+                "observability.tracer",
+                f"the flight recorder traces runtime-global seams on the "
+                f"shared simulated clock, which the {backend!r} backend does "
+                "not have; disable it or use backend='simulated'",
+            )
+        if spec.observability.timeline:
+            raise BackendIncompatibleError(
+                "observability.timeline",
+                f"the metrics timeline samples runtime-global gauges on the "
+                f"shared simulated clock, which the {backend!r} backend does "
+                "not have; disable it or use backend='simulated'",
             )
 
 
@@ -543,6 +604,12 @@ def validate(spec: ScenarioSpec) -> ScenarioSpec:
             f"fault injection applies only to runtime-kind scenarios "
             f"(topology.kind = {spec.topology.kind!r})",
         )
+    if spec.topology.kind != "runtime" and spec.observability != ObservabilitySpec():
+        raise MalformedSpecError(
+            "observability",
+            f"the observability plane applies only to runtime-kind scenarios "
+            f"(topology.kind = {spec.topology.kind!r})",
+        )
     if spec.topology.kind == "runtime":
         _validate_runtime(spec)
     elif spec.topology.kind == "fabric":
@@ -563,6 +630,7 @@ def validate(spec: ScenarioSpec) -> ScenarioSpec:
     if spec.assertions.fct_approx_tolerance is not None:
         _require_positive(spec.assertions.fct_approx_tolerance,
                           "assertions.fct_approx_tolerance")
+    _require_positive(spec.assertions.p99_latency_ns, "assertions.p99_latency_ns")
     return spec
 
 
@@ -576,6 +644,7 @@ __all__ = [
     "IngressSpec",
     "KINDS",
     "MalformedSpecError",
+    "ObservabilitySpec",
     "OversubscribedError",
     "PATTERN_NAMES",
     "PolicyTreeSpec",

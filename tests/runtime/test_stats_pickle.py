@@ -18,6 +18,7 @@ from repro.core.queues import QueueStats
 from repro.runtime import (
     FlowStateStats,
     IngressStats,
+    LogHistogram,
     MailboxStats,
     ShardWorkerStats,
     ShardingStats,
@@ -78,3 +79,58 @@ class TestCounterStatsPickle:
     def test_getstate_is_the_field_dict(self, cls):
         original = _populated(cls)
         assert original.__getstate__() == original.as_dict()
+
+
+class TestLogHistogramPickle:
+    """The histogram follows the same wire-format discipline as the counter
+    dataclasses — sparse explicit state, no ``__dict__`` — because parallel
+    backends ship one per seam in every :class:`ShardResult`."""
+
+    def _populated(self) -> LogHistogram:
+        hist = LogHistogram()
+        for value in (0, 1, 127, 128, 1_000, 123_456, 10**9, 10**12):
+            hist.record(value)
+        return hist
+
+    def test_round_trip_preserves_everything(self):
+        original = self._populated()
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is LogHistogram
+        assert clone == original
+        assert clone.as_dict() == original.as_dict()
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert clone.quantile(q) == original.quantile(q)
+
+    def test_round_trip_of_empty(self):
+        clone = pickle.loads(pickle.dumps(LogHistogram()))
+        assert clone == LogHistogram()
+        assert clone.count == 0
+
+    def test_round_trip_preserves_precision(self):
+        original = LogHistogram(precision=4)
+        original.record(12_345)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.precision == 4
+        assert clone == original
+
+    def test_clone_is_independent(self):
+        original = self._populated()
+        clone = pickle.loads(pickle.dumps(original))
+        clone.record(42)
+        assert clone != original
+        assert clone.count == original.count + 1
+
+    def test_instances_stay_dictless(self):
+        original = self._populated()
+        clone = pickle.loads(pickle.dumps(original))
+        for instance in (original, clone):
+            with pytest.raises(AttributeError):
+                instance.__dict__
+
+    def test_wire_format_is_sparse(self):
+        # 8 recorded values must not ship the whole counts array.
+        state = self._populated().__getstate__()
+        assert set(state) == {
+            "precision", "count", "sum", "min_value", "max_value", "counts",
+        }
+        assert len(state["counts"]) <= 8
